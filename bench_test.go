@@ -1,0 +1,220 @@
+package flexnet
+
+// The benchmark harness regenerates every experiment table (E1–E14, see
+// DESIGN.md §3 for the experiment index) plus micro-benchmarks of the
+// core data path. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkEx runs the corresponding experiment end-to-end per
+// iteration; reported ns/op is harness wall time (the experiments
+// themselves run in simulated time — their results are in the tables,
+// printed by cmd/flexbench or recorded in EXPERIMENTS.md).
+
+import (
+	"testing"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/experiments"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/packet"
+)
+
+func benchTable(b *testing.B, fn func(int64) *experiments.Table) {
+	b.Helper()
+	var sink *experiments.Table
+	for i := 0; i < b.N; i++ {
+		sink = fn(1)
+	}
+	if sink == nil || len(sink.Rows) == 0 {
+		b.Fatal("experiment produced no rows")
+	}
+}
+
+// BenchmarkE1HitlessReconfig regenerates E1 (hitless vs drain).
+func BenchmarkE1HitlessReconfig(b *testing.B) { benchTable(b, experiments.E1Hitless) }
+
+// BenchmarkE2ReconfigLatency regenerates E2 (sub-second change latency).
+func BenchmarkE2ReconfigLatency(b *testing.B) { benchTable(b, experiments.E2ReconfigLatency) }
+
+// BenchmarkE3Consistency regenerates E3 (per-packet consistency).
+func BenchmarkE3Consistency(b *testing.B) { benchTable(b, experiments.E3Consistency) }
+
+// BenchmarkE4DynamicApps regenerates E4 (FlexNet vs Mantis/HyPer4/static).
+func BenchmarkE4DynamicApps(b *testing.B) { benchTable(b, experiments.E4DynamicApps) }
+
+// BenchmarkE5SecurityElastic regenerates E5 (elastic DDoS defense).
+func BenchmarkE5SecurityElastic(b *testing.B) { benchTable(b, experiments.E5SecurityElastic) }
+
+// BenchmarkE6CCSwap regenerates E6 (live CC swap).
+func BenchmarkE6CCSwap(b *testing.B) { benchTable(b, experiments.E6CCSwap) }
+
+// BenchmarkE7TenantChurn regenerates E7 (tenant churn reclamation).
+func BenchmarkE7TenantChurn(b *testing.B) { benchTable(b, experiments.E7TenantChurn) }
+
+// BenchmarkE8FungibleCompile regenerates E8 (fungible vs bin-packing).
+func BenchmarkE8FungibleCompile(b *testing.B) { benchTable(b, experiments.E8FungibleCompile) }
+
+// BenchmarkE9Incremental regenerates E9 (incremental recompilation).
+func BenchmarkE9Incremental(b *testing.B) { benchTable(b, experiments.E9Incremental) }
+
+// BenchmarkE10TableMerge regenerates E10 (cross-product merge trade).
+func BenchmarkE10TableMerge(b *testing.B) { benchTable(b, experiments.E10TableMerge) }
+
+// BenchmarkE11StateMigration regenerates E11 (dp vs cp migration).
+func BenchmarkE11StateMigration(b *testing.B) { benchTable(b, experiments.E11StateMigration) }
+
+// BenchmarkE12FaultTolerance regenerates E12 (consensus + reroute).
+func BenchmarkE12FaultTolerance(b *testing.B) { benchTable(b, experiments.E12FaultTolerance) }
+
+// BenchmarkE13Energy regenerates E13 (energy-aware consolidation).
+func BenchmarkE13Energy(b *testing.B) { benchTable(b, experiments.E13Energy) }
+
+// BenchmarkE14DRPC regenerates E14 (dRPC vs controller ops).
+func BenchmarkE14DRPC(b *testing.B) { benchTable(b, experiments.E14DRPC) }
+
+// --- Micro-benchmarks of the core data path. ---
+
+func benchDevice(b *testing.B, arch dataplane.Arch) {
+	d := dataplane.MustNew(dataplane.DefaultConfig("sw", arch))
+	if err := d.InstallProgram(SYNDefense("syn", 4096, 100)); err != nil {
+		b.Fatal(err)
+	}
+	pkts := make([]*packet.Packet, 64)
+	for i := range pkts {
+		pkts[i] = packet.TCPPacket(uint64(i), packet.IP(1, 0, 0, byte(i)), packet.IP(2, 0, 0, 1),
+			uint16(i), 80, packet.TCPSyn, 100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(pkts[i%len(pkts)])
+	}
+}
+
+// BenchmarkProcessDRMT measures per-packet processing on a dRMT device.
+func BenchmarkProcessDRMT(b *testing.B) { benchDevice(b, dataplane.ArchDRMT) }
+
+// BenchmarkProcessRMT measures per-packet processing on an RMT device.
+func BenchmarkProcessRMT(b *testing.B) { benchDevice(b, dataplane.ArchRMT) }
+
+// BenchmarkProcessHost measures per-packet processing on a host device.
+func BenchmarkProcessHost(b *testing.B) { benchDevice(b, dataplane.ArchHost) }
+
+// BenchmarkInterpreter measures raw FlexBPF execution.
+func BenchmarkInterpreter(b *testing.B) {
+	prog := HeavyHitter("hh", 4, 4096, 1<<62)
+	d := dataplane.MustNew(dataplane.DefaultConfig("sw", dataplane.ArchSoC))
+	if err := d.InstallProgram(prog); err != nil {
+		b.Fatal(err)
+	}
+	p := packet.TCPPacket(1, 1, 2, 3, 4, 0, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Process(p)
+	}
+}
+
+// BenchmarkTableLookupExact measures exact-match table lookup.
+func BenchmarkTableLookupExact(b *testing.B) {
+	spec := &flexbpf.TableSpec{
+		Name: "t",
+		Keys: []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchExact, Bits: 32}},
+		Size: 1 << 16,
+	}
+	ti := flexbpf.NewTableInstance(spec)
+	for i := 0; i < 10000; i++ {
+		ti.Insert(flexbpf.ExactEntry("a", nil, uint64(i)))
+	}
+	keys := []uint64{42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys[0] = uint64(i % 10000)
+		ti.Lookup(keys)
+	}
+}
+
+// BenchmarkTableLookupLPM measures LPM lookup over 1k prefixes.
+func BenchmarkTableLookupLPM(b *testing.B) {
+	spec := &flexbpf.TableSpec{
+		Name: "rt",
+		Keys: []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchLPM, Bits: 32}},
+		Size: 4096,
+	}
+	ti := flexbpf.NewTableInstance(spec)
+	for i := 0; i < 1000; i++ {
+		ti.Insert(flexbpf.LPMEntry("a", nil, uint64(packet.IP(10, byte(i>>8), byte(i), 0)), 24))
+	}
+	keys := []uint64{0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		keys[0] = uint64(packet.IP(10, byte(i>>8), byte(i), 7))
+		ti.Lookup(keys)
+	}
+}
+
+// BenchmarkParseWire measures wire-format parsing.
+func BenchmarkParseWire(b *testing.B) {
+	p := packet.TCPPacket(1, 1, 2, 3, 4, 0, 100)
+	raw, err := packet.Marshal(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := packet.StandardParseGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := packet.New(uint64(i))
+		if err := g.Parse(raw, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeSwap measures the atomic program-swap primitive.
+func BenchmarkRuntimeSwap(b *testing.B) {
+	d := dataplane.MustNew(dataplane.DefaultConfig("sw", dataplane.ArchDRMT))
+	mk := func(name string) *Program {
+		return NewProgram(name).Do(NewAsm().Drop().MustBuild()).MustBuild()
+	}
+	if err := d.InstallProgram(mk("v0")); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		old := "v" + itoa(i%2)
+		next := "v" + itoa((i+1)%2)
+		err := d.Swap(func(st *dataplane.StagedConfig) error {
+			if err := st.Remove(old); err != nil {
+				return err
+			}
+			return st.Install(mk(next), nil)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	return "1"
+}
+
+// BenchmarkVerifier measures FlexBPF verification of a mid-size program.
+func BenchmarkVerifier(b *testing.B) {
+	prog := Firewall("fw", 64, 1024, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

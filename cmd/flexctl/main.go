@@ -1,0 +1,152 @@
+// Command flexctl is the CLI client for flexnetd: it translates
+// command-line verbs into the daemon's JSON API and pretty-prints the
+// responses — the operator's handle on the app-level management plane.
+//
+// Usage examples:
+//
+//	flexctl status
+//	flexctl devices
+//	flexctl deploy -uri flexnet://infra/defense -app syn-defense -path s1
+//	flexctl traffic -src h1 -dst 10.0.0.2 -pps 20000
+//	flexctl run -ms 500
+//	flexctl migrate -uri flexnet://infra/defense -segment syn -device s2 -dp
+//	flexctl remove -uri flexnet://infra/defense
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: flexctl [-addr host:port] <command> [flags]
+
+commands:
+  status                                   controller status
+  devices                                  per-device resources
+  deploy   -uri U -app NAME [-args a,b,c] [-path s1,s2] [-tenant T]
+  remove   -uri U
+  migrate  -uri U -segment S -device D [-dp]
+  scale-out -uri U -segment S -device D
+  scale-in  -uri U -segment S -device D
+  tenant-add    -tenant T
+  tenant-remove -tenant T
+  traffic  -src HOST -dst IP -pps N
+  traffic-stop
+  run      [-ms N]
+
+builtin apps: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int
+`)
+	os.Exit(2)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9177", "flexnetd address")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd := flag.Arg(0)
+
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	uri := sub.String("uri", "", "app URI (flexnet://owner/name)")
+	app := sub.String("app", "", "builtin app name")
+	argsCSV := sub.String("args", "", "comma-separated numeric app args")
+	pathCSV := sub.String("path", "", "comma-separated device path")
+	segment := sub.String("segment", "", "app segment name")
+	device := sub.String("device", "", "target device")
+	tenant := sub.String("tenant", "", "tenant name")
+	srcHost := sub.String("src", "", "traffic source host")
+	dstIP := sub.String("dst", "", "traffic destination IP")
+	pps := sub.Float64("pps", 10000, "packets per second")
+	ms := sub.Int64("ms", 100, "simulated milliseconds to run")
+	dp := sub.Bool("dp", false, "use data-plane state migration")
+	sub.Parse(flag.Args()[1:])
+
+	req := map[string]interface{}{"op": cmd}
+	set := func(k string, v interface{}) {
+		switch t := v.(type) {
+		case string:
+			if t != "" {
+				req[k] = t
+			}
+		default:
+			req[k] = v
+		}
+	}
+	set("uri", *uri)
+	set("app", *app)
+	set("segment", *segment)
+	set("device", *device)
+	set("tenant", *tenant)
+	set("src_host", *srcHost)
+	set("dst_ip", *dstIP)
+	if cmd == "traffic" {
+		req["pps"] = *pps
+	}
+	if cmd == "run" {
+		req["millis"] = *ms
+	}
+	if *dp {
+		req["data_plane"] = true
+	}
+	if *argsCSV != "" {
+		var args []uint64
+		for _, p := range strings.Split(*argsCSV, ",") {
+			var v uint64
+			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
+				fmt.Fprintf(os.Stderr, "flexctl: bad -args value %q\n", p)
+				os.Exit(1)
+			}
+			args = append(args, v)
+		}
+		req["args"] = args
+	}
+	if *pathCSV != "" {
+		req["path"] = strings.Split(*pathCSV, ",")
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexctl: connect %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	raw, _ := json.Marshal(req)
+	if _, err := conn.Write(append(raw, '\n')); err != nil {
+		fmt.Fprintf(os.Stderr, "flexctl: send: %v\n", err)
+		os.Exit(1)
+	}
+	line, err := bufio.NewReader(conn).ReadBytes('\n')
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexctl: read: %v\n", err)
+		os.Exit(1)
+	}
+	var resp struct {
+		OK    bool            `json:"ok"`
+		Error string          `json:"error"`
+		Data  json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(line, &resp); err != nil {
+		fmt.Fprintf(os.Stderr, "flexctl: malformed response: %v\n", err)
+		os.Exit(1)
+	}
+	if !resp.OK {
+		fmt.Fprintf(os.Stderr, "flexctl: %s\n", resp.Error)
+		os.Exit(1)
+	}
+	if len(resp.Data) > 0 {
+		var pretty interface{}
+		json.Unmarshal(resp.Data, &pretty)
+		out, _ := json.MarshalIndent(pretty, "", "  ")
+		fmt.Println(string(out))
+	} else {
+		fmt.Println("ok")
+	}
+}

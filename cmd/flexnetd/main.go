@@ -1,0 +1,351 @@
+// Command flexnetd runs a FlexNet controller daemon: it builds a
+// simulated runtime-programmable network from a topology file and
+// exposes the controller's app-level API over a TCP JSON-lines protocol
+// (the management-plane analogue of P4Runtime, lifted to the app level
+// as §3.4 of the paper proposes).
+//
+// Usage:
+//
+//	flexnetd -listen 127.0.0.1:9177 -topology topo.json
+//
+// Topology file format (JSON):
+//
+//	{
+//	  "seed": 1,
+//	  "switches": [{"name": "s1", "arch": "drmt"}],
+//	  "hosts":    [{"name": "h1", "ip": "10.0.0.1"}],
+//	  "links":    [{"a": "h1", "b": "s1"}],
+//	  "drpc":     [{"device": "s1", "ip": "172.16.0.1"}]
+//	}
+//
+// Protocol: one JSON object per line, one response per request. See
+// cmd/flexctl for a client. Simulated time advances on demand via the
+// "run" op and implicitly inside synchronous ops (deploy, migrate, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"flexnet"
+)
+
+// Topology is the daemon's network description.
+type Topology struct {
+	Seed     int64 `json:"seed"`
+	Switches []struct {
+		Name string `json:"name"`
+		Arch string `json:"arch"`
+	} `json:"switches"`
+	Hosts []struct {
+		Name string `json:"name"`
+		IP   string `json:"ip"`
+	} `json:"hosts"`
+	Links []struct {
+		A string `json:"a"`
+		B string `json:"b"`
+	} `json:"links"`
+	DRPC []struct {
+		Device string `json:"device"`
+		IP     string `json:"ip"`
+	} `json:"drpc"`
+}
+
+func archByName(s string) (flexnet.Arch, error) {
+	switch strings.ToLower(s) {
+	case "rmt":
+		return flexnet.RMT, nil
+	case "drmt":
+		return flexnet.DRMT, nil
+	case "tile":
+		return flexnet.Tile, nil
+	case "elasticpipe":
+		return flexnet.ElasticPipe, nil
+	case "soc":
+		return flexnet.SoC, nil
+	case "host":
+		return flexnet.Host, nil
+	default:
+		return 0, fmt.Errorf("unknown architecture %q", s)
+	}
+}
+
+func buildNetwork(t *Topology) (*flexnet.Network, error) {
+	b := flexnet.New(t.Seed)
+	for _, sw := range t.Switches {
+		arch, err := archByName(sw.Arch)
+		if err != nil {
+			return nil, err
+		}
+		b.Switch(sw.Name, arch)
+	}
+	for _, h := range t.Hosts {
+		b.Host(h.Name, h.IP)
+	}
+	for _, l := range t.Links {
+		b.Link(l.A, l.B)
+	}
+	for _, d := range t.DRPC {
+		b.DRPC(d.Device, d.IP)
+	}
+	return b.Build()
+}
+
+// Request is one API call.
+type Request struct {
+	Op      string   `json:"op"`
+	URI     string   `json:"uri,omitempty"`
+	App     string   `json:"app,omitempty"` // builtin app name
+	Args    []uint64 `json:"args,omitempty"`
+	Segment string   `json:"segment,omitempty"`
+	Device  string   `json:"device,omitempty"`
+	Tenant  string   `json:"tenant,omitempty"`
+	Path    []string `json:"path,omitempty"`
+	// Traffic parameters.
+	SrcHost string  `json:"src_host,omitempty"`
+	DstIP   string  `json:"dst_ip,omitempty"`
+	PPS     float64 `json:"pps,omitempty"`
+	// Run duration in milliseconds.
+	Millis int64 `json:"millis,omitempty"`
+	// Migration mode.
+	DataPlane bool `json:"data_plane,omitempty"`
+}
+
+// Response is one API reply.
+type Response struct {
+	OK    bool        `json:"ok"`
+	Error string      `json:"error,omitempty"`
+	Data  interface{} `json:"data,omitempty"`
+}
+
+// Server wraps a network with a serialized API.
+type Server struct {
+	mu      sync.Mutex
+	net     *flexnet.Network
+	sources map[string]*flexnet.Source
+	nextSrc int
+}
+
+// builtinApp instantiates one of the library apps by name.
+func builtinApp(name string, args []uint64) (*flexnet.Program, error) {
+	a := func(i int, def uint64) uint64 {
+		if i < len(args) {
+			return args[i]
+		}
+		return def
+	}
+	switch name {
+	case "syn-defense":
+		return flexnet.SYNDefense("syn", int(a(0, 1024)), a(1, 10)), nil
+	case "heavy-hitter":
+		return flexnet.HeavyHitter("hh", int(a(0, 2)), int(a(1, 512)), a(2, 1000)), nil
+	case "rate-limiter":
+		return flexnet.RateLimiter("rl", int(a(0, 8)), a(1, 1_000_000), a(2, 2_000_000)), nil
+	case "firewall":
+		return flexnet.Firewall("fw", int(a(0, 64)), int(a(1, 1024)), a(2, 0)), nil
+	case "l2":
+		return flexnet.L2Forwarder("l2", int(a(0, 256))), nil
+	case "int":
+		return flexnet.INTTelemetry("int", a(0, 1)), nil
+	default:
+		return nil, fmt.Errorf("unknown builtin app %q (have: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int)", name)
+	}
+}
+
+func (s *Server) handle(req *Request) Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fail := func(err error) Response { return Response{OK: false, Error: err.Error()} }
+	switch req.Op {
+	case "status":
+		return Response{OK: true, Data: map[string]interface{}{
+			"sim_time_ms": s.net.Now().Milliseconds(),
+			"apps":        s.net.Controller().Apps(),
+			"drops":       s.net.InfrastructureDrops(),
+		}}
+	case "devices":
+		var out []map[string]interface{}
+		for _, r := range s.net.Controller().ResourceView() {
+			out = append(out, map[string]interface{}{
+				"name":        r.Device,
+				"free_sram":   r.Free.SRAMBits,
+				"free_tcam":   r.Free.TCAMBits,
+				"fungibility": r.Fungibility,
+				"programs":    r.Programs,
+			})
+		}
+		return Response{OK: true, Data: out}
+	case "deploy":
+		prog, err := builtinApp(req.App, req.Args)
+		if err != nil {
+			return fail(err)
+		}
+		if err := s.net.DeployApp(req.URI, flexnet.AppSpec{
+			Programs: []*flexnet.Program{prog},
+			Path:     req.Path,
+			Tenant:   req.Tenant,
+		}); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]string{"uri": req.URI}}
+	case "remove":
+		if err := s.net.RemoveApp(req.URI); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "migrate":
+		rep, err := s.net.MigrateApp(req.URI, req.Segment, req.Device, req.DataPlane)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"lost_updates": rep.LostUpdates,
+			"chunks":       rep.ChunksSent,
+			"duration_ms":  (rep.Done - rep.Started).Milliseconds(),
+		}}
+	case "scale-out":
+		if err := s.net.ScaleOut(req.URI, req.Segment, req.Device); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "scale-in":
+		if err := s.net.ScaleIn(req.URI, req.Segment, req.Device); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "tenant-add":
+		tn, err := s.net.AddTenant(req.Tenant)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]uint64{"vlan": tn.VLAN}}
+	case "tenant-remove":
+		if err := s.net.RemoveTenant(req.Tenant); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true}
+	case "traffic":
+		dst, err := flexnet.ParseIP(req.DstIP)
+		if err != nil {
+			return fail(err)
+		}
+		src, err := s.net.NewSource(req.SrcHost, flexnet.FlowSpec{
+			Dst: dst, Proto: 17, SrcPort: 1000, DstPort: 2000, PacketLen: 256,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		src.StartCBR(req.PPS)
+		s.nextSrc++
+		id := fmt.Sprintf("src%d", s.nextSrc)
+		s.sources[id] = src
+		return Response{OK: true, Data: map[string]string{"source": id}}
+	case "traffic-stop":
+		for _, src := range s.sources {
+			src.Stop()
+		}
+		s.sources = map[string]*flexnet.Source{}
+		return Response{OK: true}
+	case "run":
+		ms := req.Millis
+		if ms <= 0 {
+			ms = 100
+		}
+		s.net.RunFor(time.Duration(ms) * time.Millisecond)
+		return Response{OK: true, Data: map[string]int64{"sim_time_ms": s.net.Now().Milliseconds()}}
+	default:
+		return fail(fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var req Request
+		resp := Response{}
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			resp = Response{OK: false, Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.handle(&req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9177", "TCP listen address")
+	topoPath := flag.String("topology", "", "topology JSON file (default: built-in 2-switch demo)")
+	flag.Parse()
+
+	topo := &Topology{Seed: 1}
+	if *topoPath != "" {
+		raw, err := os.ReadFile(*topoPath)
+		if err != nil {
+			log.Fatalf("flexnetd: read topology: %v", err)
+		}
+		if err := json.Unmarshal(raw, topo); err != nil {
+			log.Fatalf("flexnetd: parse topology: %v", err)
+		}
+	} else {
+		if err := json.Unmarshal([]byte(demoTopology), topo); err != nil {
+			log.Fatalf("flexnetd: demo topology: %v", err)
+		}
+	}
+	nw, err := buildNetwork(topo)
+	if err != nil {
+		log.Fatalf("flexnetd: build network: %v", err)
+	}
+	srv := &Server{net: nw, sources: map[string]*flexnet.Source{}}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("flexnetd: listen: %v", err)
+	}
+	log.Printf("flexnetd: serving %d devices on %s", len(topo.Switches), l.Addr())
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			log.Printf("flexnetd: accept: %v", err)
+			continue
+		}
+		go srv.serveConn(conn)
+	}
+}
+
+const demoTopology = `{
+  "seed": 1,
+  "switches": [
+    {"name": "s1", "arch": "drmt"},
+    {"name": "s2", "arch": "rmt"}
+  ],
+  "hosts": [
+    {"name": "h1", "ip": "10.0.0.1"},
+    {"name": "h2", "ip": "10.0.0.2"}
+  ],
+  "links": [
+    {"a": "h1", "b": "s1"},
+    {"a": "s1", "b": "s2"},
+    {"a": "s2", "b": "h2"}
+  ],
+  "drpc": [
+    {"device": "s1", "ip": "172.16.0.1"},
+    {"device": "s2", "ip": "172.16.0.2"}
+  ]
+}`

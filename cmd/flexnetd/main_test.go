@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"flexnet"
+)
+
+func demoServer(t *testing.T) *Server {
+	t.Helper()
+	topo := &Topology{}
+	if err := json.Unmarshal([]byte(demoTopology), topo); err != nil {
+		t.Fatal(err)
+	}
+	nw, err := buildNetwork(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Server{net: nw, sources: map[string]*flexnet.Source{}}
+}
+
+func TestArchByName(t *testing.T) {
+	for name, want := range map[string]flexnet.Arch{
+		"rmt": flexnet.RMT, "DRMT": flexnet.DRMT, "tile": flexnet.Tile,
+		"elasticpipe": flexnet.ElasticPipe, "soc": flexnet.SoC, "host": flexnet.Host,
+	} {
+		got, err := archByName(name)
+		if err != nil || got != want {
+			t.Errorf("archByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := archByName("quantum"); err == nil {
+		t.Error("unknown arch accepted")
+	}
+}
+
+func TestHandleLifecycle(t *testing.T) {
+	s := demoServer(t)
+
+	r := s.handle(&Request{Op: "status"})
+	if !r.OK {
+		t.Fatalf("status: %v", r.Error)
+	}
+
+	r = s.handle(&Request{Op: "deploy", URI: "flexnet://infra/d", App: "syn-defense", Args: []uint64{128, 5}, Path: []string{"s1"}})
+	if !r.OK {
+		t.Fatalf("deploy: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "deploy", URI: "flexnet://infra/d", App: "syn-defense"})
+	if r.OK {
+		t.Fatal("duplicate deploy accepted")
+	}
+	r = s.handle(&Request{Op: "deploy", URI: "flexnet://infra/x", App: "no-such-app"})
+	if r.OK || !strings.Contains(r.Error, "unknown builtin") {
+		t.Fatalf("bad app: %+v", r)
+	}
+
+	r = s.handle(&Request{Op: "devices"})
+	if !r.OK {
+		t.Fatalf("devices: %v", r.Error)
+	}
+
+	r = s.handle(&Request{Op: "traffic", SrcHost: "h1", DstIP: "10.0.0.2", PPS: 1000})
+	if !r.OK {
+		t.Fatalf("traffic: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "run", Millis: 200})
+	if !r.OK {
+		t.Fatalf("run: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "migrate", URI: "flexnet://infra/d", Segment: "syn", Device: "s2", DataPlane: true})
+	if !r.OK {
+		t.Fatalf("migrate: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "traffic-stop"})
+	if !r.OK {
+		t.Fatal("traffic-stop failed")
+	}
+	r = s.handle(&Request{Op: "tenant-add", Tenant: "acme"})
+	if !r.OK {
+		t.Fatalf("tenant-add: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "tenant-remove", Tenant: "acme"})
+	if !r.OK {
+		t.Fatalf("tenant-remove: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "remove", URI: "flexnet://infra/d"})
+	if !r.OK {
+		t.Fatalf("remove: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "frobnicate"})
+	if r.OK {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestBuiltinAppDefaults(t *testing.T) {
+	for _, name := range []string{"syn-defense", "heavy-hitter", "rate-limiter", "firewall", "l2", "int"} {
+		p, err := builtinApp(name, nil)
+		if err != nil || p == nil {
+			t.Errorf("builtinApp(%q): %v", name, err)
+		}
+	}
+}
+
+func TestServeConnOverTCP(t *testing.T) {
+	s := demoServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.serveConn(conn)
+	}()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+
+	send := func(req string) Response {
+		t.Helper()
+		if _, err := conn.Write([]byte(req + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := rd.ReadBytes('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp Response
+		if err := json.Unmarshal(line, &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if r := send(`{"op":"status"}`); !r.OK {
+		t.Fatalf("status over TCP: %v", r.Error)
+	}
+	if r := send(`not json at all`); r.OK || !strings.Contains(r.Error, "malformed") {
+		t.Fatalf("malformed request: %+v", r)
+	}
+	if r := send(`{"op":"deploy","uri":"flexnet://infra/z","app":"l2","path":["s1"]}`); !r.OK {
+		t.Fatalf("deploy over TCP: %v", r.Error)
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small runtime-programmable network, inject a
+// security defense into a live switch without dropping a packet, then
+// retire it — the 60-second tour of FlexNet.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"flexnet"
+)
+
+func main() {
+	// Topology: h1 — s1 — h2 on 10 Gb/s links. The switch is a dRMT
+	// (Spectrum-class) runtime-programmable ASIC model.
+	net, err := flexnet.New(1).
+		Switch("s1", flexnet.DRMT).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "s1").
+		Link("s1", "h2").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Background traffic h1 → h2 at 20k pps, running the whole time.
+	src, err := net.NewSource("h1", flexnet.FlowSpec{
+		Dst:   flexnet.MustParseIP("10.0.0.2"),
+		Proto: 17, SrcPort: 1000, DstPort: 2000, PacketLen: 256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	src.StartCBR(20000)
+	net.RunFor(100 * time.Millisecond)
+	fmt.Printf("t=%-6v baseline: %d packets delivered, %d lost\n",
+		net.Now(), net.HostReceived("h2"), net.InfrastructureDrops())
+
+	// Deploy a SYN-flood defense ONTO THE LIVE SWITCH. The controller
+	// compiles it, reserves resources, and commits it atomically between
+	// packets — no drain, no reflash, no downtime.
+	start := net.Now()
+	if err := net.DeployApp("flexnet://infra/defense", flexnet.AppSpec{
+		Programs: []*flexnet.Program{flexnet.SYNDefense("syn", 1024, 5)},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%-6v defense deployed in %v of simulated time\n", net.Now(), net.Now()-start)
+
+	// An attacker opens a SYN flood; only the first 5 SYNs get through.
+	atk, _ := net.NewSource("h1", flexnet.FlowSpec{
+		Dst:   flexnet.MustParseIP("10.0.0.2"),
+		Proto: 6, SrcPort: 6666, DstPort: 80, PacketLen: 40,
+	})
+	before := net.HostReceived("h2")
+	for i := 0; i < 100; i++ {
+		atk.EmitOne(1 << 1) // TCP SYN
+	}
+	net.RunFor(100 * time.Millisecond)
+	baseline := uint64(20000 / 10) // UDP packets in 100ms window
+	attackThrough := net.HostReceived("h2") - before - baseline
+	fmt.Printf("t=%-6v attack: 100 SYNs sent, ~%d reached the victim\n", net.Now(), attackThrough)
+
+	// Attack over: retire the defense and reclaim its resources.
+	if err := net.RemoveApp("flexnet://infra/defense"); err != nil {
+		log.Fatal(err)
+	}
+	src.Stop()
+	net.RunFor(50 * time.Millisecond)
+
+	fmt.Printf("t=%-6v done: %d/%d background packets delivered, infrastructure drops: %d\n",
+		net.Now(), net.HostReceived("h2")-attackThrough-5, src.Sent, net.InfrastructureDrops())
+	fmt.Println("\nThe defense was injected and removed while the switch forwarded")
+	fmt.Println("20k pps — zero background packets were lost to the reconfiguration.")
+}

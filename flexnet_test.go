@@ -1,0 +1,198 @@
+package flexnet
+
+import (
+	"testing"
+	"time"
+)
+
+func smallNet(t *testing.T) *Network {
+	t.Helper()
+	n, err := New(3).
+		Switch("s1", DRMT).
+		Switch("s2", RMT).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "s1").
+		Link("s1", "s2").
+		Link("s2", "h2").
+		DRPC("s1", "172.16.0.1").
+		DRPC("s2", "172.16.0.2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseIP(t *testing.T) {
+	ip, err := ParseIP("10.1.2.3")
+	if err != nil || ip != 0x0A010203 {
+		t.Fatalf("ParseIP = %x, %v", ip, err)
+	}
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"} {
+		if _, err := ParseIP(bad); err == nil {
+			t.Errorf("ParseIP(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := New(1).Host("h", "bad-ip").Build(); err == nil {
+		t.Fatal("bad host IP accepted")
+	}
+	if _, err := New(1).Switch("s", DRMT).DRPC("s", "bad").Build(); err == nil {
+		t.Fatal("bad drpc IP accepted")
+	}
+	if _, err := New(1).Switch("s", DRMT).DRPC("ghost", "1.2.3.4").Build(); err == nil {
+		t.Fatal("drpc on unknown device accepted")
+	}
+}
+
+func TestEndToEndTraffic(t *testing.T) {
+	n := smallNet(t)
+	src, err := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 17, SrcPort: 1, DstPort: 2, PacketLen: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.StartCBR(10000)
+	n.RunFor(100 * time.Millisecond)
+	src.Stop()
+	n.RunFor(10 * time.Millisecond)
+	if got := n.HostReceived("h2"); got != src.Sent || got == 0 {
+		t.Fatalf("h2 received %d of %d", got, src.Sent)
+	}
+	if n.InfrastructureDrops() != 0 {
+		t.Fatalf("drops = %d", n.InfrastructureDrops())
+	}
+}
+
+func TestDeployRemoveAppLifecycle(t *testing.T) {
+	n := smallNet(t)
+	if err := n.DeployApp("flexnet://infra/defense", AppSpec{
+		Programs: []*Program{SYNDefense("syn", 512, 5)},
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("s1").Instance("flexnet://infra/defense#syn") == nil {
+		t.Fatal("program not on s1")
+	}
+	if err := n.RemoveApp("flexnet://infra/defense"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("s1").Instance("flexnet://infra/defense#syn") != nil {
+		t.Fatal("program still on s1")
+	}
+}
+
+func TestDefenseDropsAttack(t *testing.T) {
+	n := smallNet(t)
+	if err := n.DeployApp("flexnet://infra/defense", AppSpec{
+		Programs: []*Program{SYNDefense("syn", 512, 5)},
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Attack: SYN flood from one source.
+	atk, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 6, SrcPort: 666, DstPort: 80, PacketLen: 40})
+	for i := 0; i < 50; i++ {
+		atk.EmitOne(1 << 1) // TCPSyn
+	}
+	n.RunFor(50 * time.Millisecond)
+	// Only the first 5 SYNs pass.
+	if got := n.HostReceived("h2"); got != 5 {
+		t.Fatalf("h2 received %d, want 5", got)
+	}
+}
+
+func TestMigrateAppViaFacade(t *testing.T) {
+	n := smallNet(t)
+	if err := n.DeployApp("flexnet://infra/mon", AppSpec{
+		Programs: []*Program{HeavyHitter("hh", 2, 128, 1<<60)},
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 6, SrcPort: 5, DstPort: 80, PacketLen: 100})
+	src.StartCBR(50000)
+	n.RunFor(20 * time.Millisecond)
+	rep, err := n.MigrateApp("flexnet://infra/mon", "hh", "s2", true)
+	src.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LostUpdates != 0 {
+		t.Fatalf("lost %d updates", rep.LostUpdates)
+	}
+	if n.Device("s2").Instance("flexnet://infra/mon#hh") == nil {
+		t.Fatal("app not on s2")
+	}
+}
+
+func TestTenantLifecycleViaFacade(t *testing.T) {
+	n := smallNet(t)
+	tn, err := n.AddTenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.VLAN == 0 {
+		t.Fatal("no VLAN allocated")
+	}
+	if err := n.DeployApp("flexnet://acme/rl", AppSpec{
+		Programs: []*Program{RateLimiter("rl", 4, 1_000_000, 2_000_000)},
+		Tenant:   "acme",
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := n.Device("s1").Free()
+	if err := n.RemoveTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("s1").Free().SRAMBits <= before.SRAMBits {
+		t.Fatal("tenant removal reclaimed nothing")
+	}
+}
+
+func TestScaleOutInViaFacade(t *testing.T) {
+	n := smallNet(t)
+	if err := n.DeployApp("flexnet://infra/d", AppSpec{
+		Programs: []*Program{SYNDefense("syn", 256, 5)},
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.ScaleOut("flexnet://infra/d", "syn", "s2"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Device("s2").Instance("flexnet://infra/d#syn") == nil {
+		t.Fatal("replica missing")
+	}
+	if err := n.ScaleIn("flexnet://infra/d", "syn", "s2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSLARejection(t *testing.T) {
+	n := smallNet(t)
+	err := n.DeployApp("flexnet://infra/x", AppSpec{
+		Programs: []*Program{SYNDefense("syn", 256, 5)},
+		SLA:      SLA{MaxLatencyNs: 1}, // impossible
+	})
+	if err == nil {
+		t.Fatal("impossible SLA accepted")
+	}
+}
+
+func TestDeterministicNetwork(t *testing.T) {
+	run := func() uint64 {
+		n := smallNet(t)
+		src, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 17, SrcPort: 1, DstPort: 2, PacketLen: 100})
+		src.StartPoisson(20000)
+		n.RunFor(200 * time.Millisecond)
+		return n.HostReceived("h2")
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d", a, b)
+	}
+}

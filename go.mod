@@ -1,0 +1,3 @@
+module flexnet
+
+go 1.22

@@ -1,0 +1,332 @@
+// Package compiler implements the FlexNet compiler (§3.3): it maps
+// logical datapaths (ordered FlexBPF program segments) onto physical
+// devices.
+//
+// Two operating points are provided, matching the paper's contrast:
+//
+//   - StrategyBinPack — the classical network compiler: device resources
+//     are "an unyielding constraint"; placement is first-fit and fails
+//     when nothing fits.
+//   - StrategyFungible — the FlexNet compiler: on placement failure it
+//     "recursively invokes optimization primitives ... to perform
+//     resource reallocation and garbage collection, before attempting
+//     another round of compilation" — repacking fragmented devices and
+//     reclaiming removable programs.
+//   - StrategyEnergy — fungible placement that additionally minimizes an
+//     energy objective by consolidating programs onto already-active
+//     devices (§3.3 "performance and energy optimizations", [57]).
+//
+// The compiler is pure: it plans against Target views and never touches
+// devices; the controller applies plans through the runtime engine.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"flexnet/internal/flexbpf"
+)
+
+// Target is the compiler's view of one physical device.
+type Target interface {
+	// Name identifies the device.
+	Name() string
+	// Capabilities the device offers.
+	Capabilities() flexbpf.Capabilities
+	// Free resources currently available.
+	Free() flexbpf.Demand
+	// CanHost reports whether the device can actually place the program
+	// right now. Aggregate Demand arithmetic overpromises on devices
+	// with typed sub-pools (tile types, per-stage budgets); this is the
+	// authoritative per-program feasibility check.
+	CanHost(prog *flexbpf.Program) bool
+	// Fungibility is the fraction of resources reclaimable via repack.
+	Fungibility() float64
+	// BaseLatencyNs is per-packet transit latency for SLA estimates.
+	BaseLatencyNs() uint64
+	// CapacityPPS is sustainable packet rate.
+	CapacityPPS() uint64
+	// Active reports whether the device currently hosts any program
+	// (energy objective: adding to an active device is cheap).
+	Active() bool
+	// IdleWatts and ActiveWatts for the energy objective.
+	IdleWatts() float64
+	ActiveWatts() float64
+
+	// Repack defragments the device, returning moved allocation units.
+	// Only invoked by the fungible strategy.
+	Repack() (int, error)
+	// Removable returns names of programs the owner has marked
+	// reclaimable (unused functions, departed tenants), with their
+	// resource demands.
+	Removable() map[string]flexbpf.Demand
+	// Reclaim removes a removable program, freeing its resources.
+	Reclaim(name string) error
+}
+
+// Strategy selects the compilation algorithm.
+type Strategy uint8
+
+// Strategies.
+const (
+	StrategyBinPack Strategy = iota
+	StrategyFungible
+	StrategyEnergy
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyBinPack:
+		return "binpack"
+	case StrategyFungible:
+		return "fungible"
+	case StrategyEnergy:
+		return "energy"
+	default:
+		return fmt.Sprintf("strategy(%d)", uint8(s))
+	}
+}
+
+// Assignment maps one segment to one device.
+type Assignment struct {
+	Segment string
+	Device  string
+}
+
+// Plan is a compiled placement for a datapath.
+type Plan struct {
+	Datapath    string
+	Assignments []Assignment
+	// Iterations is how many compile rounds were needed (1 = first try).
+	Iterations int
+	// Repacks and Reclaims count optimization primitives invoked.
+	Repacks  int
+	Reclaims int
+	// EstLatencyNs is the summed device base latency along the placement.
+	EstLatencyNs uint64
+	// EnergyWatts is the added static power of devices activated by this
+	// plan.
+	EnergyWatts float64
+}
+
+// DeviceFor returns the device assigned to a segment, or "".
+func (p *Plan) DeviceFor(segment string) string {
+	for _, a := range p.Assignments {
+		if a.Segment == segment {
+			return a.Device
+		}
+	}
+	return ""
+}
+
+// Compiler plans datapath placements over a set of targets.
+type Compiler struct {
+	Strategy Strategy
+	// MaxIterations bounds fungible compilation rounds.
+	MaxIterations int
+}
+
+// New creates a compiler with the given strategy.
+func New(s Strategy) *Compiler {
+	return &Compiler{Strategy: s, MaxIterations: 4}
+}
+
+// scratchTarget tracks planned consumption on top of a Target during one
+// compilation, so multi-segment plans see their own earlier reservations.
+type scratchTarget struct {
+	Target
+	planned flexbpf.Demand
+	// activated marks targets that this plan turns on.
+	activated bool
+}
+
+func (st *scratchTarget) freeNow() flexbpf.Demand {
+	return st.Target.Free().Sub(st.planned)
+}
+
+// Compile places every segment of dp onto some target. The path argument
+// restricts and orders candidates: segment i may be placed on any target
+// whose index in path is >= the index used by segment i-1 (traffic flows
+// through devices in path order; two segments may share a device). A nil
+// path allows any order (vertical-only placement).
+func (c *Compiler) Compile(dp *flexbpf.Datapath, targets []Target, path []string) (*Plan, error) {
+	plan := &Plan{Datapath: dp.Name}
+	scratch := make([]*scratchTarget, len(targets))
+	index := map[string]int{}
+	for i, t := range targets {
+		scratch[i] = &scratchTarget{Target: t}
+		index[t.Name()] = i
+	}
+	// pathPos[i] is the position of target i within path (-1 = not on
+	// path, unusable when a path is given).
+	pathPos := make([]int, len(targets))
+	for i := range pathPos {
+		pathPos[i] = -1
+	}
+	if path == nil {
+		for i := range pathPos {
+			pathPos[i] = 0
+		}
+	} else {
+		for pos, name := range path {
+			if i, ok := index[name]; ok {
+				pathPos[i] = pos
+			}
+		}
+	}
+
+	maxIter := c.MaxIterations
+	if c.Strategy == StrategyBinPack {
+		maxIter = 1
+	}
+	var lastErr error
+	for iter := 1; iter <= maxIter; iter++ {
+		plan.Iterations = iter
+		assignments, err := c.tryPlace(dp, scratch, pathPos)
+		if err == nil {
+			plan.Assignments = assignments
+			c.finish(plan, dp, scratch, index)
+			return plan, nil
+		}
+		lastErr = err
+		if c.Strategy == StrategyBinPack {
+			break
+		}
+		// Optimization primitives: first repack fragmented devices, then
+		// reclaim removable programs, then try again.
+		progressed := false
+		if iter == 1 {
+			// Round 2 preparation: defragment (resource reallocation).
+			for _, st := range scratch {
+				if moves, rerr := st.Repack(); rerr == nil {
+					plan.Repacks++
+					if moves > 0 {
+						progressed = true
+					}
+				}
+			}
+		} else {
+			// Round 3+ preparation: garbage-collect removable programs.
+			for _, st := range scratch {
+				for _, name := range sortedKeys(st.Removable()) {
+					if err := st.Reclaim(name); err == nil {
+						plan.Reclaims++
+						progressed = true
+					}
+				}
+			}
+		}
+		if !progressed && iter > 1 {
+			break
+		}
+	}
+	return nil, fmt.Errorf("compiler: %s: placement failed after %d iteration(s): %w", dp.Name, plan.Iterations, lastErr)
+}
+
+func sortedKeys(m map[string]flexbpf.Demand) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// tryPlace attempts one placement round over scratch targets.
+func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, pathPos []int) ([]Assignment, error) {
+	var out []Assignment
+	reserved := map[int]flexbpf.Demand{}
+	activated := map[int]bool{}
+	minPos := 0
+	for _, seg := range dp.Segments {
+		need := flexbpf.ProgramDemand(seg)
+		best := -1
+		bestScore := 0.0
+		for i, st := range scratch {
+			if pathPos[i] < 0 || pathPos[i] < minPos {
+				continue
+			}
+			if !st.Capabilities().Satisfies(seg.Requires) {
+				continue
+			}
+			free := st.freeNow().Sub(reserved[i])
+			if !need.Fits(free) {
+				continue
+			}
+			// Typed-pool feasibility: the device itself must agree. For
+			// multi-segment plans the aggregate reservation above remains
+			// the co-location constraint.
+			if !st.CanHost(seg) {
+				continue
+			}
+			if dp.SLA.MinThroughputPPS > 0 && st.CapacityPPS() < dp.SLA.MinThroughputPPS {
+				continue
+			}
+			score := c.score(st, free, need, activated[i])
+			if best == -1 || score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("no device fits segment %s (demand %v)", seg.Name, need)
+		}
+		reserved[best] = reserved[best].Add(need)
+		if !scratch[best].Active() {
+			activated[best] = true
+		}
+		out = append(out, Assignment{Segment: seg.Name, Device: scratch[best].Name()})
+		minPos = pathPos[best]
+	}
+	// Commit reservations into scratch for subsequent iterations.
+	for i, d := range reserved {
+		scratch[i].planned = scratch[i].planned.Add(d)
+		if activated[i] {
+			scratch[i].activated = true
+		}
+	}
+	return out, nil
+}
+
+// score ranks candidate devices; higher is better.
+func (c *Compiler) score(st *scratchTarget, free, need flexbpf.Demand, activatedByPlan bool) float64 {
+	switch c.Strategy {
+	case StrategyEnergy:
+		// Prefer already-active devices; penalize waking idle ones by
+		// their static power.
+		s := 1000.0
+		if !st.Active() && !activatedByPlan && !st.activated {
+			s -= st.IdleWatts() + st.ActiveWatts()
+		}
+		// Tie-break toward tighter fit (consolidation).
+		s -= float64(free.SRAMBits-need.SRAMBits) * 1e-9
+		return s
+	default:
+		// First-fit-decreasing flavor: prefer the device with the least
+		// leftover space that still fits (best fit reduces fragmentation)
+		// and lower latency.
+		return -float64(free.SRAMBits+free.TCAMBits) - float64(st.BaseLatencyNs())*1e3
+	}
+}
+
+// finish computes plan metrics.
+func (c *Compiler) finish(plan *Plan, dp *flexbpf.Datapath, scratch []*scratchTarget, index map[string]int) {
+	seen := map[string]bool{}
+	for _, a := range plan.Assignments {
+		st := scratch[index[a.Device]]
+		if !seen[a.Device] {
+			seen[a.Device] = true
+			plan.EstLatencyNs += st.BaseLatencyNs()
+			if st.activated {
+				plan.EnergyWatts += st.IdleWatts() + st.ActiveWatts()
+			}
+		}
+	}
+}
+
+// CheckSLA verifies the plan against the datapath's SLA.
+func CheckSLA(plan *Plan, dp *flexbpf.Datapath) error {
+	if dp.SLA.MaxLatencyNs > 0 && plan.EstLatencyNs > dp.SLA.MaxLatencyNs {
+		return fmt.Errorf("compiler: plan latency %dns exceeds SLA %dns", plan.EstLatencyNs, dp.SLA.MaxLatencyNs)
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package compiler
+
+import (
+	"fmt"
+
+	"flexnet/internal/flexbpf"
+)
+
+// Delta describes the difference between two datapath versions.
+type Delta struct {
+	Added   []string // segments present only in the new version
+	Removed []string // segments present only in the old version
+	Changed []string // segments whose resource demand changed
+	Same    []string // untouched segments
+}
+
+// Diff computes the segment-level delta between datapath versions.
+// Segments are compared by name; "changed" means the program's resource
+// demand differs (the placement-relevant property).
+func Diff(old, new *flexbpf.Datapath) Delta {
+	var d Delta
+	oldSegs := map[string]*flexbpf.Program{}
+	for _, s := range old.Segments {
+		oldSegs[s.Name] = s
+	}
+	newSegs := map[string]bool{}
+	for _, s := range new.Segments {
+		newSegs[s.Name] = true
+		o, ok := oldSegs[s.Name]
+		switch {
+		case !ok:
+			d.Added = append(d.Added, s.Name)
+		case flexbpf.ProgramDemand(o) != flexbpf.ProgramDemand(s):
+			d.Changed = append(d.Changed, s.Name)
+		default:
+			d.Same = append(d.Same, s.Name)
+		}
+	}
+	for _, s := range old.Segments {
+		if !newSegs[s.Name] {
+			d.Removed = append(d.Removed, s.Name)
+		}
+	}
+	return d
+}
+
+// IncrementalPlan is the output of incremental recompilation.
+type IncrementalPlan struct {
+	// Keep are assignments preserved from the previous plan.
+	Keep []Assignment
+	// Place are new assignments (added or moved segments).
+	Place []Assignment
+	// Remove are segments to uninstall, with their old device.
+	Remove []Assignment
+	// Moves counts previously-placed segments that changed device —
+	// the intrusiveness metric the paper wants minimized ("maximally
+	// adjacent reconfigurations that lead to non-intrusive
+	// redistribution").
+	Moves int
+	// EntriesMigrated estimates state/entry volume that must move.
+	EntriesMigrated int
+	// Iterations from the underlying compile rounds.
+	Iterations int
+}
+
+// Recompile computes an incremental plan that morphs prevPlan (for the
+// old datapath) into a valid placement for the new datapath, touching as
+// few placements as possible:
+//
+//  1. Removed segments are uninstalled.
+//  2. Unchanged segments keep their device.
+//  3. Changed segments are re-validated in place; only if their grown
+//     demand no longer fits (or path order breaks) do they move.
+//  4. Added segments are placed in the remaining free space.
+//
+// Only when step 3/4 fails does it fall back to a full recompilation,
+// which may move everything.
+func (c *Compiler) Recompile(prevPlan *Plan, old, new *flexbpf.Datapath, targets []Target, path []string) (*IncrementalPlan, error) {
+	delta := Diff(old, new)
+	out := &IncrementalPlan{Iterations: 1}
+
+	byName := map[string]Target{}
+	for _, t := range targets {
+		byName[t.Name()] = t
+	}
+	segOf := map[string]*flexbpf.Program{}
+	for _, s := range new.Segments {
+		segOf[s.Name] = s
+	}
+	oldSegOf := map[string]*flexbpf.Program{}
+	for _, s := range old.Segments {
+		oldSegOf[s.Name] = s
+	}
+
+	// 1. Removals.
+	for _, name := range delta.Removed {
+		dev := prevPlan.DeviceFor(name)
+		out.Remove = append(out.Remove, Assignment{Segment: name, Device: dev})
+	}
+
+	// Track planned additional demand per device for steps 3-4.
+	extra := map[string]flexbpf.Demand{}
+	// Freed demand from removals is available again.
+	freed := map[string]flexbpf.Demand{}
+	for _, name := range delta.Removed {
+		dev := prevPlan.DeviceFor(name)
+		freed[dev] = freed[dev].Add(flexbpf.ProgramDemand(oldSegOf[name]))
+	}
+	avail := func(dev string) flexbpf.Demand {
+		t := byName[dev]
+		if t == nil {
+			return flexbpf.Demand{}
+		}
+		return t.Free().Add(freed[dev]).Sub(extra[dev])
+	}
+
+	// 2. Keep unchanged segments in place.
+	for _, name := range delta.Same {
+		dev := prevPlan.DeviceFor(name)
+		if dev == "" {
+			return nil, fmt.Errorf("compiler: incremental: segment %s missing from previous plan", name)
+		}
+		out.Keep = append(out.Keep, Assignment{Segment: name, Device: dev})
+	}
+
+	// 3. Changed segments: grow in place when possible.
+	for _, name := range delta.Changed {
+		dev := prevPlan.DeviceFor(name)
+		if dev == "" {
+			return nil, fmt.Errorf("compiler: incremental: segment %s missing from previous plan", name)
+		}
+		oldD := flexbpf.ProgramDemand(oldSegOf[name])
+		newD := flexbpf.ProgramDemand(segOf[name])
+		growth := newD.Sub(oldD)
+		if growth.Fits(avail(dev)) {
+			extra[dev] = extra[dev].Add(growth)
+			out.Keep = append(out.Keep, Assignment{Segment: name, Device: dev})
+			continue
+		}
+		// Must move: treat as added (old placement is released).
+		freed[dev] = freed[dev].Add(oldD)
+		delta.Added = append(delta.Added, name)
+		out.Moves++
+		out.EntriesMigrated += entryVolume(segOf[name])
+	}
+
+	// 4. Place added segments into remaining space, preferring devices
+	// adjacent (on the path) to their datapath neighbors.
+	for _, name := range delta.Added {
+		seg := segOf[name]
+		need := flexbpf.ProgramDemand(seg)
+		placed := ""
+		for _, cand := range candidateOrder(name, new, prevPlan, path, targets) {
+			t := byName[cand]
+			if t == nil || !t.Capabilities().Satisfies(seg.Requires) {
+				continue
+			}
+			if need.Fits(avail(cand)) {
+				placed = cand
+				break
+			}
+		}
+		if placed == "" {
+			// Fall back to a full recompile: everything may move.
+			full, err := c.Compile(new, targets, path)
+			if err != nil {
+				return nil, fmt.Errorf("compiler: incremental fallback failed: %w", err)
+			}
+			fullInc := &IncrementalPlan{Place: full.Assignments, Iterations: full.Iterations + 1}
+			for _, a := range full.Assignments {
+				if prev := prevPlan.DeviceFor(a.Segment); prev != "" && prev != a.Device {
+					fullInc.Moves++
+					fullInc.EntriesMigrated += entryVolume(segOf[a.Segment])
+				}
+			}
+			for _, name := range delta.Removed {
+				fullInc.Remove = append(fullInc.Remove, Assignment{Segment: name, Device: prevPlan.DeviceFor(name)})
+			}
+			return fullInc, nil
+		}
+		extra[placed] = extra[placed].Add(need)
+		out.Place = append(out.Place, Assignment{Segment: name, Device: placed})
+	}
+	return out, nil
+}
+
+// candidateOrder ranks devices for a new segment: first the devices
+// hosting the segment's datapath neighbors (maximal adjacency), then the
+// path order, then everything else.
+func candidateOrder(segName string, dp *flexbpf.Datapath, prev *Plan, path []string, targets []Target) []string {
+	var order []string
+	seen := map[string]bool{}
+	add := func(dev string) {
+		if dev != "" && !seen[dev] {
+			seen[dev] = true
+			order = append(order, dev)
+		}
+	}
+	// Neighbors in the segment chain.
+	for i, s := range dp.Segments {
+		if s.Name != segName {
+			continue
+		}
+		if i > 0 {
+			add(prev.DeviceFor(dp.Segments[i-1].Name))
+		}
+		if i+1 < len(dp.Segments) {
+			add(prev.DeviceFor(dp.Segments[i+1].Name))
+		}
+	}
+	for _, d := range path {
+		add(d)
+	}
+	for _, t := range targets {
+		add(t.Name())
+	}
+	return order
+}
+
+// entryVolume estimates how many table entries + map slots migrate when
+// a segment moves.
+func entryVolume(p *flexbpf.Program) int {
+	n := 0
+	for _, t := range p.Tables {
+		n += t.Size
+	}
+	for _, m := range p.Maps {
+		n += m.MaxEntries
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package compiler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/flexbpf"
+)
+
+// TestPlacementNeverOvercommitsProperty: for random datapath streams
+// compiled onto real devices, applying every successful plan's installs
+// must always succeed — the compiler never promises resources a device
+// cannot actually provide.
+func TestPlacementNeverOvercommitsProperty(t *testing.T) {
+	archs := []dataplane.Arch{dataplane.ArchRMT, dataplane.ArchDRMT, dataplane.ArchTile, dataplane.ArchSoC}
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		var devs []*dataplane.Device
+		var targets []Target
+		for i := 0; i < 3; i++ {
+			cfg := dataplane.DefaultConfig(fmt.Sprintf("sw%d", i), archs[r.Intn(len(archs))])
+			// Shrink memory so saturation happens within a few programs.
+			cfg.PoolSRAMBits = 1 << 19
+			cfg.StageSRAMBits = 1 << 16
+			cfg.TileBits = 1 << 14
+			cfg.HashTiles, cfg.IndexTiles, cfg.TCAMTiles = 8, 4, 2
+			d := dataplane.MustNew(cfg)
+			devs = append(devs, d)
+			targets = append(targets, NewDeviceTarget(d))
+		}
+		c := New(StrategyFungible)
+		for app := 0; app < 25; app++ {
+			prog := randomSegment(r, fmt.Sprintf("t%02da%02d", trial, app))
+			dp := &flexbpf.Datapath{Name: prog.Name, Segments: []*flexbpf.Program{prog}}
+			plan, err := c.Compile(dp, targets, nil)
+			if err != nil {
+				continue // refusal is always allowed
+			}
+			// The promise: the planned install must succeed.
+			dev := plan.DeviceFor(prog.Name)
+			found := false
+			for _, d := range devs {
+				if d.Name() == dev {
+					found = true
+					inst := prog.Clone()
+					if err := d.InstallProgram(inst); err != nil {
+						t.Fatalf("trial %d app %d: plan promised %s but install failed: %v",
+							trial, app, dev, err)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("plan names unknown device %q", dev)
+			}
+		}
+	}
+}
+
+func randomSegment(r *rand.Rand, name string) *flexbpf.Program {
+	b := flexbpf.NewProgram(name).
+		Action("a", 1, flexbpf.NewAsm().LdParam(0, 0).Forward(0).MustBuild())
+	kind := flexbpf.MatchExact
+	if r.Intn(4) == 0 {
+		kind = flexbpf.MatchTernary
+	}
+	tn := name + "_t"
+	b.Table(&flexbpf.TableSpec{
+		Name:    tn,
+		Keys:    []flexbpf.TableKey{{Field: "ipv4.dst", Kind: kind, Bits: 32}},
+		Actions: []string{"a"},
+		Size:    1 + r.Intn(600),
+	}).Apply(tn)
+	if r.Intn(2) == 0 {
+		b.HashMap(name+"_m", 1+r.Intn(400), 32)
+	}
+	return b.MustBuild()
+}
+
+// TestFungibleNeverWorseProperty: on identical inputs the fungible
+// strategy succeeds at least wherever bin-packing does.
+func TestFungibleNeverWorseProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		free := flexbpf.Demand{
+			SRAMBits:     1 << (14 + r.Intn(6)),
+			TCAMBits:     1 << (10 + r.Intn(4)),
+			ALUs:         64 + r.Intn(512),
+			Tables:       2 + r.Intn(16),
+			ParserStates: 8 + r.Intn(16),
+		}
+		mkTarget := func() Target {
+			return &fakeTarget{name: "sw", free: free, pps: 1e9}
+		}
+		prog := randomSegment(r, fmt.Sprintf("p%d", trial))
+		dp := &flexbpf.Datapath{Name: prog.Name, Segments: []*flexbpf.Program{prog}}
+		_, errBin := New(StrategyBinPack).Compile(dp, []Target{mkTarget()}, nil)
+		_, errFun := New(StrategyFungible).Compile(dp, []Target{mkTarget()}, nil)
+		if errBin == nil && errFun != nil {
+			t.Fatalf("trial %d: binpack succeeded where fungible failed: %v", trial, errFun)
+		}
+	}
+}

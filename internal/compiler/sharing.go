@@ -1,0 +1,105 @@
+package compiler
+
+import (
+	"fmt"
+	"strings"
+
+	"flexnet/internal/flexbpf"
+)
+
+// Fingerprint computes a structural hash of a program that ignores its
+// name and owner: two tenants submitting the same extension (§3.2
+// "different tenants may inject logically-sharable code that present
+// optimization opportunities") produce equal fingerprints even though
+// their programs are distinct objects.
+func Fingerprint(p *flexbpf.Program) uint64 {
+	// Canonicalize: dump the program and strip the identity line, then
+	// normalize any occurrence of the program name inside element names
+	// (apps conventionally prefix their elements with the program name).
+	dump := flexbpf.Dump(p)
+	lines := strings.Split(dump, "\n")
+	if len(lines) > 0 {
+		lines = lines[1:] // drop "program <name> (tenant ...)"
+	}
+	// Dump summarizes inline Do blocks as "{N instrs}"; append their
+	// full disassembly so compute differences change the fingerprint.
+	var blocks strings.Builder
+	var walk func(stmts []flexbpf.Stmt)
+	walk = func(stmts []flexbpf.Stmt) {
+		for _, s := range stmts {
+			if s.Do != nil {
+				blocks.WriteString(flexbpf.Disasm(s.Do))
+			}
+			if s.If != nil {
+				walk(s.If.Then)
+				walk(s.If.Else)
+			}
+		}
+	}
+	walk(p.Pipeline)
+	canon := strings.Join(lines, "\n") + blocks.String()
+	if p.Name != "" {
+		canon = strings.ReplaceAll(canon, p.Name+"_", "§_")
+		canon = strings.ReplaceAll(canon, p.Name+".", "§.")
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(canon); i++ {
+		h ^= uint64(canon[i])
+		h *= prime
+	}
+	return h
+}
+
+// SharedCode identifies one group of structurally identical segments
+// across datapaths.
+type SharedCode struct {
+	Fingerprint uint64
+	// Segments lists "datapath/segment" identifiers sharing the code.
+	Segments []string
+	// SavedDemand is the resource demand avoidable by sharing one
+	// instance instead of n: (n-1) × per-instance demand.
+	SavedDemand flexbpf.Demand
+}
+
+// FindSharableCode scans a set of datapaths (for example all tenants'
+// extensions) for structurally identical segments — the compiler
+// optimization opportunity §3.2 calls out. The result is sorted by
+// the resources sharing would save.
+func FindSharableCode(dps []*flexbpf.Datapath) []SharedCode {
+	groups := map[uint64][]string{}
+	demand := map[uint64]flexbpf.Demand{}
+	for _, dp := range dps {
+		for _, seg := range dp.Segments {
+			fp := Fingerprint(seg)
+			groups[fp] = append(groups[fp], fmt.Sprintf("%s/%s", dp.Name, seg.Name))
+			demand[fp] = flexbpf.ProgramDemand(seg)
+		}
+	}
+	var out []SharedCode
+	for fp, segs := range groups {
+		if len(segs) < 2 {
+			continue
+		}
+		d := demand[fp]
+		saved := flexbpf.Demand{}
+		for i := 0; i < len(segs)-1; i++ {
+			saved = saved.Add(d)
+		}
+		out = append(out, SharedCode{Fingerprint: fp, Segments: segs, SavedDemand: saved})
+	}
+	// Deterministic order: by saved SRAM descending, then fingerprint.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			a, b := out[i], out[j]
+			if b.SavedDemand.SRAMBits > a.SavedDemand.SRAMBits ||
+				(b.SavedDemand.SRAMBits == a.SavedDemand.SRAMBits && b.Fingerprint < a.Fingerprint) {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package compiler
+
+import (
+	"testing"
+
+	"flexnet/internal/apps"
+	"flexnet/internal/flexbpf"
+)
+
+func TestFingerprintIgnoresIdentity(t *testing.T) {
+	a := apps.SYNDefense("sd", 512, 5)
+	b := apps.SYNDefense("sd", 512, 5)
+	b.Owner = "tenant-b"
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical structure, different owner → different fingerprint")
+	}
+	// Different parameters are structurally different programs.
+	c := apps.SYNDefense("sd", 1024, 5)
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("different map size collided")
+	}
+	d := apps.SYNDefense("sd", 512, 9)
+	if Fingerprint(a) == Fingerprint(d) {
+		t.Fatal("different threshold collided")
+	}
+}
+
+func TestFingerprintNormalizesNamePrefix(t *testing.T) {
+	// The same app generated under two different instance names shares a
+	// fingerprint (element names are prefixed by the program name).
+	a := apps.HeavyHitter("mon1", 2, 128, 100)
+	b := apps.HeavyHitter("mon2", 2, 128, 100)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("renamed instances of the same app do not share a fingerprint")
+	}
+}
+
+func TestFindSharableCode(t *testing.T) {
+	mkDP := func(dpName, appName string, thr uint64) *flexbpf.Datapath {
+		return &flexbpf.Datapath{
+			Name:     dpName,
+			Segments: []*flexbpf.Program{apps.SYNDefense(appName, 512, thr)},
+		}
+	}
+	dps := []*flexbpf.Datapath{
+		mkDP("flexnet://a/x", "sd", 5),
+		mkDP("flexnet://b/y", "sd", 5), // identical to a/x
+		mkDP("flexnet://c/z", "sd", 9), // different threshold
+	}
+	shared := FindSharableCode(dps)
+	if len(shared) != 1 {
+		t.Fatalf("shared groups = %d", len(shared))
+	}
+	if len(shared[0].Segments) != 2 {
+		t.Fatalf("group = %v", shared[0].Segments)
+	}
+	if shared[0].SavedDemand.SRAMBits == 0 {
+		t.Fatal("no savings computed")
+	}
+	// No sharing when everything differs.
+	if got := FindSharableCode(dps[2:]); len(got) != 0 {
+		t.Fatalf("phantom sharing: %v", got)
+	}
+}

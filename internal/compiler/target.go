@@ -1,0 +1,87 @@
+package compiler
+
+import (
+	"fmt"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/flexbpf"
+)
+
+// DeviceTarget adapts a dataplane.Device to the Target interface.
+// Removable programs must be registered explicitly by the owner (the
+// controller marks tenant-departed or unused programs reclaimable).
+type DeviceTarget struct {
+	Dev *dataplane.Device
+	// removable maps program name → demand, maintained by MarkRemovable.
+	removable map[string]flexbpf.Demand
+}
+
+// NewDeviceTarget wraps a device.
+func NewDeviceTarget(d *dataplane.Device) *DeviceTarget {
+	return &DeviceTarget{Dev: d, removable: map[string]flexbpf.Demand{}}
+}
+
+// MarkRemovable declares an installed program reclaimable by the
+// compiler's garbage-collection primitive.
+func (t *DeviceTarget) MarkRemovable(name string) error {
+	inst := t.Dev.Instance(name)
+	if inst == nil {
+		return fmt.Errorf("compiler: %s: no program %q to mark removable", t.Dev.Name(), name)
+	}
+	t.removable[name] = flexbpf.ProgramDemand(inst.Program())
+	return nil
+}
+
+// Name implements Target.
+func (t *DeviceTarget) Name() string { return t.Dev.Name() }
+
+// Capabilities implements Target.
+func (t *DeviceTarget) Capabilities() flexbpf.Capabilities { return t.Dev.Capabilities() }
+
+// Free implements Target.
+func (t *DeviceTarget) Free() flexbpf.Demand { return t.Dev.Free() }
+
+// CanHost implements Target via a device dry-run reservation.
+func (t *DeviceTarget) CanHost(prog *flexbpf.Program) bool { return t.Dev.CanHost(prog) }
+
+// Fungibility implements Target.
+func (t *DeviceTarget) Fungibility() float64 { return t.Dev.Fungibility() }
+
+// BaseLatencyNs implements Target.
+func (t *DeviceTarget) BaseLatencyNs() uint64 { return t.Dev.Perf().BaseLatencyNs }
+
+// CapacityPPS implements Target.
+func (t *DeviceTarget) CapacityPPS() uint64 { return t.Dev.Perf().CapacityPPS }
+
+// Active implements Target.
+func (t *DeviceTarget) Active() bool { return len(t.Dev.Programs()) > 0 }
+
+// IdleWatts implements Target.
+func (t *DeviceTarget) IdleWatts() float64 { return t.Dev.Energy().IdleWatts }
+
+// ActiveWatts implements Target.
+func (t *DeviceTarget) ActiveWatts() float64 { return t.Dev.Energy().ActiveWatts }
+
+// Repack implements Target.
+func (t *DeviceTarget) Repack() (int, error) { return t.Dev.Repack() }
+
+// Removable implements Target.
+func (t *DeviceTarget) Removable() map[string]flexbpf.Demand {
+	out := make(map[string]flexbpf.Demand, len(t.removable))
+	for k, v := range t.removable {
+		out[k] = v
+	}
+	return out
+}
+
+// Reclaim implements Target.
+func (t *DeviceTarget) Reclaim(name string) error {
+	if _, ok := t.removable[name]; !ok {
+		return fmt.Errorf("compiler: %s: program %q not removable", t.Dev.Name(), name)
+	}
+	if err := t.Dev.RemoveProgram(name); err != nil {
+		return err
+	}
+	delete(t.removable, name)
+	return nil
+}

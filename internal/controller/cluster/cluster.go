@@ -1,0 +1,439 @@
+// Package cluster implements the distributed controller of §3.4: "For
+// large networks, logically centralized controllers are realized in
+// physically distributed nodes, which brings classic distributed systems
+// concerns on consensus and availability."
+//
+// It is a compact Raft-style consensus implementation (leader election,
+// heartbeats, log replication, majority commit) running entirely on the
+// deterministic simulator: message delays and election timeouts are
+// drawn from the simulation, so every failover scenario replays exactly.
+// Controller commands (app deploys, migrations, tenant admissions) are
+// the replicated state machine's operations.
+package cluster
+
+import (
+	"fmt"
+
+	"flexnet/internal/netsim"
+)
+
+// Command is one replicated controller operation.
+type Command struct {
+	// Kind names the operation ("deploy", "remove", "migrate", ...).
+	Kind string
+	// URI is the app handle the operation targets.
+	URI string
+	// Arg carries operation-specific data.
+	Arg string
+}
+
+// Entry is one log slot.
+type Entry struct {
+	Term uint64
+	Cmd  Command
+}
+
+// role is a node's Raft role.
+type role uint8
+
+const (
+	follower role = iota
+	candidate
+	leader
+)
+
+func (r role) String() string {
+	switch r {
+	case follower:
+		return "follower"
+	case candidate:
+		return "candidate"
+	case leader:
+		return "leader"
+	default:
+		return "?"
+	}
+}
+
+// message is the single wire type (fields per message kind).
+type message struct {
+	kind string // "vote-req", "vote-rep", "append", "append-rep"
+	from int
+	term uint64
+
+	// vote-req / vote-rep
+	lastLogIndex int
+	lastLogTerm  uint64
+	granted      bool
+
+	// append / append-rep
+	prevIndex int
+	prevTerm  uint64
+	entries   []Entry
+	commit    int
+	success   bool
+	matchIdx  int
+}
+
+// Cluster is a set of consensus nodes on one simulator.
+type Cluster struct {
+	sim   *netsim.Sim
+	nodes []*Node
+	// Delay is the one-way message delay between controller nodes.
+	Delay netsim.Time
+	// Heartbeat and election timing.
+	heartbeat   netsim.Time
+	electionMin netsim.Time
+	electionMax netsim.Time
+}
+
+// New creates a cluster of n nodes. apply is invoked on every node as
+// entries commit (the replicated state machine).
+func New(sim *netsim.Sim, n int, apply func(node int, idx int, cmd Command)) *Cluster {
+	c := &Cluster{
+		sim:         sim,
+		Delay:       2_000_000,   // 2 ms
+		heartbeat:   50_000_000,  // 50 ms
+		electionMin: 150_000_000, // 150 ms
+		electionMax: 300_000_000, // 300 ms
+	}
+	for i := 0; i < n; i++ {
+		node := &Node{id: i, c: c, votedFor: -1, apply: apply, alive: true}
+		c.nodes = append(c.nodes, node)
+	}
+	for _, nd := range c.nodes {
+		nd.resetElectionTimer()
+	}
+	return c
+}
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Leader returns the current leader's id, or -1 if none (or if multiple
+// claim leadership in the same term — a bug).
+func (c *Cluster) Leader() int {
+	id := -1
+	var term uint64
+	for _, n := range c.nodes {
+		if n.alive && n.role == leader {
+			if n.term > term {
+				term = n.term
+				id = n.id
+			} else if n.term == term && id >= 0 {
+				return -1 // two leaders in one term: split brain
+			}
+		}
+	}
+	return id
+}
+
+// send schedules delivery of msg to node `to`.
+func (c *Cluster) send(to int, msg message) {
+	if to < 0 || to >= len(c.nodes) {
+		return
+	}
+	c.sim.After(c.Delay, func() {
+		n := c.nodes[to]
+		if n.alive {
+			n.receive(msg)
+		}
+	})
+}
+
+// Node is one consensus participant.
+type Node struct {
+	id int
+	c  *Cluster
+
+	role     role
+	term     uint64
+	votedFor int
+	log      []Entry
+	commit   int // highest committed index (-1 based: commit == count)
+	applied  int
+
+	// leader state
+	nextIndex  []int
+	matchIndex []int
+	votes      int
+
+	timerEpoch uint64 // invalidates stale timers
+	alive      bool
+
+	apply func(node int, idx int, cmd Command)
+}
+
+// ID returns the node id.
+func (n *Node) ID() int { return n.id }
+
+// Role returns the node's current role name.
+func (n *Node) Role() string { return n.role.String() }
+
+// Term returns the current term.
+func (n *Node) Term() uint64 { return n.term }
+
+// Alive reports liveness.
+func (n *Node) Alive() bool { return n.alive }
+
+// CommittedLen returns the number of committed entries.
+func (n *Node) CommittedLen() int { return n.commit }
+
+// Log returns a copy of the node's full log.
+func (n *Node) Log() []Entry { return append([]Entry(nil), n.log...) }
+
+// Kill crashes the node (messages dropped, timers dead).
+func (n *Node) Kill() {
+	n.alive = false
+	n.timerEpoch++
+}
+
+// Revive restarts a crashed node as a follower (volatile state retained:
+// this models process restart with state recovery from peers).
+func (n *Node) Revive() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.role = follower
+	n.votes = 0
+	n.resetElectionTimer()
+}
+
+func (n *Node) majority() int { return len(n.c.nodes)/2 + 1 }
+
+func (n *Node) lastLogIndex() int { return len(n.log) - 1 }
+func (n *Node) lastLogTerm() uint64 {
+	if len(n.log) == 0 {
+		return 0
+	}
+	return n.log[len(n.log)-1].Term
+}
+
+func (n *Node) resetElectionTimer() {
+	n.timerEpoch++
+	epoch := n.timerEpoch
+	span := int64(n.c.electionMax - n.c.electionMin)
+	d := n.c.electionMin + netsim.Time(n.c.sim.Rand().Int63n(span))
+	n.c.sim.After(d, func() {
+		if n.alive && n.timerEpoch == epoch && n.role != leader {
+			n.startElection()
+		}
+	})
+}
+
+func (n *Node) startElection() {
+	n.role = candidate
+	n.term++
+	n.votedFor = n.id
+	n.votes = 1
+	for _, peer := range n.c.nodes {
+		if peer.id == n.id {
+			continue
+		}
+		n.c.send(peer.id, message{
+			kind: "vote-req", from: n.id, term: n.term,
+			lastLogIndex: n.lastLogIndex(), lastLogTerm: n.lastLogTerm(),
+		})
+	}
+	n.resetElectionTimer()
+}
+
+func (n *Node) becomeLeader() {
+	n.role = leader
+	n.nextIndex = make([]int, len(n.c.nodes))
+	n.matchIndex = make([]int, len(n.c.nodes))
+	for i := range n.nextIndex {
+		n.nextIndex[i] = len(n.log)
+		n.matchIndex[i] = -1
+	}
+	n.matchIndex[n.id] = n.lastLogIndex()
+	n.broadcastAppend()
+	n.heartbeatLoop()
+}
+
+func (n *Node) heartbeatLoop() {
+	n.timerEpoch++
+	epoch := n.timerEpoch
+	var tick func()
+	tick = func() {
+		if !n.alive || n.timerEpoch != epoch || n.role != leader {
+			return
+		}
+		n.broadcastAppend()
+		n.c.sim.After(n.c.heartbeat, tick)
+	}
+	n.c.sim.After(n.c.heartbeat, tick)
+}
+
+func (n *Node) broadcastAppend() {
+	for _, peer := range n.c.nodes {
+		if peer.id == n.id {
+			continue
+		}
+		n.sendAppend(peer.id)
+	}
+}
+
+func (n *Node) sendAppend(to int) {
+	next := n.nextIndex[to]
+	prevIdx := next - 1
+	var prevTerm uint64
+	if prevIdx >= 0 && prevIdx < len(n.log) {
+		prevTerm = n.log[prevIdx].Term
+	}
+	var entries []Entry
+	if next < len(n.log) {
+		entries = append([]Entry(nil), n.log[next:]...)
+	}
+	n.c.send(to, message{
+		kind: "append", from: n.id, term: n.term,
+		prevIndex: prevIdx, prevTerm: prevTerm,
+		entries: entries, commit: n.commit,
+	})
+}
+
+// Propose appends a command if this node is the leader. It returns the
+// assigned log index, or an error if not leader.
+func (n *Node) Propose(cmd Command) (int, error) {
+	if !n.alive {
+		return 0, fmt.Errorf("cluster: node %d is down", n.id)
+	}
+	if n.role != leader {
+		return 0, fmt.Errorf("cluster: node %d is not the leader", n.id)
+	}
+	n.log = append(n.log, Entry{Term: n.term, Cmd: cmd})
+	n.matchIndex[n.id] = n.lastLogIndex()
+	n.broadcastAppend()
+	return n.lastLogIndex(), nil
+}
+
+func (n *Node) stepDown(term uint64) {
+	n.term = term
+	n.role = follower
+	n.votedFor = -1
+	n.votes = 0
+	n.resetElectionTimer()
+}
+
+func (n *Node) receive(m message) {
+	if m.term > n.term {
+		n.stepDown(m.term)
+	}
+	switch m.kind {
+	case "vote-req":
+		grant := false
+		if m.term == n.term && (n.votedFor == -1 || n.votedFor == m.from) {
+			// Log up-to-date check.
+			if m.lastLogTerm > n.lastLogTerm() ||
+				(m.lastLogTerm == n.lastLogTerm() && m.lastLogIndex >= n.lastLogIndex()) {
+				grant = true
+				n.votedFor = m.from
+				n.resetElectionTimer()
+			}
+		}
+		n.c.send(m.from, message{kind: "vote-rep", from: n.id, term: n.term, granted: grant})
+
+	case "vote-rep":
+		if n.role != candidate || m.term != n.term {
+			return
+		}
+		if m.granted {
+			n.votes++
+			if n.votes >= n.majority() {
+				n.becomeLeader()
+			}
+		}
+
+	case "append":
+		if m.term < n.term {
+			n.c.send(m.from, message{kind: "append-rep", from: n.id, term: n.term, success: false})
+			return
+		}
+		// Valid leader for this term.
+		n.role = follower
+		n.resetElectionTimer()
+		// Log consistency check.
+		if m.prevIndex >= 0 {
+			if m.prevIndex >= len(n.log) || n.log[m.prevIndex].Term != m.prevTerm {
+				n.c.send(m.from, message{kind: "append-rep", from: n.id, term: n.term, success: false})
+				return
+			}
+		}
+		// Append/overwrite entries.
+		idx := m.prevIndex + 1
+		for i, e := range m.entries {
+			pos := idx + i
+			if pos < len(n.log) {
+				if n.log[pos].Term != e.Term {
+					n.log = n.log[:pos]
+					n.log = append(n.log, e)
+				}
+			} else {
+				n.log = append(n.log, e)
+			}
+		}
+		// Advance commit.
+		if m.commit > n.commit {
+			c := m.commit
+			if c > len(n.log) {
+				c = len(n.log)
+			}
+			n.advanceCommit(c)
+		}
+		n.c.send(m.from, message{
+			kind: "append-rep", from: n.id, term: n.term,
+			success: true, matchIdx: m.prevIndex + len(m.entries),
+		})
+
+	case "append-rep":
+		if n.role != leader || m.term != n.term {
+			return
+		}
+		if m.success {
+			if m.matchIdx > n.matchIndex[m.from] {
+				n.matchIndex[m.from] = m.matchIdx
+			}
+			n.nextIndex[m.from] = m.matchIdx + 1
+			n.maybeCommit()
+		} else {
+			if n.nextIndex[m.from] > 0 {
+				n.nextIndex[m.from]--
+			}
+			n.sendAppend(m.from)
+		}
+	}
+}
+
+// maybeCommit advances the leader's commit index to the highest index
+// replicated on a majority with an entry from the current term.
+func (n *Node) maybeCommit() {
+	for idx := len(n.log) - 1; idx >= n.commit; idx-- {
+		if n.log[idx].Term != n.term {
+			break
+		}
+		count := 0
+		for _, mi := range n.matchIndex {
+			if mi >= idx {
+				count++
+			}
+		}
+		if count >= n.majority() {
+			n.advanceCommit(idx + 1)
+			break
+		}
+	}
+}
+
+// advanceCommit sets commit = upTo (entry count) and applies newly
+// committed entries in order.
+func (n *Node) advanceCommit(upTo int) {
+	n.commit = upTo
+	for n.applied < n.commit {
+		e := n.log[n.applied]
+		if n.apply != nil {
+			n.apply(n.id, n.applied, e.Cmd)
+		}
+		n.applied++
+	}
+}

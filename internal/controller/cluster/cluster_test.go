@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flexnet/internal/netsim"
+)
+
+// applied records per-node applied commands for consistency checks.
+type applied struct {
+	perNode map[int][]Command
+}
+
+func newApplied() *applied { return &applied{perNode: map[int][]Command{}} }
+
+func (a *applied) apply(node, idx int, cmd Command) {
+	a.perNode[node] = append(a.perNode[node], cmd)
+}
+
+// prefixConsistent verifies all nodes applied identical prefixes.
+func (a *applied) prefixConsistent() error {
+	var longest []Command
+	for _, cmds := range a.perNode {
+		if len(cmds) > len(longest) {
+			longest = cmds
+		}
+	}
+	for node, cmds := range a.perNode {
+		for i, c := range cmds {
+			if longest[i] != c {
+				return fmt.Errorf("node %d diverges at %d: %+v vs %+v", node, i, c, longest[i])
+			}
+		}
+	}
+	return nil
+}
+
+func settle(sim *netsim.Sim, d time.Duration) { sim.RunFor(d) }
+
+func TestLeaderElection(t *testing.T) {
+	sim := netsim.New(1)
+	a := newApplied()
+	c := New(sim, 5, a.apply)
+	settle(sim, 2*time.Second)
+	ld := c.Leader()
+	if ld < 0 {
+		t.Fatal("no leader elected")
+	}
+	// Exactly one leader.
+	leaders := 0
+	for i := 0; i < 5; i++ {
+		if c.Node(i).Role() == "leader" && c.Node(i).Alive() {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders", leaders)
+	}
+}
+
+func TestReplicationAndApply(t *testing.T) {
+	sim := netsim.New(2)
+	a := newApplied()
+	c := New(sim, 3, a.apply)
+	settle(sim, 2*time.Second)
+	ld := c.Leader()
+	if ld < 0 {
+		t.Fatal("no leader")
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Node(ld).Propose(Command{Kind: "deploy", URI: fmt.Sprintf("flexnet://t/app%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(sim, time.Second)
+	for i := 0; i < 3; i++ {
+		if got := len(a.perNode[i]); got != 10 {
+			t.Fatalf("node %d applied %d/10", i, got)
+		}
+	}
+	if err := a.prefixConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProposeOnFollowerRejected(t *testing.T) {
+	sim := netsim.New(3)
+	c := New(sim, 3, nil)
+	settle(sim, 2*time.Second)
+	ld := c.Leader()
+	for i := 0; i < 3; i++ {
+		if i == ld {
+			continue
+		}
+		if _, err := c.Node(i).Propose(Command{Kind: "x"}); err == nil {
+			t.Fatalf("follower %d accepted a proposal", i)
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	sim := netsim.New(4)
+	a := newApplied()
+	c := New(sim, 5, a.apply)
+	settle(sim, 2*time.Second)
+	ld1 := c.Leader()
+	if ld1 < 0 {
+		t.Fatal("no initial leader")
+	}
+	// Commit some entries, then crash the leader.
+	for i := 0; i < 5; i++ {
+		c.Node(ld1).Propose(Command{Kind: "deploy", URI: fmt.Sprintf("a%d", i)})
+	}
+	settle(sim, time.Second)
+	c.Node(ld1).Kill()
+	settle(sim, 2*time.Second)
+	ld2 := c.Leader()
+	if ld2 < 0 || ld2 == ld1 {
+		t.Fatalf("failover failed: leader %d → %d", ld1, ld2)
+	}
+	// New leader accepts and commits more entries.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Node(ld2).Propose(Command{Kind: "deploy", URI: fmt.Sprintf("b%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	settle(sim, time.Second)
+	// Every live node applied all 10.
+	for i := 0; i < 5; i++ {
+		if i == ld1 {
+			continue
+		}
+		if got := len(a.perNode[i]); got != 10 {
+			t.Fatalf("node %d applied %d/10 after failover", i, got)
+		}
+	}
+	if err := a.prefixConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashedNodeCatchesUpOnRevive(t *testing.T) {
+	sim := netsim.New(5)
+	a := newApplied()
+	c := New(sim, 3, a.apply)
+	settle(sim, 2*time.Second)
+	ld := c.Leader()
+	victim := (ld + 1) % 3
+	c.Node(victim).Kill()
+	for i := 0; i < 8; i++ {
+		c.Node(ld).Propose(Command{Kind: "op", URI: fmt.Sprintf("x%d", i)})
+	}
+	settle(sim, time.Second)
+	if len(a.perNode[victim]) != 0 {
+		t.Fatal("dead node applied entries")
+	}
+	c.Node(victim).Revive()
+	settle(sim, 2*time.Second)
+	if got := len(a.perNode[victim]); got != 8 {
+		t.Fatalf("revived node applied %d/8", got)
+	}
+	if err := a.prefixConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinorityCannotCommit(t *testing.T) {
+	sim := netsim.New(6)
+	a := newApplied()
+	c := New(sim, 5, a.apply)
+	settle(sim, 2*time.Second)
+	ld := c.Leader()
+	// Kill 3 of 5 (majority gone), leaving the leader + 1.
+	killed := 0
+	for i := 0; i < 5 && killed < 3; i++ {
+		if i != ld {
+			c.Node(i).Kill()
+			killed++
+		}
+	}
+	c.Node(ld).Propose(Command{Kind: "op", URI: "doomed"})
+	settle(sim, 2*time.Second)
+	for i := 0; i < 5; i++ {
+		for _, cmd := range a.perNode[i] {
+			if cmd.URI == "doomed" {
+				t.Fatal("minority committed an entry")
+			}
+		}
+	}
+}
+
+func TestDeterministicElections(t *testing.T) {
+	run := func() (int, uint64) {
+		sim := netsim.New(77)
+		c := New(sim, 5, nil)
+		settle(sim, 3*time.Second)
+		ld := c.Leader()
+		if ld < 0 {
+			t.Fatal("no leader")
+		}
+		return ld, c.Node(ld).Term()
+	}
+	l1, t1 := run()
+	l2, t2 := run()
+	if l1 != l2 || t1 != t2 {
+		t.Fatalf("non-deterministic election: (%d,%d) vs (%d,%d)", l1, t1, l2, t2)
+	}
+}

@@ -1,0 +1,542 @@
+// Package controller implements FlexNet's central controller (§3.4
+// "Real-time Network Control"): it pilots a runtime-programmable fabric
+// with *app-level* abstractions — applications are named by URIs and
+// managed as first-class objects (deploy, remove, migrate, scale,
+// query), with the translation into low-level device operations
+// (program installs, table entries, parser edits) done automatically.
+//
+// It also implements the paper's multi-tenant scenario (§3): tenants are
+// admitted with a VLAN allocation; their extension programs are isolated
+// by VLAN filters; departures trigger program removal and resource
+// reclamation.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexnet/internal/compiler"
+	"flexnet/internal/fabric"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/migrate"
+	"flexnet/internal/netsim"
+	"flexnet/internal/packet"
+	"flexnet/internal/runtime"
+)
+
+// AppStatus is an application's lifecycle state.
+type AppStatus uint8
+
+// Application states.
+const (
+	StatusDeploying AppStatus = iota
+	StatusRunning
+	StatusMigrating
+	StatusRemoving
+	StatusFailed
+)
+
+func (s AppStatus) String() string {
+	switch s {
+	case StatusDeploying:
+		return "deploying"
+	case StatusRunning:
+		return "running"
+	case StatusMigrating:
+		return "migrating"
+	case StatusRemoving:
+		return "removing"
+	case StatusFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// App is a managed application: a datapath deployed under a URI handle.
+type App struct {
+	// URI names the app ("flexnet://tenant-a/syn-defense").
+	URI string
+	// Tenant is the owning tenant ("" = infrastructure).
+	Tenant string
+	// Datapath is the logical program chain.
+	Datapath *flexbpf.Datapath
+	// Plan is the current placement.
+	Plan *compiler.Plan
+	// Replicas maps segment name → devices hosting replicas (the first
+	// is the primary from Plan; extras come from ScaleOut).
+	Replicas map[string][]string
+	Status   AppStatus
+}
+
+// instanceName is the device-level program name for an app segment.
+func instanceName(uri, segment string) string {
+	return uri + "#" + segment
+}
+
+// Tenant is an admitted tenant with its isolation VLAN.
+type Tenant struct {
+	Name string
+	VLAN uint64
+	Apps []string
+}
+
+// Controller pilots one fabric.
+type Controller struct {
+	fab  *fabric.Fabric
+	eng  *runtime.Engine
+	comp *compiler.Compiler
+	mig  *migrate.Migrator
+
+	apps    map[string]*App
+	tenants map[string]*Tenant
+	targets map[string]*compiler.DeviceTarget
+	// nextVLAN allocates tenant VLANs.
+	nextVLAN uint64
+
+	// Punts receives packets the data plane sends to the controller.
+	Punts []PuntRecord
+	// OnPunt, when set, is called for each punted packet.
+	OnPunt func(dev string, pkt *packet.Packet)
+}
+
+// PuntRecord is one packet punted to the controller.
+type PuntRecord struct {
+	Device string
+	At     netsim.Time
+	FlowID uint64
+}
+
+// New creates a controller over the fabric.
+func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *Controller {
+	c := &Controller{
+		fab:      fab,
+		eng:      eng,
+		comp:     compiler.New(strategy),
+		mig:      migrate.New(fab, eng),
+		apps:     map[string]*App{},
+		tenants:  map[string]*Tenant{},
+		targets:  map[string]*compiler.DeviceTarget{},
+		nextVLAN: 100,
+	}
+	for _, name := range fab.Devices() {
+		c.targets[name] = compiler.NewDeviceTarget(fab.Device(name))
+	}
+	c.mig.Flip = func(prog, src, dst string) {
+		// Migration flip: the source instance is removed; traffic
+		// reaching dst is processed by the new instance.
+		_ = fab.Device(src).RemoveProgram(prog)
+	}
+	fab.Punted = func(dev string, pkt *packet.Packet) {
+		c.Punts = append(c.Punts, PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
+		if c.OnPunt != nil {
+			c.OnPunt(dev, pkt)
+		}
+	}
+	return c
+}
+
+// Compiler exposes the placement compiler (for strategy tweaks).
+func (c *Controller) Compiler() *compiler.Compiler { return c.comp }
+
+// Migrator exposes the migrator.
+func (c *Controller) Migrator() *migrate.Migrator { return c.mig }
+
+// ValidURI checks the app URI shape: flexnet://<owner>/<name>.
+func ValidURI(uri string) bool {
+	if !strings.HasPrefix(uri, "flexnet://") {
+		return false
+	}
+	rest := strings.TrimPrefix(uri, "flexnet://")
+	parts := strings.Split(rest, "/")
+	return len(parts) == 2 && parts[0] != "" && parts[1] != ""
+}
+
+// AddTenant admits a tenant and allocates its isolation VLAN.
+func (c *Controller) AddTenant(name string) (*Tenant, error) {
+	if _, dup := c.tenants[name]; dup {
+		return nil, fmt.Errorf("controller: tenant %q already admitted", name)
+	}
+	t := &Tenant{Name: name, VLAN: c.nextVLAN}
+	c.nextVLAN++
+	c.tenants[name] = t
+	return t, nil
+}
+
+// Tenant returns an admitted tenant, or nil.
+func (c *Controller) Tenant(name string) *Tenant { return c.tenants[name] }
+
+// RemoveTenant removes a tenant and all of its apps, reclaiming their
+// resources (§1.1 "Tenant departures trigger program removal to trim the
+// network and release unused resources"). done fires when all removals
+// committed.
+func (c *Controller) RemoveTenant(name string, done func(error)) {
+	t := c.tenants[name]
+	if t == nil {
+		done(fmt.Errorf("controller: no tenant %q", name))
+		return
+	}
+	uris := append([]string(nil), t.Apps...)
+	remaining := len(uris)
+	if remaining == 0 {
+		delete(c.tenants, name)
+		done(nil)
+		return
+	}
+	var firstErr error
+	for _, uri := range uris {
+		c.Remove(uri, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			remaining--
+			if remaining == 0 {
+				delete(c.tenants, name)
+				done(firstErr)
+			}
+		})
+	}
+}
+
+// DeployOptions tunes a deployment.
+type DeployOptions struct {
+	// Path restricts placement to these devices in traffic order
+	// (nil = any device).
+	Path []string
+	// Tenant attributes the app and applies VLAN isolation filters.
+	Tenant string
+}
+
+// Deploy compiles and installs an app's datapath under the URI handle.
+// done receives the final error (nil on success) after all devices
+// commit.
+func (c *Controller) Deploy(uri string, dp *flexbpf.Datapath, opts DeployOptions, done func(error)) {
+	fail := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if !ValidURI(uri) {
+		fail(fmt.Errorf("controller: malformed app URI %q", uri))
+		return
+	}
+	if _, dup := c.apps[uri]; dup {
+		fail(fmt.Errorf("controller: app %q already deployed", uri))
+		return
+	}
+	var filter *flexbpf.Cond
+	if opts.Tenant != "" {
+		t := c.tenants[opts.Tenant]
+		if t == nil {
+			fail(fmt.Errorf("controller: tenant %q not admitted", opts.Tenant))
+			return
+		}
+		filter = &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
+	}
+
+	// Compile against current device state.
+	targets := c.targetList(opts.Path)
+	plan, err := c.comp.Compile(dp, targets, opts.Path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := compiler.CheckSLA(plan, dp); err != nil {
+		fail(err)
+		return
+	}
+
+	app := &App{
+		URI:      uri,
+		Tenant:   opts.Tenant,
+		Datapath: dp,
+		Plan:     plan,
+		Replicas: map[string][]string{},
+		Status:   StatusDeploying,
+	}
+	c.apps[uri] = app
+	if opts.Tenant != "" {
+		t := c.tenants[opts.Tenant]
+		t.Apps = append(t.Apps, uri)
+	}
+
+	// Translate the plan into per-device runtime changes.
+	nc := &runtime.NetworkChange{Mode: runtime.ConsistencySimultaneous}
+	byDevice := map[string]*runtime.Change{}
+	for _, a := range plan.Assignments {
+		seg := dp.Segment(a.Segment)
+		prog := seg.Clone()
+		prog.Name = instanceName(uri, a.Segment)
+		ch := byDevice[a.Device]
+		if ch == nil {
+			ch = &runtime.Change{Device: c.fab.Device(a.Device)}
+			byDevice[a.Device] = ch
+			nc.Changes = append(nc.Changes, ch)
+		}
+		ch.Installs = append(ch.Installs, runtime.Install{Program: prog, Filter: filter})
+		app.Replicas[a.Segment] = []string{a.Device}
+	}
+	c.eng.ApplyNetworkRuntime(nc, func(total netsim.Time, errs []error) {
+		if len(errs) > 0 {
+			// Release the URI so a corrected deployment can retry.
+			app.Status = StatusFailed
+			delete(c.apps, uri)
+			if opts.Tenant != "" {
+				if t := c.tenants[opts.Tenant]; t != nil {
+					for i, u := range t.Apps {
+						if u == uri {
+							t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			fail(errs[0])
+			return
+		}
+		app.Status = StatusRunning
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// targetList returns compile targets, restricted to path when given.
+func (c *Controller) targetList(path []string) []compiler.Target {
+	var names []string
+	if path != nil {
+		names = path
+	} else {
+		names = c.fab.Devices()
+	}
+	var out []compiler.Target
+	for _, n := range names {
+		if t, ok := c.targets[n]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// App returns the app registered under uri, or nil.
+func (c *Controller) App(uri string) *App { return c.apps[uri] }
+
+// Apps returns deployed URIs in sorted order.
+func (c *Controller) Apps() []string {
+	out := make([]string, 0, len(c.apps))
+	for u := range c.apps {
+		out = append(out, u)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove uninstalls an app everywhere and releases its resources.
+func (c *Controller) Remove(uri string, done func(error)) {
+	app := c.apps[uri]
+	if app == nil {
+		if done != nil {
+			done(fmt.Errorf("controller: no app %q", uri))
+		}
+		return
+	}
+	app.Status = StatusRemoving
+	nc := &runtime.NetworkChange{Mode: runtime.ConsistencySimultaneous}
+	byDevice := map[string]*runtime.Change{}
+	for seg, devs := range app.Replicas {
+		for _, dev := range devs {
+			ch := byDevice[dev]
+			if ch == nil {
+				ch = &runtime.Change{Device: c.fab.Device(dev)}
+				byDevice[dev] = ch
+				nc.Changes = append(nc.Changes, ch)
+			}
+			ch.Removes = append(ch.Removes, instanceName(uri, seg))
+		}
+	}
+	c.eng.ApplyNetworkRuntime(nc, func(total netsim.Time, errs []error) {
+		delete(c.apps, uri)
+		if app.Tenant != "" {
+			if t := c.tenants[app.Tenant]; t != nil {
+				for i, u := range t.Apps {
+					if u == uri {
+						t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		if done != nil {
+			if len(errs) > 0 {
+				done(errs[0])
+			} else {
+				done(nil)
+			}
+		}
+	})
+}
+
+// ScaleOut installs an additional replica of an app segment on a device
+// (elastic defenses, §1.1: defenses "dynamically scale in and out based
+// on attack traffic volume").
+func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
+	app := c.apps[uri]
+	fail := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if app == nil {
+		fail(fmt.Errorf("controller: no app %q", uri))
+		return
+	}
+	seg := app.Datapath.Segment(segment)
+	if seg == nil {
+		fail(fmt.Errorf("controller: app %q has no segment %q", uri, segment))
+		return
+	}
+	for _, d := range app.Replicas[segment] {
+		if d == device {
+			fail(fmt.Errorf("controller: %q already replicated on %s", uri, device))
+			return
+		}
+	}
+	var filter *flexbpf.Cond
+	if app.Tenant != "" {
+		if t := c.tenants[app.Tenant]; t != nil {
+			filter = &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
+		}
+	}
+	prog := seg.Clone()
+	prog.Name = instanceName(uri, segment)
+	c.eng.ApplyRuntime(&runtime.Change{
+		Device:   c.fab.Device(device),
+		Installs: []runtime.Install{{Program: prog, Filter: filter}},
+	}, func(r runtime.Result) {
+		if r.Err != nil {
+			fail(r.Err)
+			return
+		}
+		app.Replicas[segment] = append(app.Replicas[segment], device)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// ScaleIn removes a replica from a device.
+func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
+	app := c.apps[uri]
+	fail := func(err error) {
+		if done != nil {
+			done(err)
+		}
+	}
+	if app == nil {
+		fail(fmt.Errorf("controller: no app %q", uri))
+		return
+	}
+	devs := app.Replicas[segment]
+	idx := -1
+	for i, d := range devs {
+		if d == device {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		fail(fmt.Errorf("controller: %q segment %q has no replica on %s", uri, segment, device))
+		return
+	}
+	if len(devs) == 1 {
+		fail(fmt.Errorf("controller: refusing to remove the last replica of %q/%q", uri, segment))
+		return
+	}
+	c.eng.ApplyRuntime(&runtime.Change{
+		Device:  c.fab.Device(device),
+		Removes: []string{instanceName(uri, segment)},
+	}, func(r runtime.Result) {
+		if r.Err != nil {
+			fail(r.Err)
+			return
+		}
+		app.Replicas[segment] = append(devs[:idx], devs[idx+1:]...)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// Migrate moves an app segment between devices using data-plane state
+// migration (useDataPlane) or the control-plane baseline.
+func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done func(migrate.Report)) {
+	app := c.apps[uri]
+	if app == nil {
+		done(migrate.Report{Err: fmt.Errorf("controller: no app %q", uri)})
+		return
+	}
+	devs := app.Replicas[segment]
+	if len(devs) == 0 {
+		done(migrate.Report{Err: fmt.Errorf("controller: app %q segment %q not placed", uri, segment)})
+		return
+	}
+	src := devs[0]
+	app.Status = StatusMigrating
+	prog := instanceName(uri, segment)
+	finish := func(rep migrate.Report) {
+		if rep.Err == nil {
+			app.Replicas[segment][0] = dst
+		}
+		app.Status = StatusRunning
+		done(rep)
+	}
+	if useDataPlane {
+		c.mig.DataPlane(prog, src, dst, finish)
+	} else {
+		c.mig.ControlPlane(prog, src, dst, finish)
+	}
+}
+
+// Resources reports per-device free resources and fungibility — the
+// network-wide resource view the compiler plans against.
+type Resources struct {
+	Device      string
+	Free        flexbpf.Demand
+	Fungibility float64
+	Programs    []string
+}
+
+// ResourceView returns the global resource table, sorted by device.
+func (c *Controller) ResourceView() []Resources {
+	var out []Resources
+	for _, name := range c.fab.Devices() {
+		d := c.fab.Device(name)
+		out = append(out, Resources{
+			Device:      name,
+			Free:        d.Free(),
+			Fungibility: d.Fungibility(),
+			Programs:    d.Programs(),
+		})
+	}
+	return out
+}
+
+// MarkRemovable flags an app as reclaimable by the fungible compiler:
+// its device placements become garbage-collection candidates.
+func (c *Controller) MarkRemovable(uri string) error {
+	app := c.apps[uri]
+	if app == nil {
+		return fmt.Errorf("controller: no app %q", uri)
+	}
+	for seg, devs := range app.Replicas {
+		for _, dev := range devs {
+			if t := c.targets[dev]; t != nil {
+				if err := t.MarkRemovable(instanceName(uri, seg)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flexnet/internal/apps"
+	"flexnet/internal/compiler"
+	"flexnet/internal/dataplane"
+	"flexnet/internal/fabric"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/migrate"
+	"flexnet/internal/netsim"
+	"flexnet/internal/packet"
+	"flexnet/internal/runtime"
+)
+
+// testbed: h1 — s1 — s2 — h2 with two switches and a host-capable NIC.
+func testbed(t *testing.T) (*fabric.Fabric, *Controller) {
+	t.Helper()
+	f := fabric.New(11)
+	f.AddSwitch("s1", dataplane.ArchDRMT)
+	f.AddSwitch("s2", dataplane.ArchRMT)
+	f.AddSwitch("nic1", dataplane.ArchSoC)
+	f.AddHost("h1", packet.IP(10, 0, 0, 1))
+	f.AddHost("h2", packet.IP(10, 0, 0, 2))
+	f.Connect("h1", "nic1", netsim.DefaultLink())
+	f.Connect("nic1", "s1", netsim.DefaultLink())
+	f.Connect("s1", "s2", netsim.DefaultLink())
+	f.Connect("s2", "h2", netsim.DefaultLink())
+	if _, err := f.EnableDRPC("s1", packet.IP(172, 16, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EnableDRPC("s2", packet.IP(172, 16, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.InstallBaseRouting(); err != nil {
+		t.Fatal(err)
+	}
+	eng := runtime.NewEngine(f.Sim, runtime.DefaultCosts())
+	return f, New(f, eng, compiler.StrategyFungible)
+}
+
+func deploy(t *testing.T, f *fabric.Fabric, c *Controller, uri string, dp *flexbpf.Datapath, opts DeployOptions) {
+	t.Helper()
+	var err error
+	doneAt := netsim.Time(0)
+	c.Deploy(uri, dp, opts, func(e error) { err = e; doneAt = f.Sim.Now() })
+	f.Sim.RunFor(2 * time.Second)
+	if doneAt == 0 {
+		t.Fatalf("deploy %s never completed", uri)
+	}
+	if err != nil {
+		t.Fatalf("deploy %s: %v", uri, err)
+	}
+}
+
+func TestValidURI(t *testing.T) {
+	good := []string{"flexnet://infra/routing", "flexnet://t1/syn-defense"}
+	bad := []string{"", "http://x/y", "flexnet://", "flexnet://a", "flexnet://a/b/c"}
+	for _, u := range good {
+		if !ValidURI(u) {
+			t.Errorf("ValidURI(%q) = false", u)
+		}
+	}
+	for _, u := range bad {
+		if ValidURI(u) {
+			t.Errorf("ValidURI(%q) = true", u)
+		}
+	}
+}
+
+func TestDeployAndRemove(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{
+		Name:     "mon",
+		Segments: []*flexbpf.Program{apps.HeavyHitter("hh", 2, 256, 1000)},
+	}
+	deploy(t, f, c, "flexnet://infra/monitor", dp, DeployOptions{})
+
+	app := c.App("flexnet://infra/monitor")
+	if app == nil || app.Status != StatusRunning {
+		t.Fatalf("app = %+v", app)
+	}
+	dev := app.Replicas["hh"][0]
+	if f.Device(dev).Instance("flexnet://infra/monitor#hh") == nil {
+		t.Fatalf("program not installed on %s", dev)
+	}
+
+	var rmErr error
+	removed := false
+	c.Remove("flexnet://infra/monitor", func(e error) { rmErr = e; removed = true })
+	f.Sim.RunFor(2 * time.Second)
+	if !removed || rmErr != nil {
+		t.Fatalf("remove: %v (done=%v)", rmErr, removed)
+	}
+	if f.Device(dev).Instance("flexnet://infra/monitor#hh") != nil {
+		t.Fatal("program still installed after removal")
+	}
+	if c.App("flexnet://infra/monitor") != nil {
+		t.Fatal("app still registered")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "x", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 64, 5)}}
+	var err error
+	c.Deploy("not-a-uri", dp, DeployOptions{}, func(e error) { err = e })
+	if err == nil {
+		t.Fatal("malformed URI accepted")
+	}
+	c.Deploy("flexnet://t/unknown-tenant", dp, DeployOptions{Tenant: "ghost"}, func(e error) { err = e })
+	if err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+	deploy(t, f, c, "flexnet://infra/sd", dp, DeployOptions{})
+	c.Deploy("flexnet://infra/sd", dp.Clone(), DeployOptions{}, func(e error) { err = e })
+	if err == nil {
+		t.Fatal("duplicate URI accepted")
+	}
+}
+
+func TestTenantIsolationDeployment(t *testing.T) {
+	f, c := testbed(t)
+	tn, err := c.AddTenant("acme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddTenant("acme"); err == nil {
+		t.Fatal("duplicate tenant admitted")
+	}
+	dp := &flexbpf.Datapath{Name: "sd", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 128, 3)}}
+	deploy(t, f, c, "flexnet://acme/sd", dp, DeployOptions{Tenant: "acme", Path: []string{"s1"}})
+
+	// The tenant's defense applies only to its VLAN.
+	s1 := f.Device("s1")
+	var seq uint64
+	mk := func(vlan uint64, i int) *packet.Packet {
+		b := packet.NewBuilder(&seq).Eth(1, 2)
+		if vlan != 0 {
+			b = b.VLAN(vlan)
+		}
+		return b.IPv4(packet.IP(66, 0, 0, 1), packet.IP(10, 0, 0, 2)).
+			TCP(uint16(i), 80, packet.TCPSyn).Build()
+	}
+	drops := 0
+	for i := 0; i < 10; i++ {
+		if st := s1.Process(mk(tn.VLAN, i)); st.Verdict == packet.VerdictDrop {
+			drops++
+		}
+	}
+	if drops == 0 {
+		t.Fatal("tenant defense never fired in its VLAN")
+	}
+	for i := 0; i < 10; i++ {
+		if st := s1.Process(mk(999, i)); st.Verdict == packet.VerdictDrop {
+			t.Fatal("tenant defense fired outside its VLAN")
+		}
+	}
+}
+
+func TestRemoveTenantReclaimsResources(t *testing.T) {
+	f, c := testbed(t)
+	if _, err := c.AddTenant("acme"); err != nil {
+		t.Fatal(err)
+	}
+	free0 := f.Device("s1").Free()
+	dp1 := &flexbpf.Datapath{Name: "a", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 128, 3)}}
+	dp2 := &flexbpf.Datapath{Name: "b", Segments: []*flexbpf.Program{apps.HeavyHitter("hh", 2, 128, 100)}}
+	deploy(t, f, c, "flexnet://acme/a", dp1, DeployOptions{Tenant: "acme", Path: []string{"s1"}})
+	deploy(t, f, c, "flexnet://acme/b", dp2, DeployOptions{Tenant: "acme", Path: []string{"s1"}})
+	if f.Device("s1").Free() == free0 {
+		t.Fatal("deployments consumed nothing")
+	}
+	var rmErr error
+	done := false
+	c.RemoveTenant("acme", func(e error) { rmErr = e; done = true })
+	f.Sim.RunFor(2 * time.Second)
+	if !done || rmErr != nil {
+		t.Fatalf("remove tenant: %v done=%v", rmErr, done)
+	}
+	if f.Device("s1").Free() != free0 {
+		t.Fatalf("resources not reclaimed: %v != %v", f.Device("s1").Free(), free0)
+	}
+	if c.Tenant("acme") != nil {
+		t.Fatal("tenant still admitted")
+	}
+}
+
+func TestScaleOutIn(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "sd", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 128, 3)}}
+	deploy(t, f, c, "flexnet://infra/sd", dp, DeployOptions{Path: []string{"s1"}})
+
+	var err error
+	c.ScaleOut("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err != nil {
+		t.Fatalf("scale out: %v", err)
+	}
+	app := c.App("flexnet://infra/sd")
+	if len(app.Replicas["sd"]) != 2 {
+		t.Fatalf("replicas = %v", app.Replicas)
+	}
+	if f.Device("s2").Instance("flexnet://infra/sd#sd") == nil {
+		t.Fatal("replica not installed on s2")
+	}
+
+	// Duplicate replica refused.
+	c.ScaleOut("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err == nil {
+		t.Fatal("duplicate replica accepted")
+	}
+
+	// Scale in back to one.
+	c.ScaleIn("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err != nil {
+		t.Fatalf("scale in: %v", err)
+	}
+	if f.Device("s2").Instance("flexnet://infra/sd#sd") != nil {
+		t.Fatal("replica still installed")
+	}
+	// Refuse removing the last replica.
+	c.ScaleIn("flexnet://infra/sd", "sd", "s1", func(e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err == nil || !strings.Contains(err.Error(), "last replica") {
+		t.Fatalf("last replica removed: %v", err)
+	}
+}
+
+func TestControllerMigrate(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "mon", Segments: []*flexbpf.Program{apps.HeavyHitter("hh", 2, 128, 1<<60)}}
+	deploy(t, f, c, "flexnet://infra/mon", dp, DeployOptions{Path: []string{"s1"}})
+
+	// Drive some traffic so there is state.
+	h1 := f.Host("h1")
+	src := h1.NewSource(netsim.FlowSpec{Dst: packet.IP(10, 0, 0, 2), Proto: packet.ProtoTCP, SrcPort: 1, DstPort: 80, PacketLen: 100})
+	src.StartCBR(20000)
+	f.Sim.RunFor(50 * time.Millisecond)
+
+	var rep migrateReport
+	c.Migrate("flexnet://infra/mon", "hh", "s2", true, func(r migrate.Report) { rep = migrateReport{r.LostUpdates, r.Err} })
+	f.Sim.RunFor(2 * time.Second)
+	src.Stop()
+	if rep.err != nil {
+		t.Fatalf("migrate: %v", rep.err)
+	}
+	if rep.lost != 0 {
+		t.Fatalf("lost %d updates", rep.lost)
+	}
+	app := c.App("flexnet://infra/mon")
+	if app.Replicas["hh"][0] != "s2" {
+		t.Fatalf("replica registry not updated: %v", app.Replicas)
+	}
+	if f.Device("s1").Instance("flexnet://infra/mon#hh") != nil {
+		t.Fatal("source instance survived migration")
+	}
+	if f.Device("s2").Instance("flexnet://infra/mon#hh") == nil {
+		t.Fatal("destination instance missing")
+	}
+}
+
+type migrateReport struct {
+	lost uint64
+	err  error
+}
+
+func TestResourceViewAndMarkRemovable(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "sd", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 128, 3)}}
+	deploy(t, f, c, "flexnet://infra/sd", dp, DeployOptions{Path: []string{"s1"}})
+
+	view := c.ResourceView()
+	if len(view) != 3 {
+		t.Fatalf("view = %d devices", len(view))
+	}
+	for _, r := range view {
+		if r.Device == "s1" && len(r.Programs) < 2 { // routing + sd
+			t.Fatalf("s1 programs = %v", r.Programs)
+		}
+	}
+	if err := c.MarkRemovable("flexnet://infra/sd"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkRemovable("flexnet://ghost/x"); err == nil {
+		t.Fatal("marked unknown app removable")
+	}
+}
+
+func TestPuntsReachController(t *testing.T) {
+	f, c := testbed(t)
+	// HeavyHitter with threshold 10 punts the heavy flow once.
+	dp := &flexbpf.Datapath{Name: "mon", Segments: []*flexbpf.Program{apps.HeavyHitter("hh", 2, 128, 10)}}
+	deploy(t, f, c, "flexnet://infra/mon", dp, DeployOptions{Path: []string{"s1"}})
+	h1 := f.Host("h1")
+	src := h1.NewSource(netsim.FlowSpec{Dst: packet.IP(10, 0, 0, 2), Proto: packet.ProtoTCP, SrcPort: 7, DstPort: 80, PacketLen: 100})
+	src.StartCBR(10000)
+	f.Sim.RunFor(100 * time.Millisecond)
+	src.Stop()
+	if len(c.Punts) != 1 {
+		t.Fatalf("punts = %d, want 1", len(c.Punts))
+	}
+	if c.Punts[0].Device != "s1" {
+		t.Fatalf("punt from %s", c.Punts[0].Device)
+	}
+}

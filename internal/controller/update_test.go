@@ -1,0 +1,133 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flexnet/internal/apps"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/flexbpf/delta"
+	"flexnet/internal/packet"
+)
+
+func TestUpdateAppHotPatch(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "d", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 256, 5)}}
+	deploy(t, f, c, "flexnet://infra/d", dp, DeployOptions{Path: []string{"s1"}})
+
+	// Warm some state: 4 SYNs from one source (below threshold 5).
+	dev := f.Device("s1")
+	for i := 0; i < 4; i++ {
+		p := packet.TCPPacket(uint64(i), packet.IP(9, 9, 9, 9), packet.IP(10, 0, 0, 2), uint16(i), 80, packet.TCPSyn, 0)
+		dev.Process(p)
+	}
+
+	// The upgrade: grow the tracking map 256 → 1024 — a capacity bump
+	// applied to the live program with its state carried across.
+	grow := &delta.Delta{Name: "grow", Ops: []delta.Op{
+		{RemoveMaps: "sd_syn"},
+		{AddMap: &flexbpf.MapSpec{Name: "sd_syn", Kind: flexbpf.MapLRU, MaxEntries: 1024, ValueBits: 32, Shared: true}},
+	}}
+	var rep *delta.Report
+	var err error
+	c.UpdateApp("flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { rep, err = r, e })
+	f.Sim.RunFor(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil || len(rep.MapsRemoved) != 1 || len(rep.MapsAdded) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	inst := dev.Instance("flexnet://infra/d#sd")
+	if inst == nil {
+		t.Fatal("instance gone after update")
+	}
+	// The new map is bigger AND kept the old state (4 SYNs tracked).
+	m := inst.Store().Map("sd_syn")
+	if v, ok := m.Load(uint64(packet.IP(9, 9, 9, 9))); !ok || v != 4 {
+		t.Fatalf("state lost across update: v=%d ok=%v", v, ok)
+	}
+	// Behaviour continuity: the 5th SYN passes, the 6th drops.
+	p5 := packet.TCPPacket(10, packet.IP(9, 9, 9, 9), packet.IP(10, 0, 0, 2), 99, 80, packet.TCPSyn, 0)
+	if st := dev.Process(p5); st.Verdict == packet.VerdictDrop {
+		t.Fatal("5th SYN dropped (threshold state corrupted)")
+	}
+	p6 := packet.TCPPacket(11, packet.IP(9, 9, 9, 9), packet.IP(10, 0, 0, 2), 100, 80, packet.TCPSyn, 0)
+	if st := dev.Process(p6); st.Verdict != packet.VerdictDrop {
+		t.Fatal("6th SYN passed (update lost the counting logic)")
+	}
+}
+
+func TestUpdateAppErrors(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "d", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 256, 5)}}
+	deploy(t, f, c, "flexnet://infra/d", dp, DeployOptions{Path: []string{"s1"}})
+
+	var err error
+	c.UpdateApp("flexnet://ghost/x", "sd", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
+	if err == nil {
+		t.Fatal("update of unknown app succeeded")
+	}
+	c.UpdateApp("flexnet://infra/d", "nope", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
+	if err == nil {
+		t.Fatal("update of unknown segment succeeded")
+	}
+	// A delta that breaks verification is rejected before touching devices.
+	bad := &delta.Delta{Name: "bad", Ops: []delta.Op{{RemoveMaps: "sd_syn"}}}
+	c.UpdateApp("flexnet://infra/d", "sd", bad, func(r *delta.Report, e error) { err = e })
+	if err == nil || !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("unverifiable delta accepted: %v", err)
+	}
+	// Device unchanged.
+	if f.Device("s1").Instance("flexnet://infra/d#sd") == nil {
+		t.Fatal("instance disturbed by rejected delta")
+	}
+}
+
+func TestUpdateAppAcrossReplicas(t *testing.T) {
+	f, c := testbed(t)
+	dp := &flexbpf.Datapath{Name: "d", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 256, 5)}}
+	deploy(t, f, c, "flexnet://infra/d", dp, DeployOptions{Path: []string{"s1"}})
+	var err error
+	c.ScaleOut("flexnet://infra/d", "sd", "s2", func(e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grow := &delta.Delta{Name: "grow", Ops: []delta.Op{
+		{ResizeTables: "nonexistent*"},
+	}}
+	// Resize with no match errors (both replicas untouched).
+	c.UpdateApp("flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err == nil {
+		t.Fatal("no-match delta accepted")
+	}
+
+	ok := &delta.Delta{Name: "bigger-map", Ops: []delta.Op{
+		{RemoveMaps: "sd_syn"},
+		{AddMap: &flexbpf.MapSpec{Name: "sd_syn", Kind: flexbpf.MapLRU, MaxEntries: 2048, ValueBits: 32}},
+	}}
+	c.UpdateApp("flexnet://infra/d", "sd", ok, func(r *delta.Report, e error) { err = e })
+	f.Sim.RunFor(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas upgraded.
+	for _, sw := range []string{"s1", "s2"} {
+		inst := f.Device(sw).Instance("flexnet://infra/d#sd")
+		if inst == nil {
+			t.Fatalf("%s lost the instance", sw)
+		}
+		found := false
+		for _, m := range inst.Program().Maps {
+			if m.Name == "sd_syn" && m.MaxEntries == 2048 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("%s not upgraded", sw)
+		}
+	}
+}

@@ -1,0 +1,828 @@
+// Package dataplane models runtime-programmable network devices.
+//
+// It substitutes for the proprietary ASICs the paper builds on (Nvidia
+// Spectrum, Broadcom Trident4/Jericho2, Tofino) with architecture models
+// that preserve the properties the paper's claims depend on:
+//
+//   - Resource structure: which resources exist, at what granularity they
+//     are fungible (§3.3 "Resource fungibility" for RMT, dRMT,
+//     Tiles/Elastic Pipes, SmartNICs/FPGAs/hosts).
+//   - Runtime partial reconfiguration: tables, parser states, and whole
+//     programs can be added and removed while the device processes
+//     packets, atomically with respect to any single packet (§2).
+//   - Performance and energy envelopes: per-architecture processing
+//     latency, throughput, and power proxies (§3.3 "Performance and
+//     energy optimizations").
+//
+// A Device hosts an ordered chain of ProgramInstances (the infrastructure
+// program first, then tenant extensions). A packet is processed by the
+// chain snapshot taken at its arrival — one packet never observes a mix
+// of two device configurations.
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/packet"
+)
+
+// Arch identifies a device architecture class.
+type Arch uint8
+
+// Architecture classes from §3.3.
+const (
+	// ArchRMT is a reconfigurable match table pipeline (Tofino,
+	// FlexPipe): fixed stages, resources fungible within a stage.
+	ArchRMT Arch = iota
+	// ArchDRMT is disaggregated RMT (Spectrum-like): run-to-completion
+	// processors with a shared memory pool; memory fungible globally.
+	ArchDRMT
+	// ArchTile is a tiled architecture (Trident4): typed tiles (hash,
+	// index, TCAM); fungibility within tile types.
+	ArchTile
+	// ArchElasticPipe is a fixed pipeline extended by a programmable
+	// element matrix (Jericho2).
+	ArchElasticPipe
+	// ArchSoC is a SoC SmartNIC or FPGA: fully fungible resources.
+	ArchSoC
+	// ArchHost is a host kernel stack (eBPF): fully fungible, slowest.
+	ArchHost
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchRMT:
+		return "rmt"
+	case ArchDRMT:
+		return "drmt"
+	case ArchTile:
+		return "tile"
+	case ArchElasticPipe:
+		return "elasticpipe"
+	case ArchSoC:
+		return "soc"
+	case ArchHost:
+		return "host"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// PerfModel captures an architecture's packet-processing performance.
+type PerfModel struct {
+	// BaseLatencyNs is the pipeline transit latency.
+	BaseLatencyNs uint64
+	// PerInstrNs is added latency per executed instruction.
+	PerInstrNs uint64
+	// PerLookupNs is added latency per table lookup.
+	PerLookupNs uint64
+	// CapacityPPS is the sustainable packet rate.
+	CapacityPPS uint64
+}
+
+// EnergyModel is the device power proxy used by the energy experiments.
+type EnergyModel struct {
+	// IdleWatts is drawn whenever the device is powered.
+	IdleWatts float64
+	// ActiveWatts is added while at least one program is installed.
+	ActiveWatts float64
+	// PerPacketNanojoule is dynamic energy per processed packet.
+	PerPacketNanojoule float64
+}
+
+// archModel is the architecture-specific resource manager. Implementations
+// are not safe for concurrent use; Device serializes all calls.
+type archModel interface {
+	// place reserves resources for a program, returning an opaque
+	// placement handle. It must either fully succeed or leave the model
+	// unchanged.
+	place(prog *flexbpf.Program) (placement, error)
+	// release returns a placement's resources to the pool.
+	release(placement)
+	// free reports currently available resources in Demand units
+	// (aggregated; per-region constraints may still reject a fit).
+	free() flexbpf.Demand
+	// capacity reports total resources.
+	capacity() flexbpf.Demand
+	// fungibility returns the fraction of total resources that could be
+	// reassigned to a new program right now (1.0 = fully fungible).
+	fungibility() float64
+	// repack re-derives all placements from scratch to defragment; it
+	// returns the number of moved allocation units, or an error if the
+	// current program set cannot be repacked (should not happen).
+	repack() (moves int, err error)
+}
+
+// placement is an opaque per-program resource reservation.
+type placement interface {
+	demand() flexbpf.Demand
+}
+
+// Config describes a device to be created.
+type Config struct {
+	Name string
+	Arch Arch
+	// Ports is the number of attached ports.
+	Ports int
+	// Seed seeds the device-local random source (deterministic).
+	Seed int64
+
+	// Architecture geometry. Zero values select sensible defaults
+	// per architecture (see DefaultConfig).
+	Stages        int // RMT: pipeline stages
+	Processors    int // dRMT: MA processors
+	HashTiles     int // Tile: hash tile count
+	IndexTiles    int // Tile: index tile count
+	TCAMTiles     int // Tile: TCAM tile count
+	PEMElements   int // ElasticPipe: programmable elements
+	TileBits      int // Tile/ElasticPipe: bits per tile
+	StageSRAMBits int // RMT: per-stage SRAM
+	StageTCAMBits int // RMT: per-stage TCAM
+	StageALUs     int // RMT: per-stage ALUs
+	StageTables   int // RMT: max tables per stage
+	PoolSRAMBits  int // dRMT/SoC/host: shared memory pool
+	PoolTCAMBits  int // dRMT: shared TCAM pool
+	CyclesBudget  int // dRMT/SoC/host: per-packet instruction budget (total)
+
+	// CrossStageRealloc enables the paper's "runtime support to
+	// reconfigure individual stages" on RMT, making all pipeline
+	// resources fungible rather than only same-stage resources.
+	CrossStageRealloc bool
+
+	Perf   PerfModel
+	Energy EnergyModel
+}
+
+// DefaultConfig returns a realistic configuration for the architecture.
+// Geometry loosely follows public numbers for the respective device
+// classes, scaled down so experiments run quickly.
+func DefaultConfig(name string, arch Arch) Config {
+	c := Config{Name: name, Arch: arch, Ports: 32, Seed: 1}
+	switch arch {
+	case ArchRMT:
+		c.Stages = 12
+		c.StageSRAMBits = 1 << 22 // 512 KB per stage
+		c.StageTCAMBits = 1 << 19 // 64 KB per stage
+		c.StageALUs = 224
+		c.StageTables = 8
+		c.Perf = PerfModel{BaseLatencyNs: 400, PerInstrNs: 0, PerLookupNs: 0, CapacityPPS: 1_000_000_000}
+		c.Energy = EnergyModel{IdleWatts: 150, ActiveWatts: 60, PerPacketNanojoule: 15}
+	case ArchDRMT:
+		c.Processors = 32
+		c.PoolSRAMBits = 12 << 22
+		c.PoolTCAMBits = 12 << 19
+		c.CyclesBudget = 32 * 96
+		c.Perf = PerfModel{BaseLatencyNs: 500, PerInstrNs: 1, PerLookupNs: 5, CapacityPPS: 800_000_000}
+		c.Energy = EnergyModel{IdleWatts: 140, ActiveWatts: 70, PerPacketNanojoule: 18}
+	case ArchTile:
+		c.HashTiles = 32
+		c.IndexTiles = 16
+		c.TCAMTiles = 8
+		c.TileBits = 1 << 20
+		c.Perf = PerfModel{BaseLatencyNs: 450, PerInstrNs: 0, PerLookupNs: 2, CapacityPPS: 900_000_000}
+		c.Energy = EnergyModel{IdleWatts: 160, ActiveWatts: 65, PerPacketNanojoule: 16}
+	case ArchElasticPipe:
+		c.PEMElements = 16
+		c.HashTiles = 24
+		c.IndexTiles = 12
+		c.TCAMTiles = 6
+		c.TileBits = 1 << 20
+		c.Perf = PerfModel{BaseLatencyNs: 480, PerInstrNs: 0, PerLookupNs: 2, CapacityPPS: 900_000_000}
+		c.Energy = EnergyModel{IdleWatts: 170, ActiveWatts: 70, PerPacketNanojoule: 17}
+	case ArchSoC:
+		c.PoolSRAMBits = 64 << 22 // generous DRAM-backed memory
+		c.CyclesBudget = 4096
+		c.Perf = PerfModel{BaseLatencyNs: 2_000, PerInstrNs: 5, PerLookupNs: 20, CapacityPPS: 50_000_000}
+		c.Energy = EnergyModel{IdleWatts: 25, ActiveWatts: 30, PerPacketNanojoule: 120}
+	case ArchHost:
+		c.PoolSRAMBits = 256 << 22
+		c.CyclesBudget = 1 << 16
+		c.Perf = PerfModel{BaseLatencyNs: 10_000, PerInstrNs: 20, PerLookupNs: 50, CapacityPPS: 5_000_000}
+		c.Energy = EnergyModel{IdleWatts: 80, ActiveWatts: 120, PerPacketNanojoule: 900}
+	}
+	return c
+}
+
+// Capabilities returns what programs this architecture can host.
+func (a Arch) Capabilities() flexbpf.Capabilities {
+	switch a {
+	case ArchRMT:
+		return flexbpf.Capabilities{TCAM: true, PerFlowState: true}
+	case ArchDRMT, ArchTile, ArchElasticPipe:
+		return flexbpf.Capabilities{TCAM: true, PerFlowState: true}
+	case ArchSoC:
+		return flexbpf.Capabilities{TCAM: true, PerFlowState: true, GeneralCompute: true}
+	case ArchHost:
+		return flexbpf.Capabilities{TCAM: true, PerFlowState: true, GeneralCompute: true, Transport: true}
+	default:
+		return flexbpf.Capabilities{}
+	}
+}
+
+// config holds a view of the device's packet-visible configuration; it is
+// swapped atomically so each packet sees exactly one version.
+type config struct {
+	epoch     uint64
+	parser    *packet.ParseGraph
+	instances []*ProgramInstance
+}
+
+// ProcStats describes one packet's processing outcome on a device.
+type ProcStats struct {
+	Verdict packet.Verdict
+	// Epoch is the device configuration version that processed the packet.
+	Epoch uint64
+	// LatencyNs is modelled processing latency.
+	LatencyNs uint64
+	// Instrs and Lookups aggregate across all program instances run.
+	Instrs  int
+	Lookups int
+	// Programs lists the instance names that processed the packet.
+	Programs []string
+}
+
+// Counters aggregates device lifetime statistics.
+type Counters struct {
+	Processed  uint64
+	Dropped    uint64
+	Forwarded  uint64
+	Punted     uint64
+	Recircs    uint64
+	DrainDrops uint64 // packets dropped because the device was draining
+	Errors     uint64
+}
+
+// Device is a runtime-programmable network device.
+type Device struct {
+	name string
+	cfg  Config
+	caps flexbpf.Capabilities
+
+	// current holds *config; swapped atomically on reconfiguration.
+	current atomic.Value
+
+	// mu serializes control-plane mutations (installs, removals, parser
+	// edits). The data plane never takes it.
+	mu         sync.Mutex
+	model      archModel
+	placements map[string]placement
+	order      []string // instance order (install order, infra first)
+	draining   atomic.Bool
+
+	rng *rand.Rand
+	// now supplies simulation time; settable by the harness.
+	now func() uint64
+
+	stats struct {
+		mu sync.Mutex
+		c  Counters
+	}
+	// processed counts packets for energy accounting.
+	processed atomic.Uint64
+}
+
+// New creates a device from config.
+func New(cfg Config) (*Device, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("dataplane: device needs a name")
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 32
+	}
+	var model archModel
+	switch cfg.Arch {
+	case ArchRMT:
+		model = newRMTModel(cfg)
+	case ArchDRMT:
+		model = newDRMTModel(cfg)
+	case ArchTile, ArchElasticPipe:
+		model = newTileModel(cfg)
+	case ArchSoC, ArchHost:
+		model = newPoolModel(cfg)
+	default:
+		return nil, fmt.Errorf("dataplane: unknown architecture %v", cfg.Arch)
+	}
+	d := &Device{
+		name:       cfg.Name,
+		cfg:        cfg,
+		caps:       cfg.Arch.Capabilities(),
+		model:      model,
+		placements: map[string]placement{},
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		now:        func() uint64 { return 0 },
+	}
+	d.current.Store(&config{epoch: 1, parser: packet.StandardParseGraph()})
+	return d, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Arch returns the architecture class.
+func (d *Device) Arch() Arch { return d.cfg.Arch }
+
+// Ports returns the port count.
+func (d *Device) Ports() int { return d.cfg.Ports }
+
+// Capabilities returns hosted-program capabilities.
+func (d *Device) Capabilities() flexbpf.Capabilities { return d.caps }
+
+// Perf returns the performance model.
+func (d *Device) Perf() PerfModel { return d.cfg.Perf }
+
+// Energy returns the energy model.
+func (d *Device) Energy() EnergyModel { return d.cfg.Energy }
+
+// SetClock installs the simulation time source used by meters and
+// OpNow. The default clock is stuck at zero.
+func (d *Device) SetClock(now func() uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.now = now
+	cfg := d.snapshot()
+	for _, inst := range cfg.instances {
+		inst.now = now
+	}
+}
+
+func (d *Device) snapshot() *config { return d.current.Load().(*config) }
+
+// Epoch returns the current configuration version.
+func (d *Device) Epoch() uint64 { return d.snapshot().epoch }
+
+// commit publishes a new configuration with epoch+1. Caller holds d.mu.
+func (d *Device) commit(next *config) {
+	next.epoch = d.snapshot().epoch + 1
+	d.current.Store(next)
+}
+
+// CanHost reports whether the device could place prog right now (a
+// dry-run reservation). Aggregate Demand arithmetic can overpromise on
+// architectures with typed sub-pools (tile devices, per-stage RMT), so
+// the compiler asks the device itself.
+func (d *Device) CanHost(prog *flexbpf.Program) bool {
+	if !d.caps.Satisfies(prog.Requires) {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pl, err := d.model.place(prog)
+	if err != nil {
+		return false
+	}
+	d.model.release(pl)
+	return true
+}
+
+// Free returns available device resources.
+func (d *Device) Free() flexbpf.Demand {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.model.free()
+}
+
+// Capacity returns total device resources.
+func (d *Device) Capacity() flexbpf.Demand {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.model.capacity()
+}
+
+// Fungibility returns the fraction of resources reclaimable for new
+// programs right now (architecture-dependent, §3.3).
+func (d *Device) Fungibility() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.model.fungibility()
+}
+
+// Programs returns installed instance names in processing order.
+func (d *Device) Programs() []string {
+	cfg := d.snapshot()
+	out := make([]string, len(cfg.instances))
+	for i, inst := range cfg.instances {
+		out[i] = inst.prog.Name
+	}
+	return out
+}
+
+// Instance returns the named program instance, or nil.
+func (d *Device) Instance(name string) *ProgramInstance {
+	for _, inst := range d.snapshot().instances {
+		if inst.prog.Name == name {
+			return inst
+		}
+	}
+	return nil
+}
+
+// InstallOptions tunes a program installation.
+type InstallOptions struct {
+	// Filter restricts which packets the instance processes (tenant VLAN
+	// isolation, §3 scenario).
+	Filter *flexbpf.Cond
+	// Priority orders the device's program chain: lower runs first.
+	// Extensions default to PriorityExtension; the infrastructure
+	// forwarding program uses PriorityInfra so it runs last (its Forward
+	// verdict terminates the chain).
+	Priority int
+}
+
+// Chain priorities.
+const (
+	// PriorityExtension is the default for apps and tenant extensions.
+	PriorityExtension = 100
+	// PriorityInfra is for the terminal forwarding program.
+	PriorityInfra = 1000
+)
+
+// InstallProgram verifies, places, and atomically activates a program
+// while the device keeps processing traffic. This is the runtime partial
+// reconfiguration primitive of §2: the swap is hitless — packets in
+// flight complete under the old configuration; packets arriving after
+// the commit see the new one.
+func (d *Device) InstallProgram(prog *flexbpf.Program) error {
+	return d.InstallProgramOpt(prog, InstallOptions{Priority: PriorityExtension})
+}
+
+// InstallProgramFiltered installs a program guarded by a filter.
+func (d *Device) InstallProgramFiltered(prog *flexbpf.Program, cond *flexbpf.Cond) error {
+	return d.InstallProgramOpt(prog, InstallOptions{Filter: cond, Priority: PriorityExtension})
+}
+
+// InstallProgramOpt installs a program with explicit options.
+func (d *Device) InstallProgramOpt(prog *flexbpf.Program, opts InstallOptions) error {
+	cond := opts.Filter
+	if err := flexbpf.Verify(prog); err != nil {
+		return fmt.Errorf("dataplane: %s: refusing unverified program: %w", d.name, err)
+	}
+	if !d.caps.Satisfies(prog.Requires) {
+		return fmt.Errorf("dataplane: %s (%v) lacks capabilities for program %s", d.name, d.cfg.Arch, prog.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.placements[prog.Name]; dup {
+		return fmt.Errorf("dataplane: %s: program %s already installed", d.name, prog.Name)
+	}
+	pl, err := d.model.place(prog)
+	if err != nil {
+		return fmt.Errorf("dataplane: %s: %w", d.name, err)
+	}
+	inst, err := newInstance(prog, cond, d.rng, d.now)
+	if err != nil {
+		d.model.release(pl)
+		return err
+	}
+	inst.priority = normPriority(opts.Priority)
+	old := d.snapshot()
+	next := &config{
+		parser:    old.parser,
+		instances: sortByPriority(append(append([]*ProgramInstance(nil), old.instances...), inst)),
+	}
+	d.placements[prog.Name] = pl
+	d.order = append(d.order, prog.Name)
+	d.commit(next)
+	return nil
+}
+
+func normPriority(p int) int {
+	if p == 0 {
+		return PriorityExtension
+	}
+	return p
+}
+
+// sortByPriority orders the chain by priority (stable: equal priorities
+// keep install order).
+func sortByPriority(insts []*ProgramInstance) []*ProgramInstance {
+	sort.SliceStable(insts, func(i, j int) bool { return insts[i].priority < insts[j].priority })
+	return insts
+}
+
+// RemoveProgram removes a program and reclaims its resources (§1.1:
+// "Tenant departures trigger program removal to trim the network and
+// release unused resources").
+func (d *Device) RemoveProgram(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pl, ok := d.placements[name]
+	if !ok {
+		return fmt.Errorf("dataplane: %s: program %s not installed", d.name, name)
+	}
+	old := d.snapshot()
+	next := &config{parser: old.parser}
+	for _, inst := range old.instances {
+		if inst.prog.Name != name {
+			next.instances = append(next.instances, inst)
+		}
+	}
+	d.model.release(pl)
+	delete(d.placements, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	d.commit(next)
+	return nil
+}
+
+// Repack defragments device resources by re-deriving all placements
+// (RMT cross-stage reallocation, tile compaction). Returns allocation
+// units moved. Runtime engines call this during fungible compilation
+// (§3.3 "resource reallocation and garbage collection").
+func (d *Device) Repack() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.model.repack()
+}
+
+// UpdateParser atomically replaces the parse graph after validation.
+// Used to add/remove header support at runtime (§2: "Parser states can
+// be similarly manipulated to add and remove header types").
+func (d *Device) UpdateParser(mutate func(*packet.ParseGraph) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.snapshot()
+	ng := old.parser.Clone()
+	if err := mutate(ng); err != nil {
+		return fmt.Errorf("dataplane: %s: parser update rejected: %w", d.name, err)
+	}
+	if err := ng.Validate(); err != nil {
+		return fmt.Errorf("dataplane: %s: parser update invalid: %w", d.name, err)
+	}
+	next := &config{parser: ng, instances: old.instances}
+	d.commit(next)
+	return nil
+}
+
+// Parser returns the active parse graph (do not mutate; use UpdateParser).
+func (d *Device) Parser() *packet.ParseGraph { return d.snapshot().parser }
+
+// SetDraining marks the device as draining: all arriving packets are
+// dropped. This models the compile-time reconfiguration baseline
+// (isolate → reflash → redeploy, §1).
+func (d *Device) SetDraining(v bool) { d.draining.Store(v) }
+
+// Draining reports drain state.
+func (d *Device) Draining() bool { return d.draining.Load() }
+
+// Swap atomically replaces the whole program set and parser in one
+// epoch bump: the network-wide consistent-update building block. The
+// prepare function receives install/remove primitives that act on a
+// staged copy; nothing becomes visible until it returns nil.
+func (d *Device) Swap(prepare func(stage *StagedConfig) error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	old := d.snapshot()
+	st := &StagedConfig{
+		dev:       d,
+		parser:    old.parser.Clone(),
+		instances: append([]*ProgramInstance(nil), old.instances...),
+		added:     map[string]placement{},
+	}
+	if err := prepare(st); err != nil {
+		// Roll back staged placements.
+		for _, pl := range st.added {
+			d.model.release(pl)
+		}
+		return err
+	}
+	// Release placements of removed programs.
+	for _, name := range st.removed {
+		if pl, ok := d.placements[name]; ok {
+			d.model.release(pl)
+			delete(d.placements, name)
+			for i, n := range d.order {
+				if n == name {
+					d.order = append(d.order[:i], d.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for name, pl := range st.added {
+		d.placements[name] = pl
+		d.order = append(d.order, name)
+	}
+	d.commit(&config{parser: st.parser, instances: st.instances})
+	return nil
+}
+
+// StagedConfig is a device configuration under construction inside Swap.
+type StagedConfig struct {
+	dev       *Device
+	parser    *packet.ParseGraph
+	instances []*ProgramInstance
+	added     map[string]placement
+	removed   []string
+}
+
+func (st *StagedConfig) isRemoved(name string) bool {
+	for _, n := range st.removed {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Install stages a program installation at extension priority. A name
+// being removed in the same swap may be re-installed.
+func (st *StagedConfig) Install(prog *flexbpf.Program, cond *flexbpf.Cond) error {
+	return st.InstallOpt(prog, InstallOptions{Filter: cond, Priority: PriorityExtension})
+}
+
+// InstallOpt stages a program installation with explicit options.
+func (st *StagedConfig) InstallOpt(prog *flexbpf.Program, opts InstallOptions) error {
+	cond := opts.Filter
+	if err := flexbpf.Verify(prog); err != nil {
+		return err
+	}
+	if !st.dev.caps.Satisfies(prog.Requires) {
+		return fmt.Errorf("dataplane: %s lacks capabilities for %s", st.dev.name, prog.Name)
+	}
+	if _, dup := st.dev.placements[prog.Name]; dup && !st.isRemoved(prog.Name) {
+		return fmt.Errorf("dataplane: %s: program %s already installed", st.dev.name, prog.Name)
+	}
+	if _, dup := st.added[prog.Name]; dup {
+		return fmt.Errorf("dataplane: %s: program %s already staged", st.dev.name, prog.Name)
+	}
+	pl, err := st.dev.model.place(prog)
+	if err != nil {
+		return err
+	}
+	inst, err := newInstance(prog, cond, st.dev.rng, st.dev.now)
+	if err != nil {
+		st.dev.model.release(pl)
+		return err
+	}
+	inst.priority = normPriority(opts.Priority)
+	st.added[prog.Name] = pl
+	st.instances = sortByPriority(append(st.instances, inst))
+	return nil
+}
+
+// Remove stages a program removal.
+func (st *StagedConfig) Remove(name string) error {
+	found := false
+	out := st.instances[:0]
+	for _, inst := range st.instances {
+		if inst.prog.Name == name {
+			found = true
+			continue
+		}
+		out = append(out, inst)
+	}
+	st.instances = out
+	if !found {
+		return fmt.Errorf("dataplane: %s: program %s not staged/installed", st.dev.name, name)
+	}
+	if _, staged := st.added[name]; staged {
+		st.dev.model.release(st.added[name])
+		delete(st.added, name)
+		return nil
+	}
+	st.removed = append(st.removed, name)
+	return nil
+}
+
+// Parser exposes the staged parse graph for mutation.
+func (st *StagedConfig) Parser() *packet.ParseGraph { return st.parser }
+
+// Process runs one packet through the device. It is safe to call
+// concurrently with reconfiguration: the packet uses the configuration
+// snapshot current at entry.
+func (d *Device) Process(pkt *packet.Packet) ProcStats {
+	if d.draining.Load() {
+		d.bump(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
+		return ProcStats{Verdict: packet.VerdictDrop}
+	}
+	cfg := d.snapshot()
+	pkt.Epoch = cfg.epoch
+	// Expose intrinsic metadata to programs (P4 standard-metadata style).
+	pkt.SetField("meta.ingress", uint64(pkt.IngressPort))
+	st := ProcStats{Verdict: packet.VerdictContinue, Epoch: cfg.epoch}
+
+	// Parse: determine which headers this configuration understands.
+	if _, err := cfg.parser.ParseFields(pkt); err != nil {
+		d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
+		st.Verdict = packet.VerdictDrop
+		return st
+	}
+
+	for _, inst := range cfg.instances {
+		if !inst.accepts(pkt) {
+			continue
+		}
+		res, err := inst.run(pkt)
+		st.Instrs += res.Instrs
+		st.Lookups += res.Lookups
+		st.Programs = append(st.Programs, inst.prog.Name)
+		if err != nil {
+			d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
+			st.Verdict = packet.VerdictDrop
+			return st
+		}
+		if res.Verdict != packet.VerdictContinue {
+			st.Verdict = res.Verdict
+			break
+		}
+	}
+
+	st.LatencyNs = d.cfg.Perf.BaseLatencyNs +
+		d.cfg.Perf.PerInstrNs*uint64(st.Instrs) +
+		d.cfg.Perf.PerLookupNs*uint64(st.Lookups)
+
+	d.processed.Add(1)
+	d.bump(func(c *Counters) {
+		c.Processed++
+		switch st.Verdict {
+		case packet.VerdictDrop:
+			c.Dropped++
+		case packet.VerdictForward:
+			c.Forwarded++
+		case packet.VerdictToController:
+			c.Punted++
+		case packet.VerdictRecirculate:
+			c.Recircs++
+		}
+	})
+	return st
+}
+
+func (d *Device) bump(f func(*Counters)) {
+	d.stats.mu.Lock()
+	f(&d.stats.c)
+	d.stats.mu.Unlock()
+}
+
+// Stats returns a copy of lifetime counters.
+func (d *Device) Stats() Counters {
+	d.stats.mu.Lock()
+	defer d.stats.mu.Unlock()
+	return d.stats.c
+}
+
+// EnergyJoules estimates energy used over a wall of simulated seconds
+// with the device's processed-packet count (dynamic) plus static draw.
+func (d *Device) EnergyJoules(seconds float64) float64 {
+	e := d.cfg.Energy.IdleWatts * seconds
+	if len(d.snapshot().instances) > 0 {
+		e += d.cfg.Energy.ActiveWatts * seconds
+	}
+	e += float64(d.processed.Load()) * d.cfg.Energy.PerPacketNanojoule * 1e-9
+	return e
+}
+
+// Utilization returns per-resource utilization fractions.
+func (d *Device) Utilization() map[string]float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cap := d.model.capacity()
+	free := d.model.free()
+	out := map[string]float64{}
+	frac := func(c, f int) float64 {
+		if c == 0 {
+			return 0
+		}
+		return float64(c-f) / float64(c)
+	}
+	out["sram"] = frac(cap.SRAMBits, free.SRAMBits)
+	out["tcam"] = frac(cap.TCAMBits, free.TCAMBits)
+	out["alus"] = frac(cap.ALUs, free.ALUs)
+	out["tables"] = frac(cap.Tables, free.Tables)
+	return out
+}
+
+// InstalledDemand returns the summed demand of installed programs, in
+// deterministic (name-sorted) order for digesting.
+func (d *Device) InstalledDemand() flexbpf.Demand {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.placements))
+	for n := range d.placements {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var total flexbpf.Demand
+	for _, n := range names {
+		total = total.Add(d.placements[n].demand())
+	}
+	return total
+}

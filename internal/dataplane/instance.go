@@ -1,0 +1,204 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexnet/internal/dataplane/state"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/packet"
+)
+
+// ProgramInstance is a FlexBPF program installed on a device: the spec,
+// its table instances, and its state store. It implements flexbpf.Env.
+type ProgramInstance struct {
+	prog     *flexbpf.Program
+	priority int
+	filter   *flexbpf.Cond
+	tables   map[string]*flexbpf.TableInstance
+	store    *state.Store
+	rng      *rand.Rand
+	now      func() uint64
+	interp   flexbpf.Interp
+}
+
+func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, now func() uint64) (*ProgramInstance, error) {
+	inst := &ProgramInstance{
+		prog:   prog,
+		filter: filter,
+		tables: make(map[string]*flexbpf.TableInstance, len(prog.Tables)),
+		store:  state.NewStore(),
+		rng:    rng,
+		now:    now,
+	}
+	for _, t := range prog.Tables {
+		inst.tables[t.Name] = flexbpf.NewTableInstance(t)
+	}
+	for _, m := range prog.Maps {
+		var kind state.MapKind
+		switch m.Kind {
+		case flexbpf.MapArray:
+			kind = state.KindArray
+		case flexbpf.MapHash:
+			kind = state.KindHash
+		case flexbpf.MapLRU:
+			kind = state.KindLRU
+		default:
+			return nil, fmt.Errorf("dataplane: program %s: unknown map kind %v", prog.Name, m.Kind)
+		}
+		if err := inst.store.Add(state.NewMap(m.Name, kind, m.MaxEntries)); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range prog.Counters {
+		if err := inst.store.Add(state.NewCounter(c.Name, c.Size)); err != nil {
+			return nil, err
+		}
+	}
+	for _, m := range prog.Meters {
+		if err := inst.store.Add(state.NewMeter(m.Name, m.Size, m.CIR, m.PIR, m.CBS, m.PBS)); err != nil {
+			return nil, err
+		}
+	}
+	return inst, nil
+}
+
+// Program returns the instance's program spec.
+func (pi *ProgramInstance) Program() *flexbpf.Program { return pi.prog }
+
+// Store returns the instance's state store (for migration and telemetry).
+func (pi *ProgramInstance) Store() *state.Store { return pi.store }
+
+// Table returns the named table instance, or nil.
+func (pi *ProgramInstance) Table(name string) *flexbpf.TableInstance { return pi.tables[name] }
+
+// Tables returns all table instances keyed by name.
+func (pi *ProgramInstance) Tables() map[string]*flexbpf.TableInstance { return pi.tables }
+
+// accepts applies the tenant isolation filter.
+func (pi *ProgramInstance) accepts(pkt *packet.Packet) bool {
+	if pi.filter == nil {
+		return true
+	}
+	c := pi.filter
+	var r bool
+	if c.HasHeader != "" {
+		r = pkt.Has(c.HasHeader)
+	} else {
+		lhs := pkt.Field(c.Field)
+		rhs := c.Value
+		if c.OtherField != "" {
+			rhs = pkt.Field(c.OtherField)
+		}
+		switch c.Op {
+		case flexbpf.CmpEq:
+			r = lhs == rhs
+		case flexbpf.CmpNe:
+			r = lhs != rhs
+		case flexbpf.CmpLt:
+			r = lhs < rhs
+		case flexbpf.CmpGe:
+			r = lhs >= rhs
+		case flexbpf.CmpGt:
+			r = lhs > rhs
+		case flexbpf.CmpLe:
+			r = lhs <= rhs
+		}
+	}
+	if c.Negate {
+		r = !r
+	}
+	return r
+}
+
+func (pi *ProgramInstance) run(pkt *packet.Packet) (flexbpf.ExecResult, error) {
+	return pi.interp.Run(pi.prog, pkt, pi)
+}
+
+// MapLoad implements flexbpf.Env.
+func (pi *ProgramInstance) MapLoad(name string, key uint64) (uint64, bool) {
+	m := pi.store.Map(name)
+	if m == nil {
+		return 0, false
+	}
+	return m.Load(key)
+}
+
+// MapStore implements flexbpf.Env.
+func (pi *ProgramInstance) MapStore(name string, key, val uint64) error {
+	m := pi.store.Map(name)
+	if m == nil {
+		return fmt.Errorf("dataplane: program %s has no map %q", pi.prog.Name, name)
+	}
+	return m.Store(key, val)
+}
+
+// MapDelete implements flexbpf.Env.
+func (pi *ProgramInstance) MapDelete(name string, key uint64) {
+	if m := pi.store.Map(name); m != nil {
+		m.Delete(key)
+	}
+}
+
+// CounterAdd implements flexbpf.Env.
+func (pi *ProgramInstance) CounterAdd(name string, idx, delta uint64) {
+	if c := pi.store.Counter(name); c != nil {
+		c.Add(idx, delta)
+	}
+}
+
+// MeterExec implements flexbpf.Env.
+func (pi *ProgramInstance) MeterExec(name string, idx, bytes uint64) uint64 {
+	m := pi.store.Meter(name)
+	if m == nil {
+		return state.ColorRed
+	}
+	return m.Exec(idx, bytes, pi.now())
+}
+
+// TableLookup implements flexbpf.Env.
+func (pi *ProgramInstance) TableLookup(name string, keys []uint64) (string, []uint64, bool) {
+	t := pi.tables[name]
+	if t == nil {
+		return "", nil, false
+	}
+	return t.Lookup(keys)
+}
+
+// Now implements flexbpf.Env.
+func (pi *ProgramInstance) Now() uint64 { return pi.now() }
+
+// Rand implements flexbpf.Env.
+func (pi *ProgramInstance) Rand() uint64 { return pi.rng.Uint64() }
+
+// ExportState captures all stateful objects in logical form, including
+// table entries encoded as a logical object per table ("table:<name>").
+// Table entries are control-plane content (rules) rather than data-plane
+// state, but migration moves both.
+func (pi *ProgramInstance) ExportState() []state.Logical {
+	out := pi.store.ExportAll()
+	return out
+}
+
+// ImportState restores stateful objects from logical form.
+func (pi *ProgramInstance) ImportState(ls []state.Logical) error {
+	return pi.store.ImportAll(ls)
+}
+
+// CopyEntriesFrom installs all table entries from another instance of the
+// same program (used when migrating or replicating).
+func (pi *ProgramInstance) CopyEntriesFrom(src *ProgramInstance) error {
+	for name, st := range src.tables {
+		dt := pi.tables[name]
+		if dt == nil {
+			return fmt.Errorf("dataplane: destination lacks table %q", name)
+		}
+		dt.Clear()
+		for _, e := range st.Entries() {
+			if err := dt.Insert(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

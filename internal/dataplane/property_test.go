@@ -1,0 +1,194 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexnet/internal/flexbpf"
+)
+
+// randomProgram builds a random (but valid) program mixing tables, maps,
+// counters, and compute.
+func randomProgram(r *rand.Rand, name string) *flexbpf.Program {
+	b := flexbpf.NewProgram(name).
+		Action("act", 1, flexbpf.NewAsm().LdParam(0, 0).Forward(0).MustBuild())
+	nTables := 1 + r.Intn(3)
+	for i := 0; i < nTables; i++ {
+		kind := flexbpf.MatchExact
+		if r.Intn(3) == 0 {
+			kind = flexbpf.MatchTernary
+		}
+		tn := fmt.Sprintf("%s_t%d", name, i)
+		b.Table(&flexbpf.TableSpec{
+			Name:    tn,
+			Keys:    []flexbpf.TableKey{{Field: "ipv4.dst", Kind: kind, Bits: 32}},
+			Actions: []string{"act"},
+			Size:    1 + r.Intn(256),
+		}).Apply(tn)
+	}
+	if r.Intn(2) == 0 {
+		b.HashMap(name+"_m", 1+r.Intn(512), 32)
+	}
+	if r.Intn(2) == 0 {
+		b.Counter(name+"_c", 1+r.Intn(64))
+	}
+	return b.MustBuild()
+}
+
+// TestResourceConservationProperty: for any random install/remove
+// sequence on any architecture, (capacity - free) equals the sum of
+// installed demands as the model accounts them, free components never go
+// negative, and removing everything restores the initial free state.
+func TestResourceConservationProperty(t *testing.T) {
+	for _, arch := range []Arch{ArchRMT, ArchDRMT, ArchTile, ArchElasticPipe, ArchSoC, ArchHost} {
+		arch := arch
+		t.Run(arch.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(31))
+			for trial := 0; trial < 10; trial++ {
+				d := MustNew(DefaultConfig("sw", arch))
+				initial := d.Free()
+				installed := map[string]bool{}
+				next := 0
+				for step := 0; step < 60; step++ {
+					if r.Intn(2) == 0 || len(installed) == 0 {
+						name := fmt.Sprintf("p%d", next)
+						next++
+						if err := d.InstallProgram(randomProgram(r, name)); err == nil {
+							installed[name] = true
+						}
+					} else {
+						// Remove a random installed program.
+						for name := range installed {
+							if err := d.RemoveProgram(name); err != nil {
+								t.Fatalf("remove %s: %v", name, err)
+							}
+							delete(installed, name)
+							break
+						}
+					}
+					f := d.Free()
+					if f.SRAMBits < 0 || f.TCAMBits < 0 || f.ALUs < 0 || f.Tables < 0 || f.ParserStates < 0 {
+						t.Fatalf("free went negative: %v", f)
+					}
+					if !f.Fits(d.Capacity()) {
+						t.Fatalf("free %v exceeds capacity %v", f, d.Capacity())
+					}
+				}
+				for name := range installed {
+					if err := d.RemoveProgram(name); err != nil {
+						t.Fatalf("final remove %s: %v", name, err)
+					}
+				}
+				if d.Free() != initial {
+					t.Fatalf("trial %d: resources leaked: %v != %v", trial, d.Free(), initial)
+				}
+			}
+		})
+	}
+}
+
+// TestRMTChainLengthProperty: a dependency chain of n tables places on
+// an s-stage RMT iff n <= s (with one table slot per stage).
+func TestRMTChainLengthProperty(t *testing.T) {
+	mkChain := func(n int) *flexbpf.Program {
+		b := flexbpf.NewProgram("chain").
+			Action("a", 0, flexbpf.NewAsm().Ret().MustBuild())
+		for i := 0; i < n; i++ {
+			tn := fmt.Sprintf("t%02d", i)
+			b.Table(&flexbpf.TableSpec{
+				Name:    tn,
+				Keys:    []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchExact, Bits: 32}},
+				Actions: []string{"a"},
+				Size:    4,
+			}).Apply(tn)
+		}
+		return b.MustBuild()
+	}
+	for stages := 2; stages <= 6; stages++ {
+		for n := 1; n <= 8; n++ {
+			cfg := DefaultConfig("sw", ArchRMT)
+			cfg.Stages = stages
+			cfg.StageTables = 1
+			d := MustNew(cfg)
+			err := d.InstallProgram(mkChain(n))
+			if n <= stages && err != nil {
+				t.Fatalf("chain %d on %d stages refused: %v", n, stages, err)
+			}
+			if n > stages && err == nil {
+				t.Fatalf("chain %d placed on %d stages", n, stages)
+			}
+		}
+	}
+}
+
+// TestRMTCrossStageAblation: the paper's claim that runtime stage
+// reconfiguration makes "all pipeline resources fungible". A fragmented
+// rigid RMT refuses a program that the cross-stage variant accepts after
+// repacking.
+func TestRMTCrossStageAblation(t *testing.T) {
+	mk := func(crossStage bool) (*Device, func(string, int) *flexbpf.Program) {
+		cfg := DefaultConfig("sw", ArchRMT)
+		cfg.Stages = 4
+		cfg.StageTables = 4
+		cfg.CrossStageRealloc = crossStage
+		d := MustNew(cfg)
+		single := func(name string, size int) *flexbpf.Program {
+			return flexbpf.NewProgram(name).
+				Action("a", 0, flexbpf.NewAsm().Ret().MustBuild()).
+				Table(&flexbpf.TableSpec{
+					Name:    name + "_t",
+					Keys:    []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchExact, Bits: 32}},
+					Actions: []string{"a"},
+					Size:    size,
+				}).
+				Apply(name + "_t").
+				MustBuild()
+		}
+		return d, single
+	}
+	fragment := func(d *Device, single func(string, int) *flexbpf.Program) {
+		cfg := DefaultConfig("", ArchRMT)
+		frag := cfg.StageSRAMBits * 40 / 100 / 64 // 64 bits per entry (32b key + overhead)
+		// Greedy placement puts one 40% fragment in each stage first
+		// (first-fit finds stage 0 full at 2×40%=80%? No: first-fit fills
+		// stage 0 with two fragments, stage 1 with two). Install four
+		// fragments then remove alternating ones to fragment layout.
+		for i := 0; i < 8; i++ {
+			if err := d.InstallProgram(single(fmt.Sprintf("frag%d", i), frag)); err != nil {
+				t.Fatalf("setup install %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 8; i += 2 {
+			if err := d.RemoveProgram(fmt.Sprintf("frag%d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Now each stage holds one 40% fragment: 60% free per stage,
+		// 240% free total, but no stage can host a 70% table.
+	}
+	cfg := DefaultConfig("", ArchRMT)
+	bigSize := cfg.StageSRAMBits * 70 / 100 / 64
+
+	rigid, mkR := mk(false)
+	fragment(rigid, mkR)
+	if err := rigid.InstallProgram(mkR("newcomer", bigSize)); err == nil {
+		t.Fatal("rigid RMT placed an oversized table into fragmented stages")
+	}
+
+	flexi, mkF := mk(true)
+	fragment(flexi, mkF)
+	if err := flexi.InstallProgram(mkF("newcomer", bigSize)); err == nil {
+		t.Fatal("expected initial failure before repack")
+	}
+	moves, err := flexi.Repack()
+	if err != nil {
+		t.Fatalf("repack: %v", err)
+	}
+	if moves == 0 {
+		t.Fatal("repack moved nothing")
+	}
+	if err := flexi.InstallProgram(mkF("newcomer", bigSize)); err != nil {
+		t.Fatalf("cross-stage RMT still cannot place after repack: %v", err)
+	}
+}

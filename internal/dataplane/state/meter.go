@@ -1,0 +1,164 @@
+package state
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Color is a meter marking result.
+type Color = uint64
+
+// Meter colors (two-rate three-color marker, RFC 2698 style).
+const (
+	ColorGreen  Color = 0
+	ColorYellow Color = 1
+	ColorRed    Color = 2
+)
+
+// Meter is an array of two-rate three-color markers. Each cell has a
+// committed bucket (CIR/CBS) and a peak bucket (PIR/PBS); Exec charges
+// bytes at a given time and returns the color.
+//
+// Time is supplied by the caller in nanoseconds of simulation time, which
+// keeps the meter deterministic and device-clock independent.
+type Meter struct {
+	name     string
+	cir, pir uint64 // bytes per second
+	cbs, pbs uint64 // bucket depths in bytes
+
+	mu    sync.Mutex
+	cells []meterCell
+}
+
+type meterCell struct {
+	tc, tp   uint64 // current tokens (bytes)
+	lastNano uint64
+	inited   bool
+	// rebase marks a freshly imported cell: the first Exec adopts its
+	// nowNano as the token-fill baseline instead of crediting the gap.
+	rebase bool
+}
+
+// NewMeter creates a meter array.
+func NewMeter(name string, size int, cir, pir, cbs, pbs uint64) *Meter {
+	if size <= 0 {
+		panic(fmt.Sprintf("state: meter %s has non-positive size %d", name, size))
+	}
+	if pir < cir {
+		panic(fmt.Sprintf("state: meter %s has PIR %d < CIR %d", name, pir, cir))
+	}
+	return &Meter{name: name, cir: cir, pir: pir, cbs: cbs, pbs: pbs, cells: make([]meterCell, size)}
+}
+
+// Name returns the meter name.
+func (m *Meter) Name() string { return m.name }
+
+// Exec charges bytes to cell idx at time nowNano and returns the color.
+// Out-of-range indexes return red (fail-closed).
+func (m *Meter) Exec(idx uint64, bytes uint64, nowNano uint64) Color {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx >= uint64(len(m.cells)) {
+		return ColorRed
+	}
+	c := &m.cells[idx]
+	if !c.inited {
+		c.tc, c.tp = m.cbs, m.pbs
+		c.lastNano = nowNano
+		c.inited = true
+	}
+	if c.rebase {
+		c.lastNano = nowNano
+		c.rebase = false
+	}
+	if nowNano > c.lastNano {
+		elapsed := nowNano - c.lastNano
+		c.tc = addTokens(c.tc, m.cir, elapsed, m.cbs)
+		c.tp = addTokens(c.tp, m.pir, elapsed, m.pbs)
+		c.lastNano = nowNano
+	}
+	switch {
+	case c.tp < bytes:
+		return ColorRed
+	case c.tc < bytes:
+		c.tp -= bytes
+		return ColorYellow
+	default:
+		c.tp -= bytes
+		c.tc -= bytes
+		return ColorGreen
+	}
+}
+
+func addTokens(cur, rate, elapsedNano, depth uint64) uint64 {
+	// tokens = rate bytes/sec × elapsed ns / 1e9, computed carefully to
+	// avoid overflow for realistic rates (< 2^34 B/s) and horizons.
+	add := rate / 1e9 * elapsedNano
+	add += rate % 1e9 * elapsedNano / 1e9
+	cur += add
+	if cur > depth {
+		cur = depth
+	}
+	return cur
+}
+
+// Export implements Object. Each cell packs (tc, tp) into two entries:
+// key = idx*2 for committed tokens, idx*2+1 for peak tokens. lastNano is
+// intentionally excluded: after migration the receiving device re-bases
+// time on first use.
+func (m *Meter) Export() Logical {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l := Logical{
+		Name: m.name,
+		Kind: "meter",
+		Params: map[string]uint64{
+			"size": uint64(len(m.cells)),
+			"cir":  m.cir, "pir": m.pir, "cbs": m.cbs, "pbs": m.pbs,
+		},
+	}
+	for i := range m.cells {
+		c := &m.cells[i]
+		if !c.inited {
+			continue
+		}
+		l.Entries = append(l.Entries, KV{uint64(i) * 2, c.tc}, KV{uint64(i)*2 + 1, c.tp})
+	}
+	return l
+}
+
+// Import implements Object.
+func (m *Meter) Import(l Logical) error {
+	if l.Kind != "meter" {
+		return fmt.Errorf("state: meter %s: cannot import logical kind %q", m.name, l.Kind)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.cells {
+		m.cells[i] = meterCell{}
+	}
+	for _, kv := range l.Entries {
+		idx := kv.Key / 2
+		if idx >= uint64(len(m.cells)) {
+			return fmt.Errorf("state: meter %s: logical index %d out of range %d", m.name, idx, len(m.cells))
+		}
+		c := &m.cells[idx]
+		c.inited = true
+		c.rebase = true
+		if kv.Key%2 == 0 {
+			c.tc = kv.Val
+		} else {
+			c.tp = kv.Val
+		}
+	}
+	return nil
+}
+
+// Reset implements Object.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.cells {
+		m.cells[i] = meterCell{}
+	}
+}

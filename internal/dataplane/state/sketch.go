@@ -1,0 +1,359 @@
+package state
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CountMin is a count-min sketch: the canonical per-packet-mutating
+// stateful app state from the paper's migration discussion (§3.4:
+// "Consider migrating a stateful network app (e.g., one that maintains a
+// count-min sketch). As the sketch state is updated for each packet,
+// copying state via control plane software is impossible").
+type CountMin struct {
+	name       string
+	rows, cols int
+
+	mu    sync.Mutex
+	cells []uint64 // rows × cols
+	// updates counts total Update calls; used by migration experiments
+	// to quantify staleness.
+	updates uint64
+}
+
+// NewCountMin creates a sketch with the given shape.
+func NewCountMin(name string, rows, cols int) *CountMin {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("state: sketch %s has invalid shape %dx%d", name, rows, cols))
+	}
+	return &CountMin{name: name, rows: rows, cols: cols, cells: make([]uint64, rows*cols)}
+}
+
+// Name returns the sketch name.
+func (s *CountMin) Name() string { return s.name }
+
+// Shape returns (rows, cols).
+func (s *CountMin) Shape() (rows, cols int) { return s.rows, s.cols }
+
+// rowHash derives row-specific hashes from one 64-bit key hash with
+// multiply-shift mixing; identical across devices so estimates agree.
+func (s *CountMin) rowHash(key uint64, row int) int {
+	h := key
+	h ^= uint64(row+1) * 0x9E3779B97F4A7C15
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int(h % uint64(s.cols))
+}
+
+// Update adds delta for key.
+func (s *CountMin) Update(key uint64, delta uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for r := 0; r < s.rows; r++ {
+		s.cells[r*s.cols+s.rowHash(key, r)] += delta
+	}
+	s.updates++
+}
+
+// Estimate returns the count-min estimate for key (an overestimate).
+func (s *CountMin) Estimate(key uint64) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	min := ^uint64(0)
+	for r := 0; r < s.rows; r++ {
+		if v := s.cells[r*s.cols+s.rowHash(key, r)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Updates returns the total number of Update calls since creation/reset.
+func (s *CountMin) Updates() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updates
+}
+
+// Merge adds another sketch's cells into this one. Shapes must match.
+// Merging is what makes packet-carried migration lossless: updates that
+// landed on the old device during migration are merged into the new one.
+func (s *CountMin) Merge(o *CountMin) error {
+	if o.rows != s.rows || o.cols != s.cols {
+		return fmt.Errorf("state: sketch %s: merge shape %dx%d != %dx%d", s.name, o.rows, o.cols, s.rows, s.cols)
+	}
+	o.mu.Lock()
+	ocells := append([]uint64(nil), o.cells...)
+	oupdates := o.updates
+	o.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, v := range ocells {
+		s.cells[i] += v
+	}
+	s.updates += oupdates
+	return nil
+}
+
+// Export implements Object; zero cells are omitted.
+func (s *CountMin) Export() Logical {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := Logical{
+		Name: s.name,
+		Kind: "cms",
+		Params: map[string]uint64{
+			"rows": uint64(s.rows), "cols": uint64(s.cols), "updates": s.updates,
+		},
+	}
+	for i, v := range s.cells {
+		if v != 0 {
+			l.Entries = append(l.Entries, KV{uint64(i), v})
+		}
+	}
+	return l
+}
+
+// Import implements Object. Shape must match exactly; the logical form
+// is cell-addressed.
+func (s *CountMin) Import(l Logical) error {
+	if l.Kind != "cms" {
+		return fmt.Errorf("state: sketch %s: cannot import logical kind %q", s.name, l.Kind)
+	}
+	if l.Params["rows"] != uint64(s.rows) || l.Params["cols"] != uint64(s.cols) {
+		return fmt.Errorf("state: sketch %s: logical shape %dx%d != %dx%d",
+			s.name, l.Params["rows"], l.Params["cols"], s.rows, s.cols)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.cells {
+		s.cells[i] = 0
+	}
+	for _, kv := range l.Entries {
+		if kv.Key >= uint64(len(s.cells)) {
+			return fmt.Errorf("state: sketch %s: logical cell %d out of range", s.name, kv.Key)
+		}
+		s.cells[kv.Key] = kv.Val
+	}
+	s.updates = l.Params["updates"]
+	return nil
+}
+
+// Reset implements Object.
+func (s *CountMin) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.cells {
+		s.cells[i] = 0
+	}
+	s.updates = 0
+}
+
+// Bloom is a Bloom filter over 64-bit keys.
+type Bloom struct {
+	name   string
+	bits   int
+	hashes int
+
+	mu   sync.Mutex
+	set  []uint64
+	adds uint64
+}
+
+// NewBloom creates a filter with the given bit count and hash count.
+func NewBloom(name string, bits, hashes int) *Bloom {
+	if bits <= 0 || hashes <= 0 {
+		panic(fmt.Sprintf("state: bloom %s has invalid shape bits=%d hashes=%d", name, bits, hashes))
+	}
+	return &Bloom{name: name, bits: bits, hashes: hashes, set: make([]uint64, (bits+63)/64)}
+}
+
+// Name returns the filter name.
+func (b *Bloom) Name() string { return b.name }
+
+func (b *Bloom) bitFor(key uint64, i int) int {
+	h := key ^ uint64(i+1)*0xD6E8FEB86659FD93
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(b.bits))
+}
+
+// Add inserts key.
+func (b *Bloom) Add(key uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := 0; i < b.hashes; i++ {
+		bit := b.bitFor(key, i)
+		b.set[bit/64] |= 1 << uint(bit%64)
+	}
+	b.adds++
+}
+
+// Contains reports whether key may be present (false positives possible,
+// false negatives not).
+func (b *Bloom) Contains(key uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := 0; i < b.hashes; i++ {
+		bit := b.bitFor(key, i)
+		if b.set[bit/64]&(1<<uint(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Export implements Object; zero words are omitted.
+func (b *Bloom) Export() Logical {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	l := Logical{
+		Name:   b.name,
+		Kind:   "bloom",
+		Params: map[string]uint64{"bits": uint64(b.bits), "hashes": uint64(b.hashes), "adds": b.adds},
+	}
+	for i, w := range b.set {
+		if w != 0 {
+			l.Entries = append(l.Entries, KV{uint64(i), w})
+		}
+	}
+	return l
+}
+
+// Import implements Object.
+func (b *Bloom) Import(l Logical) error {
+	if l.Kind != "bloom" {
+		return fmt.Errorf("state: bloom %s: cannot import logical kind %q", b.name, l.Kind)
+	}
+	if l.Params["bits"] != uint64(b.bits) || l.Params["hashes"] != uint64(b.hashes) {
+		return fmt.Errorf("state: bloom %s: shape mismatch", b.name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.set {
+		b.set[i] = 0
+	}
+	for _, kv := range l.Entries {
+		if kv.Key >= uint64(len(b.set)) {
+			return fmt.Errorf("state: bloom %s: logical word %d out of range", b.name, kv.Key)
+		}
+		b.set[kv.Key] = kv.Val
+	}
+	b.adds = l.Params["adds"]
+	return nil
+}
+
+// Reset implements Object.
+func (b *Bloom) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.set {
+		b.set[i] = 0
+	}
+	b.adds = 0
+}
+
+// Store is a named collection of state objects belonging to one program
+// instance on one device. ExportAll/ImportAll move a whole program's
+// state during migration.
+type Store struct {
+	mu      sync.Mutex
+	objects map[string]Object
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string]Object)}
+}
+
+// Add registers an object. Duplicate names are an error.
+func (st *Store) Add(o Object) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.objects[o.Name()]; dup {
+		return fmt.Errorf("state: store already has object %q", o.Name())
+	}
+	st.objects[o.Name()] = o
+	return nil
+}
+
+// Get returns the named object, or nil.
+func (st *Store) Get(name string) Object {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.objects[name]
+}
+
+// Map returns the named object as a *Map, or nil.
+func (st *Store) Map(name string) *Map {
+	m, _ := st.Get(name).(*Map)
+	return m
+}
+
+// Counter returns the named object as a *Counter, or nil.
+func (st *Store) Counter(name string) *Counter {
+	c, _ := st.Get(name).(*Counter)
+	return c
+}
+
+// Meter returns the named object as a *Meter, or nil.
+func (st *Store) Meter(name string) *Meter {
+	m, _ := st.Get(name).(*Meter)
+	return m
+}
+
+// Names returns object names (unordered).
+func (st *Store) Names() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.objects))
+	for n := range st.objects {
+		out = append(out, n)
+	}
+	return out
+}
+
+// ExportAll captures every object's logical state.
+func (st *Store) ExportAll() []Logical {
+	st.mu.Lock()
+	names := make([]string, 0, len(st.objects))
+	for n := range st.objects {
+		names = append(names, n)
+	}
+	st.mu.Unlock()
+	// Deterministic order for replication digests.
+	sort.Strings(names)
+	out := make([]Logical, 0, len(names))
+	for _, n := range names {
+		if o := st.Get(n); o != nil {
+			out = append(out, o.Export())
+		}
+	}
+	return out
+}
+
+// ImportAll restores objects by name. Objects present locally but absent
+// from the logical set are reset; logical entries with no local object
+// are an error (program/state mismatch).
+func (st *Store) ImportAll(ls []Logical) error {
+	seen := map[string]bool{}
+	for _, l := range ls {
+		o := st.Get(l.Name)
+		if o == nil {
+			return fmt.Errorf("state: import references unknown object %q", l.Name)
+		}
+		if err := o.Import(l); err != nil {
+			return err
+		}
+		seen[l.Name] = true
+	}
+	for _, n := range st.Names() {
+		if !seen[n] {
+			st.Get(n).Reset()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+// Package drpc implements FlexNet's data-plane RPC (§3.4 "dRPCs"): the
+// infrastructure program exposes a set of in-network services (state
+// push, telemetry read, ping, discovery) that other devices and tenant
+// datapaths invoke with packets, not control-plane software. Calls are
+// carried in a dedicated header (packet.ProtoDRPC) and travel through
+// the same simulated network as data traffic, so their cost and loss
+// behaviour is the network's.
+package drpc
+
+import (
+	"fmt"
+	"sync"
+
+	"flexnet/internal/packet"
+)
+
+// Well-known service IDs.
+const (
+	// ServiceRegistry answers discovery queries (§3.4 "Service discovery
+	// occurs either at control plane or via an in-network RPC registry").
+	ServiceRegistry uint64 = 1
+	// ServicePing is a liveness echo.
+	ServicePing uint64 = 2
+	// ServiceStatePush receives logical state chunks (migration,
+	// replication).
+	ServiceStatePush uint64 = 3
+	// ServiceTelemetry reads counters remotely.
+	ServiceTelemetry uint64 = 4
+	// ServiceUser is the first ID available to tenant services.
+	ServiceUser uint64 = 16
+)
+
+// Flags bits.
+const (
+	// FlagReply marks a response message.
+	FlagReply uint64 = 1 << 0
+	// FlagError marks a failed call.
+	FlagError uint64 = 1 << 1
+)
+
+// Message is a parsed dRPC header.
+type Message struct {
+	Service uint64
+	Method  uint64
+	Flags   uint64
+	CallID  uint64
+	Args    [3]uint64
+}
+
+// FromPacket extracts the message from a packet carrying a drpc header.
+func FromPacket(p *packet.Packet) (Message, bool) {
+	if !p.Has("drpc") {
+		return Message{}, false
+	}
+	return Message{
+		Service: p.Field("drpc.service"),
+		Method:  p.Field("drpc.method"),
+		Flags:   p.Field("drpc.flags"),
+		CallID:  p.Field("drpc.callid"),
+		Args: [3]uint64{
+			p.Field("drpc.arg0"),
+			p.Field("drpc.arg1"),
+			p.Field("drpc.arg2"),
+		},
+	}, true
+}
+
+// store writes the message into a packet's drpc fields.
+func (m Message) store(p *packet.Packet) {
+	p.AddHeader("drpc")
+	p.SetField("drpc.service", m.Service)
+	p.SetField("drpc.method", m.Method)
+	p.SetField("drpc.flags", m.Flags)
+	p.SetField("drpc.callid", m.CallID)
+	p.SetField("drpc.arg0", m.Args[0])
+	p.SetField("drpc.arg1", m.Args[1])
+	p.SetField("drpc.arg2", m.Args[2])
+}
+
+// Handler serves one service. It returns a reply message (flags are
+// managed by the router) or nil for one-way notifications.
+type Handler func(from uint32, m Message) *Message
+
+// Transport injects a packet into the network on behalf of a router.
+// The fabric provides this.
+type Transport func(p *packet.Packet)
+
+// Router is a device's dRPC endpoint: a service table plus pending-call
+// tracking. One Router is attached per participating device (or
+// controller host).
+type Router struct {
+	// IP is the router's address in the routed fabric.
+	IP uint32
+
+	mu       sync.Mutex
+	services map[uint64]Handler
+	pending  map[uint64]func(Message, bool)
+	nextID   uint64
+	send     Transport
+	seq      *uint64
+
+	// Stats.
+	CallsSent     uint64
+	CallsServed   uint64
+	RepliesSeen   uint64
+	UnknownCalls  uint64
+	OrphanReplies uint64
+}
+
+// NewRouter creates a router addressed by ip, sending through transport.
+// seq supplies packet IDs (shared with the fabric).
+func NewRouter(ip uint32, seq *uint64, send Transport) *Router {
+	return &Router{
+		IP:       ip,
+		services: map[uint64]Handler{},
+		pending:  map[uint64]func(Message, bool){},
+		send:     send,
+		seq:      seq,
+	}
+}
+
+// Register installs a service handler. Registering a duplicate ID is an
+// error.
+func (r *Router) Register(service uint64, h Handler) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.services[service]; dup {
+		return fmt.Errorf("drpc: service %d already registered", service)
+	}
+	r.services[service] = h
+	return nil
+}
+
+// Unregister removes a service.
+func (r *Router) Unregister(service uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.services, service)
+}
+
+// Services returns registered service IDs.
+func (r *Router) Services() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, 0, len(r.services))
+	for id := range r.services {
+		out = append(out, id)
+	}
+	return out
+}
+
+func (r *Router) newPacket(dst uint32, m Message) *packet.Packet {
+	r.mu.Lock()
+	*r.seq++
+	id := *r.seq
+	r.mu.Unlock()
+	p := packet.New(id)
+	p.AddHeader("eth")
+	p.SetField("eth.type", packet.EtherTypeIPv4)
+	p.AddHeader("ipv4")
+	p.SetField("ipv4.version", 4)
+	p.SetField("ipv4.ihl", 5)
+	p.SetField("ipv4.ttl", 64)
+	p.SetField("ipv4.proto", packet.ProtoDRPC)
+	p.SetField("ipv4.src", uint64(r.IP))
+	p.SetField("ipv4.dst", uint64(dst))
+	m.store(p)
+	return p
+}
+
+// Call sends a request to dst and registers cb for the reply. cb's bool
+// is false when the reply carries FlagError.
+func (r *Router) Call(dst uint32, service, method uint64, args [3]uint64, cb func(Message, bool)) {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID<<16 | uint64(r.IP)&0xffff // avoid cross-router collisions
+	if cb != nil {
+		r.pending[id] = cb
+	}
+	r.CallsSent++
+	r.mu.Unlock()
+	m := Message{Service: service, Method: method, CallID: id, Args: args}
+	r.send(r.newPacket(dst, m))
+}
+
+// Notify sends a one-way message (no reply expected).
+func (r *Router) Notify(dst uint32, service, method uint64, args [3]uint64) {
+	r.mu.Lock()
+	r.CallsSent++
+	r.mu.Unlock()
+	m := Message{Service: service, Method: method, Args: args}
+	r.send(r.newPacket(dst, m))
+}
+
+// Deliver processes an arriving dRPC packet addressed to this router.
+// It returns true when the packet was consumed.
+func (r *Router) Deliver(p *packet.Packet) bool {
+	m, ok := FromPacket(p)
+	if !ok {
+		return false
+	}
+	from := uint32(p.Field("ipv4.src"))
+	if m.Flags&FlagReply != 0 {
+		r.mu.Lock()
+		cb := r.pending[m.CallID]
+		delete(r.pending, m.CallID)
+		r.RepliesSeen++
+		if cb == nil {
+			r.OrphanReplies++
+		}
+		r.mu.Unlock()
+		if cb != nil {
+			cb(m, m.Flags&FlagError == 0)
+		}
+		return true
+	}
+	r.mu.Lock()
+	h := r.services[m.Service]
+	r.mu.Unlock()
+	if h == nil {
+		r.mu.Lock()
+		r.UnknownCalls++
+		r.mu.Unlock()
+		if m.CallID != 0 {
+			reply := Message{Service: m.Service, Method: m.Method, Flags: FlagReply | FlagError, CallID: m.CallID}
+			r.send(r.newPacket(from, reply))
+		}
+		return true
+	}
+	r.mu.Lock()
+	r.CallsServed++
+	r.mu.Unlock()
+	resp := h(from, m)
+	if resp != nil && m.CallID != 0 {
+		resp.Service = m.Service
+		resp.CallID = m.CallID
+		resp.Flags |= FlagReply
+		r.send(r.newPacket(from, *resp))
+	}
+	return true
+}
+
+// Registry is the in-network service discovery directory: service ID →
+// provider IP. It runs as ServiceRegistry on some router (typically the
+// infrastructure's).
+type Registry struct {
+	mu      sync.Mutex
+	entries map[uint64]uint32
+}
+
+// Registry methods.
+const (
+	RegistryLookup uint64 = iota
+	RegistryAnnounce
+	RegistryWithdraw
+)
+
+// NewRegistry creates an empty registry and returns both it and the
+// handler to register on a router.
+func NewRegistry() (*Registry, Handler) {
+	reg := &Registry{entries: map[uint64]uint32{}}
+	h := func(from uint32, m Message) *Message {
+		switch m.Method {
+		case RegistryAnnounce:
+			reg.mu.Lock()
+			reg.entries[m.Args[0]] = uint32(m.Args[1])
+			reg.mu.Unlock()
+			return &Message{Args: [3]uint64{m.Args[0], m.Args[1], 0}}
+		case RegistryWithdraw:
+			reg.mu.Lock()
+			delete(reg.entries, m.Args[0])
+			reg.mu.Unlock()
+			return &Message{}
+		case RegistryLookup:
+			reg.mu.Lock()
+			ip, ok := reg.entries[m.Args[0]]
+			reg.mu.Unlock()
+			if !ok {
+				return &Message{Flags: FlagError}
+			}
+			return &Message{Args: [3]uint64{m.Args[0], uint64(ip), 0}}
+		default:
+			return &Message{Flags: FlagError}
+		}
+	}
+	return reg, h
+}
+
+// Lookup reads the registry locally (control-plane path).
+func (reg *Registry) Lookup(service uint64) (uint32, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	ip, ok := reg.entries[service]
+	return ip, ok
+}
+
+// PingHandler returns a ServicePing handler echoing arg0.
+func PingHandler() Handler {
+	return func(from uint32, m Message) *Message {
+		return &Message{Args: [3]uint64{m.Args[0], 0, 0}}
+	}
+}

@@ -1,0 +1,107 @@
+// Package experiments implements the FlexNet evaluation suite.
+//
+// The HotNets '21 paper is a vision paper with no evaluation section, so
+// there are no tables or figures to replicate number-for-number.
+// Instead, every *claim* and *use case* in the paper is turned into a
+// measurable experiment with the baselines the paper argues against.
+// DESIGN.md carries the experiment index (E1..E14 with paper sections);
+// EXPERIMENTS.md records claim-vs-measured for each.
+//
+// All experiments are deterministic: same seed, same numbers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper text being tested
+	Columns []string
+	Rows    [][]string
+	// Finding is the one-line outcome summary.
+	Finding string
+}
+
+// Render formats the table for terminals and EXPERIMENTS.md.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "Claim (paper): %s\n\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Finding != "" {
+		fmt.Fprintf(&b, "\nFinding: %s\n", t.Finding)
+	}
+	return b.String()
+}
+
+// ns formats nanoseconds human-readably.
+func ns(v uint64) string {
+	switch {
+	case v >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(v)/1e9)
+	case v >= 1_000_000:
+		return fmt.Sprintf("%.2fms", float64(v)/1e6)
+	case v >= 1_000:
+		return fmt.Sprintf("%.2fµs", float64(v)/1e3)
+	default:
+		return fmt.Sprintf("%dns", v)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func d(v uint64) string   { return fmt.Sprintf("%d", v) }
+func di(v int) string     { return fmt.Sprintf("%d", v) }
+
+// All runs every experiment at the default seed and returns the tables
+// in order. This is what cmd/flexbench and EXPERIMENTS.md generation
+// call.
+func All(seed int64) []*Table {
+	return []*Table{
+		E1Hitless(seed),
+		E2ReconfigLatency(seed),
+		E3Consistency(seed),
+		E4DynamicApps(seed),
+		E5SecurityElastic(seed),
+		E6CCSwap(seed),
+		E7TenantChurn(seed),
+		E8FungibleCompile(seed),
+		E9Incremental(seed),
+		E10TableMerge(seed),
+		E11StateMigration(seed),
+		E12FaultTolerance(seed),
+		E13Energy(seed),
+		E14DRPC(seed),
+	}
+}

@@ -1,0 +1,63 @@
+package fabric
+
+import (
+	"fmt"
+
+	"flexnet/internal/drpc"
+	"flexnet/internal/packet"
+)
+
+// EnableDRPC gives a device a routable control IP and attaches a dRPC
+// router to it. Packets addressed to the IP with the dRPC protocol are
+// consumed by the router instead of being forwarded; everything else
+// still flows through the device's program chain. Call before
+// InstallBaseRouting (or call RefreshRoutes afterwards) so the IP is
+// routable.
+func (f *Fabric) EnableDRPC(devName string, ip uint32) (*drpc.Router, error) {
+	d := f.devices[devName]
+	if d == nil {
+		return nil, fmt.Errorf("fabric: no device %q", devName)
+	}
+	if _, dup := f.routers[devName]; dup {
+		return nil, fmt.Errorf("fabric: device %q already has a dRPC router", devName)
+	}
+	node := f.Net.Node(devName)
+	r := drpc.NewRouter(ip, f.Seq(), func(p *packet.Packet) {
+		// Originating at the device: run through its own pipeline so the
+		// infrastructure routing program forwards it.
+		f.Sim.After(0, func() {
+			f.runDevice(d, node, p, -1, 0)
+		})
+	})
+	f.routers[devName] = r
+	f.routerIPs[devName] = ip
+	return r, nil
+}
+
+// EnableHostDRPC attaches a dRPC router to a host (controller endpoint).
+// dRPC packets delivered to the host are consumed by the router; other
+// traffic still reaches Host.Recv.
+func (f *Fabric) EnableHostDRPC(hostName string) (*drpc.Router, error) {
+	h := f.hosts[hostName]
+	if h == nil {
+		return nil, fmt.Errorf("fabric: no host %q", hostName)
+	}
+	r := drpc.NewRouter(h.IP, f.Seq(), func(p *packet.Packet) {
+		f.Sim.After(0, func() {
+			h.Node.Send(p, 0)
+		})
+	})
+	prev := h.Recv
+	h.Recv = func(p *packet.Packet) {
+		if p.Has("drpc") && r.Deliver(p) {
+			return
+		}
+		if prev != nil {
+			prev(p)
+		}
+	}
+	return r, nil
+}
+
+// Router returns the dRPC router attached to a device, or nil.
+func (f *Fabric) Router(devName string) *drpc.Router { return f.routers[devName] }

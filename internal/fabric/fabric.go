@@ -1,0 +1,318 @@
+// Package fabric assembles simulated networks of runtime-programmable
+// devices: it wires dataplane.Device instances into netsim topology
+// nodes, provides hosts with IPs, and installs the base "infrastructure
+// program" that implements routing as a FlexBPF LPM table — so even
+// plain forwarding runs through the same runtime-reprogrammable machinery
+// the paper describes (§3 scenario: "The network provider maintains an
+// 'infrastructure' program, which implements basic functions for the
+// network").
+package fabric
+
+import (
+	"fmt"
+	"sort"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/drpc"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/netsim"
+	"flexnet/internal/packet"
+)
+
+// InfraProgramName is the name of the base routing program installed on
+// every switch.
+const InfraProgramName = "infra.routing"
+
+// RouteTableName is the LPM routing table within the infra program.
+const RouteTableName = "ipv4_lpm"
+
+// Host is an end host attached to the fabric.
+type Host struct {
+	Name string
+	IP   uint32
+	Node *netsim.Node
+	// Recv is invoked for every packet delivered to this host.
+	Recv func(*packet.Packet)
+	// Received counts delivered packets.
+	Received uint64
+	fab      *Fabric
+}
+
+// Fabric is a simulated network of programmable devices and hosts.
+type Fabric struct {
+	Sim *netsim.Sim
+	Net *netsim.Network
+
+	devices map[string]*dataplane.Device
+	hosts   map[string]*Host
+	// routers are per-device dRPC endpoints; routerIPs their control IPs.
+	routers   map[string]*drpc.Router
+	routerIPs map[string]uint32
+	// seq issues unique packet IDs for all sources on this fabric.
+	seq uint64
+
+	// ContinueDrops counts packets that no program claimed (fell off the
+	// end of the chain with VerdictContinue).
+	ContinueDrops uint64
+	// Punted receives packets sent to the controller.
+	Punted func(dev string, pkt *packet.Packet)
+	// recircLimit bounds recirculation loops.
+	recircLimit int
+}
+
+// New creates an empty fabric on a seeded simulator.
+func New(seed int64) *Fabric {
+	sim := netsim.New(seed)
+	return &Fabric{
+		Sim:         sim,
+		Net:         netsim.NewNetwork(sim),
+		devices:     map[string]*dataplane.Device{},
+		hosts:       map[string]*Host{},
+		routers:     map[string]*drpc.Router{},
+		routerIPs:   map[string]uint32{},
+		recircLimit: 4,
+	}
+}
+
+// Seq returns the shared packet-ID sequence pointer for traffic sources.
+func (f *Fabric) Seq() *uint64 { return &f.seq }
+
+// AddSwitch creates a device of the given architecture and attaches it to
+// a new topology node.
+func (f *Fabric) AddSwitch(name string, arch dataplane.Arch) *dataplane.Device {
+	return f.AddSwitchCfg(dataplane.DefaultConfig(name, arch))
+}
+
+// AddSwitchCfg creates a device from an explicit config.
+func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
+	d := dataplane.MustNew(cfg)
+	d.SetClock(func() uint64 { return uint64(f.Sim.Now()) })
+	node := f.Net.AddNode(cfg.Name)
+	f.devices[cfg.Name] = d
+	node.SetHandler(func(pkt *packet.Packet, inPort int) {
+		f.runDevice(d, node, pkt, inPort, 0)
+	})
+	return d
+}
+
+func (f *Fabric) runDevice(d *dataplane.Device, node *netsim.Node, pkt *packet.Packet, inPort, recirc int) {
+	// dRPC packets addressed to this device's control IP terminate here.
+	if inPort >= 0 && pkt.Has("drpc") {
+		if r := f.routers[d.Name()]; r != nil && uint32(pkt.Field("ipv4.dst")) == r.IP {
+			r.Deliver(pkt)
+			return
+		}
+	}
+	pkt.IngressPort = inPort
+	st := d.Process(pkt)
+	switch st.Verdict {
+	case packet.VerdictForward:
+		// Processing latency delays the send.
+		f.Sim.After(netsim.Time(st.LatencyNs), func() {
+			node.Send(pkt, pkt.EgressPort)
+		})
+	case packet.VerdictRecirculate:
+		if recirc >= f.recircLimit {
+			f.ContinueDrops++
+			return
+		}
+		f.Sim.After(netsim.Time(st.LatencyNs), func() {
+			f.runDevice(d, node, pkt, inPort, recirc+1)
+		})
+	case packet.VerdictToController:
+		if f.Punted != nil {
+			f.Punted(d.Name(), pkt)
+		}
+	case packet.VerdictContinue:
+		f.ContinueDrops++
+	case packet.VerdictDrop:
+		// Dropped by policy; counted by the device.
+	}
+}
+
+// AddHost attaches a host with the given IP to a new node.
+func (f *Fabric) AddHost(name string, ip uint32) *Host {
+	node := f.Net.AddNode(name)
+	h := &Host{Name: name, IP: ip, Node: node, fab: f}
+	f.hosts[name] = h
+	node.SetHandler(func(pkt *packet.Packet, inPort int) {
+		h.Received++
+		if h.Recv != nil {
+			h.Recv(pkt)
+		}
+	})
+	return h
+}
+
+// Connect wires two fabric members with the given link parameters.
+func (f *Fabric) Connect(a, b string, p netsim.LinkParams) *netsim.Link {
+	l, _, _ := f.Net.Connect(a, b, p)
+	return l
+}
+
+// Device returns the named device, or nil.
+func (f *Fabric) Device(name string) *dataplane.Device { return f.devices[name] }
+
+// Host returns the named host, or nil.
+func (f *Fabric) Host(name string) *Host { return f.hosts[name] }
+
+// Devices returns device names in sorted order.
+func (f *Fabric) Devices() []string {
+	out := make([]string, 0, len(f.devices))
+	for n := range f.devices {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hosts returns host names in sorted order.
+func (f *Fabric) Hosts() []string {
+	out := make([]string, 0, len(f.hosts))
+	for n := range f.hosts {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Send injects a packet from a host into the fabric (via the host's
+// first port).
+func (h *Host) Send(pkt *packet.Packet) {
+	pkt.Meta["sent_at"] = uint64(h.fab.Sim.Now())
+	h.Node.Send(pkt, 0)
+}
+
+// NewSource creates a traffic source whose packets enter the fabric at
+// this host.
+func (h *Host) NewSource(spec netsim.FlowSpec) *netsim.Source {
+	if spec.Src == 0 {
+		spec.Src = h.IP
+	}
+	return netsim.NewSource(h.fab.Sim, spec, h.fab.Seq(), func(p *packet.Packet) {
+		h.Node.Send(p, 0)
+	})
+}
+
+// InfraRoutingProgram builds the base routing program: an LPM table on
+// ipv4.dst whose entries forward out a port, plus a TTL decrement.
+func InfraRoutingProgram() *flexbpf.Program {
+	fwd := flexbpf.NewAsm().
+		LdField(0, "ipv4.ttl").
+		JGtImm(0, 0, "alive").
+		Drop().
+		Label("alive").
+		SubImm(0, 1).
+		StField("ipv4.ttl", 0).
+		LdParam(1, 0).
+		Forward(1).
+		MustBuild()
+	drop := flexbpf.NewAsm().Drop().MustBuild()
+	return flexbpf.NewProgram(InfraProgramName).
+		Headers("eth", "ipv4").
+		Action("route", 1, fwd).
+		Action("unroutable", 0, drop).
+		Table(&flexbpf.TableSpec{
+			Name:          RouteTableName,
+			Keys:          []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchLPM, Bits: 32}},
+			Actions:       []string{"route", "unroutable"},
+			DefaultAction: "unroutable",
+			Size:          1024,
+		}).
+		Apply(RouteTableName).
+		MustBuild()
+}
+
+// InstallBaseRouting installs the infrastructure routing program on every
+// switch and populates routes to every host via shortest paths. It must
+// be called after the topology is built.
+func (f *Fabric) InstallBaseRouting() error {
+	for name, d := range f.devices {
+		if d.Instance(InfraProgramName) == nil {
+			// Each device gets its own program instance: table instances
+			// bind to their spec copy. Routing runs last in the chain so
+			// extensions see traffic first.
+			if err := d.InstallProgramOpt(InfraRoutingProgram(), dataplane.InstallOptions{Priority: dataplane.PriorityInfra}); err != nil {
+				return fmt.Errorf("fabric: install routing on %s: %w", name, err)
+			}
+		}
+	}
+	return f.RefreshRoutes()
+}
+
+// RefreshRoutes recomputes shortest-path routes for all hosts and
+// rewrites every switch's routing table entries.
+func (f *Fabric) RefreshRoutes() error {
+	type route struct {
+		ip   uint32
+		port int
+	}
+	routesPerDevice := map[string][]route{}
+	for _, hn := range f.Hosts() {
+		h := f.hosts[hn]
+		next := f.Net.ShortestPaths(hn)
+		for dev := range f.devices {
+			if port, ok := next[dev]; ok {
+				routesPerDevice[dev] = append(routesPerDevice[dev], route{h.IP, port})
+			}
+		}
+	}
+	// Device control IPs (dRPC endpoints) are routable too. The owning
+	// device needs no route to itself: delivery happens at ingress.
+	for target, ip := range f.routerIPs {
+		next := f.Net.ShortestPaths(target)
+		for dev := range f.devices {
+			if dev == target {
+				continue
+			}
+			if port, ok := next[dev]; ok {
+				routesPerDevice[dev] = append(routesPerDevice[dev], route{ip, port})
+			}
+		}
+	}
+	for dev, d := range f.devices {
+		inst := d.Instance(InfraProgramName)
+		if inst == nil {
+			return fmt.Errorf("fabric: device %s has no routing program", dev)
+		}
+		table := inst.Table(RouteTableName)
+		table.Clear()
+		rs := routesPerDevice[dev]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].ip < rs[j].ip })
+		for _, r := range rs {
+			e := flexbpf.LPMEntry("route", []uint64{uint64(r.port)}, uint64(r.ip), 32)
+			if err := table.Insert(e); err != nil {
+				return fmt.Errorf("fabric: route insert on %s: %w", dev, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TotalDrops sums packet drops across links, devices, and unclaimed
+// packets. The hitless-reconfiguration experiments use this to verify
+// zero loss.
+func (f *Fabric) TotalDrops() uint64 {
+	total := f.Net.Drops + f.ContinueDrops
+	for _, d := range f.devices {
+		total += d.Stats().Dropped
+	}
+	return total
+}
+
+// InfrastructureDrops sums drops excluding intentional policy drops
+// (Drop verdicts in programs): link losses + unclaimed packets + drain
+// drops + execution errors. Hitless-reconfiguration experiments check
+// this stays zero during a change.
+func (f *Fabric) InfrastructureDrops() uint64 {
+	total := f.Net.Drops + f.ContinueDrops
+	for _, d := range f.devices {
+		st := d.Stats()
+		total += st.DrainDrops + st.Errors
+	}
+	return total
+}
+
+// Sim returns the fabric simulator owning this host (convenience for
+// higher layers like transport).
+func (h *Host) Sim() *netsim.Sim { return h.fab.Sim }

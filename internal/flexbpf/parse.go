@@ -1,0 +1,197 @@
+package flexbpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseAsm assembles FlexBPF text into an instruction block. The syntax
+// is exactly what Disasm emits, plus labels:
+//
+//	        ldf r0 tcp.flags
+//	        andi r0 #2
+//	        jeqi r0 #0 pass     ; jump target may be a label or "+N"
+//	        drop
+//	pass:   ret
+//
+// One instruction per line; ';' starts a comment; "name:" defines a
+// label at the next instruction. Immediates are written "#123" (decimal)
+// or "#0x1f" (hex). Registers are "r0".."r15".
+//
+// Together with Disasm this gives the FlexBPF DSL a complete textual
+// form: Disasm output (with "+N" offsets) re-assembles to the identical
+// block.
+func ParseAsm(src string) ([]Instr, error) {
+	type pending struct {
+		idx   int
+		label string
+		line  int
+	}
+	var (
+		code   []Instr
+		labels = map[string]int{}
+		fixups []pending
+		opBy   = map[string]Op{}
+	)
+	for op, name := range opNames {
+		opBy[name] = op
+	}
+
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (may stack: "a: b: op ...").
+		for {
+			i := strings.IndexByte(line, ':')
+			if i <= 0 || strings.ContainsAny(line[:i], " \t") {
+				break
+			}
+			name := line[:i]
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("flexbpf: line %d: duplicate label %q", lineNo, name)
+			}
+			labels[name] = len(code)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnem := fields[0]
+		op, ok := opBy[mnem]
+		if !ok {
+			return nil, fmt.Errorf("flexbpf: line %d: unknown mnemonic %q", lineNo, mnem)
+		}
+		cls := opClasses[op]
+		ins := Instr{Op: op}
+		args := fields[1:]
+		next := func(what string) (string, error) {
+			if len(args) == 0 {
+				return "", fmt.Errorf("flexbpf: line %d: %s missing %s operand", lineNo, mnem, what)
+			}
+			a := args[0]
+			args = args[1:]
+			return a, nil
+		}
+		reg := func(tok string) (Reg, error) {
+			if !strings.HasPrefix(tok, "r") {
+				return 0, fmt.Errorf("flexbpf: line %d: expected register, got %q", lineNo, tok)
+			}
+			v, err := strconv.Atoi(tok[1:])
+			if err != nil || v < 0 || v >= NumRegs {
+				return 0, fmt.Errorf("flexbpf: line %d: bad register %q", lineNo, tok)
+			}
+			return Reg(v), nil
+		}
+		// Operand order mirrors Instr.String: rd, rs, rt, sym, imm, jump.
+		if cls.writesRd || cls.readsRd {
+			tok, err := next("rd")
+			if err != nil {
+				return nil, err
+			}
+			if ins.Rd, err = reg(tok); err != nil {
+				return nil, err
+			}
+		}
+		if cls.readsRs {
+			tok, err := next("rs")
+			if err != nil {
+				return nil, err
+			}
+			if ins.Rs, err = reg(tok); err != nil {
+				return nil, err
+			}
+		}
+		if cls.readsRt {
+			tok, err := next("rt")
+			if err != nil {
+				return nil, err
+			}
+			if ins.Rt, err = reg(tok); err != nil {
+				return nil, err
+			}
+		}
+		if cls.sym != symNone {
+			tok, err := next("symbol")
+			if err != nil {
+				return nil, err
+			}
+			ins.Sym = tok
+		}
+		if opTakesImm(op) {
+			tok, err := next("immediate")
+			if err != nil {
+				return nil, err
+			}
+			if !strings.HasPrefix(tok, "#") {
+				return nil, fmt.Errorf("flexbpf: line %d: immediate must start with '#', got %q", lineNo, tok)
+			}
+			v, err := strconv.ParseUint(strings.TrimPrefix(tok, "#"), 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("flexbpf: line %d: bad immediate %q", lineNo, tok)
+			}
+			ins.Imm = v
+		}
+		if cls.jump {
+			tok, err := next("jump target")
+			if err != nil {
+				return nil, err
+			}
+			if strings.HasPrefix(tok, "+") {
+				off, err := strconv.Atoi(tok[1:])
+				if err != nil || off < 0 {
+					return nil, fmt.Errorf("flexbpf: line %d: bad offset %q", lineNo, tok)
+				}
+				ins.Off = int32(off)
+			} else {
+				fixups = append(fixups, pending{idx: len(code), label: tok, line: lineNo})
+			}
+		}
+		if len(args) != 0 {
+			return nil, fmt.Errorf("flexbpf: line %d: trailing operands %v", lineNo, args)
+		}
+		code = append(code, ins)
+	}
+	for _, fx := range fixups {
+		target, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("flexbpf: line %d: undefined label %q", fx.line, fx.label)
+		}
+		off := target - fx.idx - 1
+		if off < 0 {
+			return nil, fmt.Errorf("flexbpf: line %d: label %q is backward (forward-only jumps)", fx.line, fx.label)
+		}
+		code[fx.idx].Off = int32(off)
+	}
+	return code, nil
+}
+
+// MustParseAsm is ParseAsm that panics on error (static program text).
+func MustParseAsm(src string) []Instr {
+	code, err := ParseAsm(src)
+	if err != nil {
+		panic(err)
+	}
+	return code
+}
+
+// opTakesImm lists opcodes whose textual form carries "#imm", matching
+// Instr.String.
+func opTakesImm(op Op) bool {
+	switch op {
+	case OpMovImm, OpLdParam, OpAddImm, OpSubImm, OpMulImm, OpAndImm, OpOrImm,
+		OpXorImm, OpShlImm, OpShrImm, OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm,
+		OpJGtImm, OpJLeImm:
+		return true
+	}
+	return false
+}

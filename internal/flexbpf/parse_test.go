@@ -1,0 +1,159 @@
+package flexbpf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"flexnet/internal/packet"
+)
+
+func TestParseAsmBasic(t *testing.T) {
+	code, err := ParseAsm(`
+		; SYN filter fragment
+		ldf r0 tcp.flags
+		andi r0 #2
+		jeqi r0 #0 pass
+		drop
+pass:		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewAsm().
+		LdField(0, "tcp.flags").
+		AndImm(0, 2).
+		JEqImm(0, 0, "pass").
+		Drop().
+		Label("pass").
+		Ret().
+		MustBuild()
+	if !reflect.DeepEqual(code, want) {
+		t.Fatalf("parsed:\n%s\nwant:\n%s", Disasm(code), Disasm(want))
+	}
+}
+
+func TestParseAsmRoundTripDisasm(t *testing.T) {
+	// Property: Disasm output re-assembles to the identical block, for a
+	// block exercising every operand shape.
+	orig := NewAsm().
+		MovImm(1, 0xFF).
+		Mov(2, 1).
+		LdField(0, "ipv4.dst").
+		HasField(3, "vlan.vid").
+		StField("meta.x", 2).
+		AddHdr("int").
+		RmHdr("vlan").
+		LdParam(4, 1).
+		Add(1, 2).Sub(1, 2).Mul(1, 2).Div(1, 2).Mod(1, 2).
+		And(1, 2).Or(1, 2).Xor(1, 2).Shl(1, 2).Shr(1, 2).Min(1, 2).Max(1, 2).
+		AddImm(1, 7).ShrImm(1, 3).
+		MapLoad(5, "m", 0).
+		MapHas(6, "m", 0).
+		MapStore("m", 0, 1).
+		MapDelete("m", 0).
+		Hash(7, 0).
+		FlowHash(8).
+		Now(9).
+		Rand(10).
+		PktLen(11).
+		Count("c", 0, 1).
+		MeterExec(12, "mt", 0, 1).
+		JEq(1, 2, "end").
+		JLtImm(1, 5, "end").
+		Jmp("end").
+		Label("end").
+		Punt().
+		MustBuild()
+	text := Disasm(orig)
+	// Strip the "NNNN: " line prefixes Disasm adds.
+	var b strings.Builder
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.Index(line, ": "); i >= 0 {
+			line = line[i+2:]
+		}
+		b.WriteString(line + "\n")
+	}
+	parsed, err := ParseAsm(b.String())
+	if err != nil {
+		t.Fatalf("re-assembly failed: %v\n%s", err, b.String())
+	}
+	if !reflect.DeepEqual(parsed, orig) {
+		t.Fatalf("round trip diverged:\n%s\nvs\n%s", Disasm(parsed), Disasm(orig))
+	}
+}
+
+func TestParseAsmErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"unknown op", "frobnicate r1", "unknown mnemonic"},
+		{"missing operand", "mov r1", "missing"},
+		{"bad register", "mov rX r1", "bad register"},
+		{"reg out of range", "mov r99 r1", "bad register"},
+		{"missing imm hash", "movi r0 5", "immediate must start"},
+		{"bad imm", "movi r0 #zz", "bad immediate"},
+		{"undefined label", "jmp nowhere", "undefined label"},
+		{"backward label", "x:\nnop\njmp x", "backward"},
+		{"duplicate label", "x:\nx:\nnop", "duplicate label"},
+		{"trailing junk", "drop r1", "trailing"},
+		{"negative offset", "jmp +-1", "bad offset"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseAsm(c.src)
+			if err == nil {
+				t.Fatalf("accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.frag) {
+				t.Fatalf("error %q missing %q", err, c.frag)
+			}
+		})
+	}
+}
+
+func TestParseAsmHexAndLabelsStacked(t *testing.T) {
+	code, err := ParseAsm(`
+		movi r0 #0x1f
+		jmp a
+a: b:		ret
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code[0].Imm != 0x1f {
+		t.Fatalf("hex imm = %d", code[0].Imm)
+	}
+	if code[1].Off != 0 {
+		t.Fatalf("jump off = %d", code[1].Off)
+	}
+}
+
+func TestParsedProgramExecutes(t *testing.T) {
+	// A program assembled from text runs identically to the builder one.
+	code := MustParseAsm(`
+		ldf r0 ipv4.ttl
+		jgti r0 #1 alive
+		drop
+alive:		subi r0 #1
+		stf r0 ipv4.ttl
+		ret
+	`)
+	p, err := NewProgram("ttl").Do(code).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := packet.TCPPacket(1, 1, 2, 3, 4, 0, 0)
+	pkt.SetField("ipv4.ttl", 5)
+	res, err := Interp{}.Run(p, pkt, newTestEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != packet.VerdictContinue || pkt.Field("ipv4.ttl") != 4 {
+		t.Fatalf("ttl program broken: %v ttl=%d", res.Verdict, pkt.Field("ipv4.ttl"))
+	}
+	dead := packet.TCPPacket(2, 1, 2, 3, 4, 0, 0)
+	dead.SetField("ipv4.ttl", 1)
+	res, _ = Interp{}.Run(p, dead, newTestEnv())
+	if res.Verdict != packet.VerdictDrop {
+		t.Fatalf("ttl=1 verdict %v", res.Verdict)
+	}
+}

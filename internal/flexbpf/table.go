@@ -1,0 +1,279 @@
+package flexbpf
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MatchValue is one key component of a table entry.
+type MatchValue struct {
+	// Value is the match value (exact, ternary, LPM) or range low bound.
+	Value uint64
+	// Mask is the ternary mask (ignored for other kinds).
+	Mask uint64
+	// PrefixLen is the LPM prefix length in bits.
+	PrefixLen int
+	// Hi is the range high bound (inclusive).
+	Hi uint64
+}
+
+// Matches reports whether the component matches v under kind (with key
+// width bits for LPM).
+func (m MatchValue) Matches(kind MatchKind, bits int, v uint64) bool {
+	switch kind {
+	case MatchExact:
+		return v == m.Value
+	case MatchTernary:
+		return v&m.Mask == m.Value&m.Mask
+	case MatchLPM:
+		if m.PrefixLen <= 0 {
+			return true
+		}
+		if m.PrefixLen >= bits {
+			return v == m.Value
+		}
+		shift := uint(bits - m.PrefixLen)
+		return v>>shift == m.Value>>shift
+	case MatchRange:
+		return v >= m.Value && v <= m.Hi
+	default:
+		return false
+	}
+}
+
+// TableEntry is one installed match/action rule.
+type TableEntry struct {
+	// Priority orders ternary/range entries; higher wins. Exact tables
+	// ignore priority; LPM tables use prefix length.
+	Priority int
+	Match    []MatchValue
+	Action   string
+	Params   []uint64
+}
+
+// TableInstance is the runtime realization of a TableSpec: the entry
+// store plus lookup. Device models wrap instances with resource
+// accounting; the matching semantics live here with the language.
+//
+// TableInstance is safe for concurrent lookups with serialized updates
+// (the runtime engine's model: the data plane reads while the control
+// plane performs atomic entry updates).
+type TableInstance struct {
+	Spec *TableSpec
+
+	mu      sync.RWMutex
+	entries []*TableEntry
+	// exact is a fast path index for all-exact-key tables.
+	exact map[string]*TableEntry
+	// hits and misses count lookups for telemetry; atomics because
+	// lookups run under the read lock.
+	hits, misses atomic.Uint64
+}
+
+// NewTableInstance creates an empty instance of spec.
+func NewTableInstance(spec *TableSpec) *TableInstance {
+	ti := &TableInstance{Spec: spec}
+	if spec.allExact() {
+		ti.exact = make(map[string]*TableEntry)
+	}
+	return ti
+}
+
+func (t *TableSpec) allExact() bool {
+	for _, k := range t.Keys {
+		if k.Kind != MatchExact {
+			return false
+		}
+	}
+	return true
+}
+
+func exactKeyString(keys []uint64) string {
+	b := make([]byte, 0, len(keys)*8)
+	for _, k := range keys {
+		for i := 0; i < 8; i++ {
+			b = append(b, byte(k>>(8*i)))
+		}
+	}
+	return string(b)
+}
+
+// Len returns the number of installed entries.
+func (ti *TableInstance) Len() int {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	return len(ti.entries)
+}
+
+// Stats returns lookup hit/miss counts.
+func (ti *TableInstance) Stats() (hits, misses uint64) {
+	return ti.hits.Load(), ti.misses.Load()
+}
+
+// Insert installs an entry. It validates arity against the spec and
+// capacity against Spec.Size.
+func (ti *TableInstance) Insert(e *TableEntry) error {
+	if len(e.Match) != len(ti.Spec.Keys) {
+		return fmt.Errorf("flexbpf: table %s: entry has %d match components, spec has %d keys",
+			ti.Spec.Name, len(e.Match), len(ti.Spec.Keys))
+	}
+	// Tables declaring an action set restrict entries to it; tables with
+	// no declared actions (raw instances outside a Program) accept any.
+	if e.Action != "" && len(ti.Spec.Actions) > 0 && !ti.Spec.HasAction(e.Action) {
+		return fmt.Errorf("flexbpf: table %s: action %q not permitted", ti.Spec.Name, e.Action)
+	}
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	if ti.Spec.Size > 0 && len(ti.entries) >= ti.Spec.Size {
+		return fmt.Errorf("flexbpf: table %s full (%d entries)", ti.Spec.Name, ti.Spec.Size)
+	}
+	if ti.exact != nil {
+		k := exactKeyString(matchValues(e.Match))
+		if _, dup := ti.exact[k]; dup {
+			return fmt.Errorf("flexbpf: table %s: duplicate exact entry", ti.Spec.Name)
+		}
+		ti.exact[k] = e
+	}
+	ti.entries = append(ti.entries, e)
+	ti.sortLocked()
+	return nil
+}
+
+func matchValues(ms []MatchValue) []uint64 {
+	out := make([]uint64, len(ms))
+	for i, m := range ms {
+		out[i] = m.Value
+	}
+	return out
+}
+
+// sortLocked orders entries: priority desc, then total LPM prefix desc,
+// then insertion-stable.
+func (ti *TableInstance) sortLocked() {
+	sort.SliceStable(ti.entries, func(i, j int) bool {
+		a, b := ti.entries[i], ti.entries[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority
+		}
+		return totalPrefix(a) > totalPrefix(b)
+	})
+}
+
+func totalPrefix(e *TableEntry) int {
+	n := 0
+	for _, m := range e.Match {
+		n += m.PrefixLen
+	}
+	return n
+}
+
+// Delete removes the first entry whose match exactly equals the given
+// components.
+func (ti *TableInstance) Delete(match []MatchValue) error {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	for i, e := range ti.entries {
+		if matchEqual(e.Match, match) {
+			ti.entries = append(ti.entries[:i], ti.entries[i+1:]...)
+			if ti.exact != nil {
+				delete(ti.exact, exactKeyString(matchValues(match)))
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("flexbpf: table %s: entry not found", ti.Spec.Name)
+}
+
+func matchEqual(a, b []MatchValue) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all entries.
+func (ti *TableInstance) Clear() {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.entries = nil
+	if ti.exact != nil {
+		ti.exact = make(map[string]*TableEntry)
+	}
+}
+
+// Entries returns a snapshot copy of the installed entries in match
+// order. Used by migration and incremental recompilation.
+func (ti *TableInstance) Entries() []*TableEntry {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	out := make([]*TableEntry, len(ti.entries))
+	for i, e := range ti.entries {
+		ec := &TableEntry{
+			Priority: e.Priority,
+			Match:    append([]MatchValue(nil), e.Match...),
+			Action:   e.Action,
+			Params:   append([]uint64(nil), e.Params...),
+		}
+		out[i] = ec
+	}
+	return out
+}
+
+// Lookup finds the best-matching entry for the key values, in spec key
+// order. On miss it returns the spec's default action with hit=false.
+func (ti *TableInstance) Lookup(keys []uint64) (action string, params []uint64, hit bool) {
+	ti.mu.RLock()
+	defer ti.mu.RUnlock()
+	if ti.exact != nil {
+		if e, ok := ti.exact[exactKeyString(keys)]; ok {
+			ti.hits.Add(1)
+			return e.Action, e.Params, true
+		}
+		ti.misses.Add(1)
+		return ti.Spec.DefaultAction, ti.Spec.DefaultParams, false
+	}
+	for _, e := range ti.entries {
+		ok := true
+		for i, k := range ti.Spec.Keys {
+			bits := k.Bits
+			if bits == 0 {
+				bits = 64
+			}
+			if !e.Match[i].Matches(k.Kind, bits, keys[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			ti.hits.Add(1)
+			return e.Action, e.Params, true
+		}
+	}
+	ti.misses.Add(1)
+	return ti.Spec.DefaultAction, ti.Spec.DefaultParams, false
+}
+
+// ExactEntry builds an all-exact-match entry (convenience).
+func ExactEntry(action string, params []uint64, keys ...uint64) *TableEntry {
+	ms := make([]MatchValue, len(keys))
+	for i, k := range keys {
+		ms[i] = MatchValue{Value: k}
+	}
+	return &TableEntry{Match: ms, Action: action, Params: params}
+}
+
+// LPMEntry builds a single-key LPM entry (convenience).
+func LPMEntry(action string, params []uint64, prefix uint64, prefixLen int) *TableEntry {
+	return &TableEntry{
+		Match:  []MatchValue{{Value: prefix, PrefixLen: prefixLen}},
+		Action: action,
+		Params: params,
+	}
+}

@@ -1,0 +1,287 @@
+// Package migrate implements live migration of stateful FlexBPF program
+// instances between devices — the paper's motivating control operation
+// (§3.4): "Consider migrating a stateful network app (e.g., one that
+// maintains a count-min sketch). As the sketch state is updated for each
+// packet, copying state via control plane software is impossible.
+// Recent work has developed tools to perform state migration entirely in
+// data plane [41, 65]."
+//
+// Two migrators are provided:
+//
+//   - DataPlane: Swing-State-style packet-carried migration. State
+//     chunks travel as dRPC packets while the source keeps processing;
+//     at the flip instant traffic moves to the destination and the
+//     residual delta (updates that landed during the transfer) is merged
+//     additively. Additive state (sketches, counters) loses zero
+//     updates.
+//
+//   - ControlPlane: the baseline. The controller snapshots the source
+//     over its management channel (a latency proportional to state
+//     size), installs it at the destination, then flips traffic. Every
+//     update that hits the source after the snapshot is lost.
+package migrate
+
+import (
+	"fmt"
+	"sort"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/dataplane/state"
+	"flexnet/internal/drpc"
+	"flexnet/internal/fabric"
+	"flexnet/internal/netsim"
+	"flexnet/internal/runtime"
+)
+
+// Report describes one completed migration.
+type Report struct {
+	Program string
+	Src     string
+	Dst     string
+	// Started/Flipped/Done are simulation times: Flipped is when traffic
+	// moved to the destination; Done when residual state finished.
+	Started netsim.Time
+	Flipped netsim.Time
+	Done    netsim.Time
+	// ChunksSent is the number of state-carrying packets (data plane) or
+	// logical entries copied (control plane).
+	ChunksSent int
+	// LostUpdates counts state updates that did not survive migration.
+	LostUpdates uint64
+	// UpdatesDuringMigration counts source-side updates between start
+	// and flip (the window the control-plane baseline loses).
+	UpdatesDuringMigration uint64
+	Err                    error
+}
+
+// Migrator moves program instances between fabric devices.
+type Migrator struct {
+	fab *fabric.Fabric
+	eng *runtime.Engine
+	// Flip switches traffic from src to dst; supplied by the controller
+	// (route change, filter swap). It must take effect atomically at the
+	// simulated instant it is called.
+	Flip func(prog, src, dst string)
+}
+
+// New creates a migrator.
+func New(fab *fabric.Fabric, eng *runtime.Engine) *Migrator {
+	return &Migrator{fab: fab, eng: eng}
+}
+
+// instanceUpdates reads the total update count of an instance's additive
+// objects (sketch-style accounting for loss measurement): the sum of all
+// logical values across maps and counters.
+func instanceUpdates(inst *dataplane.ProgramInstance) uint64 {
+	var total uint64
+	for _, l := range inst.ExportState() {
+		for _, kv := range l.Entries {
+			total += kv.Val
+		}
+	}
+	return total
+}
+
+// ControlPlane performs the baseline migration. done receives the report
+// when migration completes.
+func (m *Migrator) ControlPlane(prog, src, dst string, done func(Report)) {
+	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
+	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
+	if sdev == nil || ddev == nil {
+		rep.Err = fmt.Errorf("migrate: unknown device %s or %s", src, dst)
+		done(rep)
+		return
+	}
+	sinst := sdev.Instance(prog)
+	if sinst == nil {
+		rep.Err = fmt.Errorf("migrate: %s has no program %s", src, prog)
+		done(rep)
+		return
+	}
+
+	// 1. Install the program at the destination (runtime, hitless).
+	m.eng.ApplyRuntime(&runtime.Change{
+		Device:   ddev,
+		Installs: []runtime.Install{{Program: sinst.Program().Clone()}},
+	}, func(res runtime.Result) {
+		if res.Err != nil {
+			rep.Err = res.Err
+			done(rep)
+			return
+		}
+		dinst := ddev.Instance(prog)
+		if err := dinst.CopyEntriesFrom(sinst); err != nil {
+			rep.Err = err
+			done(rep)
+			return
+		}
+
+		// 2. Snapshot over the management channel: latency ∝ bytes.
+		snapshot := sinst.ExportState()
+		snapUpdates := instanceUpdates(sinst)
+		bytes := logicalBytes(snapshot)
+		rep.ChunksSent = logicalEntries(snapshot)
+		m.fab.Sim.After(m.eng.MigrateLatency(bytes), func() {
+			if err := dinst.ImportState(snapshot); err != nil {
+				rep.Err = err
+				done(rep)
+				return
+			}
+			// 3. Flip traffic. Updates that hit src after the snapshot
+			// are lost: dst starts from the stale snapshot.
+			nowUpdates := instanceUpdates(sinst)
+			rep.UpdatesDuringMigration = nowUpdates - snapUpdates
+			rep.LostUpdates = rep.UpdatesDuringMigration
+			if m.Flip != nil {
+				m.Flip(prog, src, dst)
+			}
+			rep.Flipped = m.fab.Sim.Now()
+			rep.Done = rep.Flipped
+			done(rep)
+		})
+	})
+}
+
+// DataPlane performs packet-carried migration via the devices' dRPC
+// routers (which must be enabled on both devices):
+//
+//  1. install at destination;
+//  2. stream a snapshot as dRPC packets while the source continues
+//     processing and mutating;
+//  3. flip traffic to the destination atomically;
+//  4. export the residual delta (source updates since the snapshot) and
+//     merge it additively into the destination.
+func (m *Migrator) DataPlane(prog, src, dst string, done func(Report)) {
+	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
+	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
+	srouter, drouter := m.fab.Router(src), m.fab.Router(dst)
+	if sdev == nil || ddev == nil {
+		rep.Err = fmt.Errorf("migrate: unknown device %s or %s", src, dst)
+		done(rep)
+		return
+	}
+	if srouter == nil || drouter == nil {
+		rep.Err = fmt.Errorf("migrate: dRPC not enabled on %s or %s", src, dst)
+		done(rep)
+		return
+	}
+	sinst := sdev.Instance(prog)
+	if sinst == nil {
+		rep.Err = fmt.Errorf("migrate: %s has no program %s", src, prog)
+		done(rep)
+		return
+	}
+
+	m.eng.ApplyRuntime(&runtime.Change{
+		Device:   ddev,
+		Installs: []runtime.Install{{Program: sinst.Program().Clone()}},
+	}, func(res runtime.Result) {
+		if res.Err != nil {
+			rep.Err = res.Err
+			done(rep)
+			return
+		}
+		dinst := ddev.Instance(prog)
+		if err := dinst.CopyEntriesFrom(sinst); err != nil {
+			rep.Err = err
+			done(rep)
+			return
+		}
+
+		// Phase 1: snapshot → stream via dRPC.
+		snapshot := sinst.ExportState()
+		preUpdates := instanceUpdates(sinst)
+		allNames := sortedNames(sinst)
+		receiver := NewStateReceiver(dinst)
+		drouter.Register(drpc.ServiceStatePush, receiver.Handler())
+		sender := newStateSender(srouter, drouter.IP, snapshot, allNames)
+		rep.ChunksSent = sender.totalChunks()
+		sender.start(m.fab.Sim, func() {
+			// Phase 2: all chunks acknowledged → import snapshot at dst,
+			// flip traffic, then merge residual delta.
+			if err := receiver.Commit(); err != nil {
+				rep.Err = err
+				drouter.Unregister(drpc.ServiceStatePush)
+				done(rep)
+				return
+			}
+			if m.Flip != nil {
+				m.Flip(prog, src, dst)
+			}
+			rep.Flipped = m.fab.Sim.Now()
+			rep.UpdatesDuringMigration = instanceUpdates(sinst) - preUpdates
+
+			// Phase 3: residual delta = src now − snapshot, additive.
+			delta := diffLogical(sinst.ExportState(), snapshot)
+			dsender := newStateSender(srouter, drouter.IP, delta, allNames)
+			rep.ChunksSent += dsender.totalChunks()
+			receiver.SetAdditive(true)
+			dsender.start(m.fab.Sim, func() {
+				if err := receiver.Commit(); err != nil {
+					rep.Err = err
+				}
+				drouter.Unregister(drpc.ServiceStatePush)
+				rep.Done = m.fab.Sim.Now()
+				rep.LostUpdates = 0
+				done(rep)
+			})
+		})
+	})
+}
+
+// sortedNames returns the instance's object names in sorted order — the
+// shared object-ID convention between sender and receiver.
+func sortedNames(inst *dataplane.ProgramInstance) []string {
+	names := inst.Store().Names()
+	sort.Strings(names)
+	return names
+}
+
+// logicalBytes estimates the wire size of a logical state set.
+func logicalBytes(ls []state.Logical) int {
+	n := 0
+	for _, l := range ls {
+		n += 64 + len(l.Entries)*16
+	}
+	return n
+}
+
+func logicalEntries(ls []state.Logical) int {
+	n := 0
+	for _, l := range ls {
+		n += len(l.Entries)
+	}
+	return n
+}
+
+// diffLogical computes the additive delta new − old per object/key
+// (clamped at zero: non-additive overwrites are carried as absolute
+// values in the snapshot phase already).
+func diffLogical(new, old []state.Logical) []state.Logical {
+	oldIdx := map[string]map[uint64]uint64{}
+	for _, l := range old {
+		mm := map[uint64]uint64{}
+		for _, kv := range l.Entries {
+			mm[kv.Key] = kv.Val
+		}
+		oldIdx[l.Name] = mm
+	}
+	var out []state.Logical
+	for _, l := range new {
+		d := state.Logical{Name: l.Name, Kind: l.Kind, Params: l.Params}
+		prev := oldIdx[l.Name]
+		for _, kv := range l.Entries {
+			if pv, ok := prev[kv.Key]; ok {
+				if kv.Val > pv {
+					d.Entries = append(d.Entries, state.KV{Key: kv.Key, Val: kv.Val - pv})
+				}
+			} else {
+				d.Entries = append(d.Entries, kv)
+			}
+		}
+		if len(d.Entries) > 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}

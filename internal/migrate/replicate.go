@@ -1,0 +1,172 @@
+package migrate
+
+import (
+	"fmt"
+
+	"flexnet/internal/dataplane/state"
+	"flexnet/internal/drpc"
+	"flexnet/internal/netsim"
+	"flexnet/internal/runtime"
+)
+
+// Replication is a running primary→standby state synchronization for one
+// program (§3.4: "the FlexNet controller replicates important network
+// state in a logical datapath across multiple physical devices. State
+// consistency is ensured via state replication and update protocols").
+//
+// Every interval the primary's additive delta since the last round is
+// streamed to the standby as dRPC packets and merged. On primary failure
+// the standby's state lags by at most one interval of updates.
+type Replication struct {
+	m        *Migrator
+	prog     string
+	src, dst string
+	interval netsim.Time
+
+	lastSync []state.Logical
+	allNames []string
+	receiver *StateReceiver
+	ticker   *netsim.Ticker
+	stopped  bool
+
+	// Rounds counts completed sync rounds; ChunksSent totals streamed
+	// state chunks.
+	Rounds     int
+	ChunksSent int
+}
+
+// StartReplication installs prog on dst (if absent), performs an initial
+// full sync, and then streams additive deltas every interval. The dst
+// instance is installed *without* entering the packet path — the caller
+// decides when to activate it (failover).
+func (m *Migrator) StartReplication(prog, src, dst string, interval netsim.Time, done func(*Replication, error)) {
+	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
+	srouter, drouter := m.fab.Router(src), m.fab.Router(dst)
+	if sdev == nil || ddev == nil {
+		done(nil, fmt.Errorf("migrate: unknown device %s or %s", src, dst))
+		return
+	}
+	if srouter == nil || drouter == nil {
+		done(nil, fmt.Errorf("migrate: dRPC not enabled on %s or %s", src, dst))
+		return
+	}
+	sinst := sdev.Instance(prog)
+	if sinst == nil {
+		done(nil, fmt.Errorf("migrate: %s has no program %s", src, prog))
+		return
+	}
+
+	install := func(next func(error)) {
+		if ddev.Instance(prog) != nil {
+			next(nil)
+			return
+		}
+		m.eng.ApplyRuntime(&runtime.Change{
+			Device:   ddev,
+			Installs: []runtime.Install{{Program: sinst.Program().Clone()}},
+		}, func(r runtime.Result) { next(r.Err) })
+	}
+
+	install(func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		dinst := ddev.Instance(prog)
+		if err := dinst.CopyEntriesFrom(sinst); err != nil {
+			done(nil, err)
+			return
+		}
+		r := &Replication{
+			m: m, prog: prog, src: src, dst: dst, interval: interval,
+			allNames: sortedNames(sinst),
+			receiver: NewStateReceiver(dinst),
+		}
+		if err := drouter.Register(drpc.ServiceStatePush, r.receiver.Handler()); err != nil {
+			done(nil, err)
+			return
+		}
+		// Initial full sync (absolute), then periodic additive deltas.
+		snapshot := sinst.ExportState()
+		sender := newStateSender(srouter, drouter.IP, snapshot, r.allNames)
+		r.ChunksSent += sender.totalChunks()
+		sender.start(m.fab.Sim, func() {
+			if err := r.receiver.Commit(); err != nil {
+				done(nil, err)
+				return
+			}
+			r.lastSync = snapshot
+			r.receiver.SetAdditive(true)
+			r.Rounds++
+			r.ticker = m.fab.Sim.Every(interval, func() { r.syncRound() })
+			done(r, nil)
+		})
+	})
+}
+
+// syncRound streams the additive delta since the previous round.
+func (r *Replication) syncRound() {
+	if r.stopped {
+		return
+	}
+	sdev := r.m.fab.Device(r.src)
+	if sdev == nil {
+		return
+	}
+	sinst := sdev.Instance(r.prog)
+	drouter := r.m.fab.Router(r.dst)
+	srouter := r.m.fab.Router(r.src)
+	if sinst == nil || drouter == nil || srouter == nil {
+		return
+	}
+	now := sinst.ExportState()
+	delta := diffLogical(now, r.lastSync)
+	r.lastSync = now
+	if len(delta) == 0 {
+		r.Rounds++
+		return
+	}
+	sender := newStateSender(srouter, drouter.IP, delta, r.allNames)
+	r.ChunksSent += sender.totalChunks()
+	sender.start(r.m.fab.Sim, func() {
+		if r.stopped {
+			return
+		}
+		if err := r.receiver.Commit(); err == nil {
+			r.Rounds++
+		}
+	})
+}
+
+// Stop ends replication and releases the standby's push service.
+func (r *Replication) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+	if drouter := r.m.fab.Router(r.dst); drouter != nil {
+		drouter.Unregister(drpc.ServiceStatePush)
+	}
+}
+
+// LagUpdates reports how many source updates the standby is currently
+// missing (0 right after a round).
+func (r *Replication) LagUpdates() uint64 {
+	sdev := r.m.fab.Device(r.src)
+	ddev := r.m.fab.Device(r.dst)
+	if sdev == nil || ddev == nil {
+		return 0
+	}
+	sinst, dinst := sdev.Instance(r.prog), ddev.Instance(r.prog)
+	if sinst == nil || dinst == nil {
+		return 0
+	}
+	su, du := instanceUpdates(sinst), instanceUpdates(dinst)
+	if su > du {
+		return su - du
+	}
+	return 0
+}

@@ -1,0 +1,92 @@
+package migrate
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReplicationKeepsStandbyFresh(t *testing.T) {
+	f, m, src := migrationFabric(t)
+	src.StartCBR(50000)
+	f.Sim.RunFor(20 * time.Millisecond) // warm primary state
+
+	var rep *Replication
+	var err error
+	m.StartReplication("mon", "s1", "s2", 10*time.Millisecond, func(r *Replication, e error) {
+		rep, err = r, e
+	})
+	f.Sim.RunFor(200 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("replication never started")
+	}
+	if rep.Rounds < 10 {
+		t.Fatalf("rounds = %d", rep.Rounds)
+	}
+	if rep.ChunksSent == 0 {
+		t.Fatal("no state streamed")
+	}
+	// Under continuous mutation the standby lags by at most about one
+	// interval of updates: 50k pps × 10 ms ≈ 500 updates per map touched.
+	lag := rep.LagUpdates()
+	if lag > 3000 {
+		t.Fatalf("standby lags %d updates — replication ineffective", lag)
+	}
+	// Stop traffic; after one more round the standby converges exactly.
+	src.Stop()
+	f.Sim.RunFor(50 * time.Millisecond)
+	if lag := rep.LagUpdates(); lag != 0 {
+		t.Fatalf("standby still lags %d updates after quiescence", lag)
+	}
+	rep.Stop()
+}
+
+func TestReplicationFailover(t *testing.T) {
+	f, m, src := migrationFabric(t)
+	src.StartCBR(50000)
+	f.Sim.RunFor(20 * time.Millisecond)
+
+	var rep *Replication
+	m.StartReplication("mon", "s1", "s2", 10*time.Millisecond, func(r *Replication, e error) {
+		if e != nil {
+			t.Fatal(e)
+		}
+		rep = r
+	})
+	f.Sim.RunFor(100 * time.Millisecond)
+
+	// Primary dies: its program (and state) is gone. The standby holds a
+	// copy at most one sync interval stale.
+	primaryUpdates := monUpdates(f, "s1")
+	rep.Stop()
+	if err := f.Device("s1").RemoveProgram("mon"); err != nil {
+		t.Fatal(err)
+	}
+	src.Stop()
+	f.Sim.RunFor(20 * time.Millisecond)
+
+	standbyUpdates := monUpdates(f, "s2")
+	if standbyUpdates == 0 {
+		t.Fatal("standby has no state after failover")
+	}
+	// The standby must hold at least 95% of the primary's update volume.
+	if standbyUpdates*100 < primaryUpdates*95 {
+		t.Fatalf("standby too stale: %d of %d updates", standbyUpdates, primaryUpdates)
+	}
+}
+
+func TestReplicationErrors(t *testing.T) {
+	f, m, _ := migrationFabric(t)
+	var err error
+	m.StartReplication("ghost", "s1", "s2", time.Millisecond, func(r *Replication, e error) { err = e })
+	f.Sim.RunFor(10 * time.Millisecond)
+	if err == nil {
+		t.Fatal("replicating a missing program succeeded")
+	}
+	m.StartReplication("mon", "nope", "s2", time.Millisecond, func(r *Replication, e error) { err = e })
+	if err == nil {
+		t.Fatal("replicating from unknown device succeeded")
+	}
+}

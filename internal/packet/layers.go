@@ -1,0 +1,299 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IP protocol numbers used by the simulator.
+const (
+	ProtoICMP uint64 = 1
+	ProtoTCP  uint64 = 6
+	ProtoUDP  uint64 = 17
+	// ProtoDRPC is a private protocol number carrying FlexNet data-plane
+	// RPC messages (see internal/drpc).
+	ProtoDRPC uint64 = 253
+)
+
+// EtherTypes used by the simulator.
+const (
+	EtherTypeIPv4 uint64 = 0x0800
+	EtherTypeVLAN uint64 = 0x8100
+	EtherTypeARP  uint64 = 0x0806
+	// EtherTypeFlexEpoch tags the packet with a FlexNet program epoch;
+	// inserted at ingress of a reconfiguring device, removed at egress.
+	EtherTypeFlexEpoch uint64 = 0x88B5 // IEEE local experimental
+)
+
+// TCP flag bits as exposed in field "tcp.flags".
+const (
+	TCPFin uint64 = 1 << 0
+	TCPSyn uint64 = 1 << 1
+	TCPRst uint64 = 1 << 2
+	TCPPsh uint64 = 1 << 3
+	TCPAck uint64 = 1 << 4
+)
+
+// headerSpec describes one header type's wire layout. Widths are in bits;
+// all fields are big-endian on the wire and bit-packed in order.
+type headerSpec struct {
+	name   string
+	fields []fieldSpec
+	bytes  int
+}
+
+type fieldSpec struct {
+	name string
+	bits int
+}
+
+var headerSpecs = map[string]*headerSpec{}
+
+func registerHeader(name string, fields ...fieldSpec) *headerSpec {
+	total := 0
+	for _, f := range fields {
+		if f.bits <= 0 || f.bits > 64 {
+			panic(fmt.Sprintf("packet: field %s.%s has invalid width %d", name, f.name, f.bits))
+		}
+		total += f.bits
+	}
+	if total%8 != 0 {
+		panic(fmt.Sprintf("packet: header %s is %d bits, not byte aligned", name, total))
+	}
+	h := &headerSpec{name: name, fields: fields, bytes: total / 8}
+	headerSpecs[name] = h
+	return h
+}
+
+// Standard header layouts. These follow the real wire formats closely
+// enough for the experiments (options are not modelled; IPv4 IHL is fixed
+// at 5, TCP data offset at 5).
+var (
+	specEthernet = registerHeader("eth",
+		fieldSpec{"dst", 48}, fieldSpec{"src", 48}, fieldSpec{"type", 16})
+	specVLAN = registerHeader("vlan",
+		fieldSpec{"pcp", 3}, fieldSpec{"dei", 1}, fieldSpec{"vid", 12}, fieldSpec{"type", 16})
+	specIPv4 = registerHeader("ipv4",
+		fieldSpec{"version", 4}, fieldSpec{"ihl", 4}, fieldSpec{"dscp", 6}, fieldSpec{"ecn", 2},
+		fieldSpec{"len", 16}, fieldSpec{"id", 16}, fieldSpec{"flags", 3}, fieldSpec{"frag", 13},
+		fieldSpec{"ttl", 8}, fieldSpec{"proto", 8}, fieldSpec{"csum", 16},
+		fieldSpec{"src", 32}, fieldSpec{"dst", 32})
+	specTCP = registerHeader("tcp",
+		fieldSpec{"sport", 16}, fieldSpec{"dport", 16}, fieldSpec{"seq", 32}, fieldSpec{"ack", 32},
+		fieldSpec{"off", 4}, fieldSpec{"rsvd", 3}, fieldSpec{"flags", 9},
+		fieldSpec{"win", 16}, fieldSpec{"csum", 16}, fieldSpec{"urg", 16})
+	specUDP = registerHeader("udp",
+		fieldSpec{"sport", 16}, fieldSpec{"dport", 16}, fieldSpec{"len", 16}, fieldSpec{"csum", 16})
+	// FlexNet epoch shim: version epoch + original ethertype.
+	specFlexEpoch = registerHeader("flexepoch",
+		fieldSpec{"epoch", 32}, fieldSpec{"type", 16})
+	// In-band network telemetry record (one hop).
+	specINT = registerHeader("int",
+		fieldSpec{"hopcount", 8}, fieldSpec{"device", 16}, fieldSpec{"qdepth", 24}, fieldSpec{"latency", 32}, fieldSpec{"type", 16})
+	// Data-plane RPC header (see internal/drpc): carried over IPv4 proto ProtoDRPC.
+	specDRPC = registerHeader("drpc",
+		fieldSpec{"service", 16}, fieldSpec{"method", 8}, fieldSpec{"flags", 8},
+		fieldSpec{"callid", 32}, fieldSpec{"arg0", 64}, fieldSpec{"arg1", 64}, fieldSpec{"arg2", 64})
+)
+
+// HeaderBytes returns the wire size in bytes of the named header, or 0 if
+// the header type is unknown.
+func HeaderBytes(name string) int {
+	if s, ok := headerSpecs[name]; ok {
+		return s.bytes
+	}
+	return 0
+}
+
+// HeaderFields returns the ordered field names ("hdr.field") of the named
+// header type, or nil if unknown.
+func HeaderFields(name string) []string {
+	s, ok := headerSpecs[name]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(s.fields))
+	for i, f := range s.fields {
+		out[i] = name + "." + f.name
+	}
+	return out
+}
+
+// KnownHeaders returns the set of registered header type names.
+func KnownHeaders() []string {
+	out := make([]string, 0, len(headerSpecs))
+	for k := range headerSpecs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// RegisterCustomHeader registers a new header layout at runtime. FlexNet
+// uses this when a tenant extension introduces a new protocol; the parser
+// of a runtime-programmable device can then be extended to parse it.
+// Registering a name twice returns an error to catch tenant collisions.
+func RegisterCustomHeader(name string, fields map[string]int, order []string) error {
+	if _, ok := headerSpecs[name]; ok {
+		return fmt.Errorf("packet: header %q already registered", name)
+	}
+	fs := make([]fieldSpec, 0, len(order))
+	total := 0
+	for _, fname := range order {
+		bits, ok := fields[fname]
+		if !ok {
+			return fmt.Errorf("packet: header %q order names unknown field %q", name, fname)
+		}
+		if bits <= 0 || bits > 64 {
+			return fmt.Errorf("packet: header %q field %q has invalid width %d", name, fname, bits)
+		}
+		fs = append(fs, fieldSpec{fname, bits})
+		total += bits
+	}
+	if len(fs) != len(fields) {
+		return fmt.Errorf("packet: header %q order lists %d fields, have %d", name, len(fs), len(fields))
+	}
+	if total%8 != 0 {
+		return fmt.Errorf("packet: header %q is %d bits, not byte aligned", name, total)
+	}
+	headerSpecs[name] = &headerSpec{name: name, fields: fs, bytes: total / 8}
+	return nil
+}
+
+// UnregisterCustomHeader removes a runtime-registered header. Built-in
+// headers cannot be removed.
+func UnregisterCustomHeader(name string) error {
+	switch name {
+	case "eth", "vlan", "ipv4", "tcp", "udp", "flexepoch", "int", "drpc":
+		return fmt.Errorf("packet: cannot unregister built-in header %q", name)
+	}
+	if _, ok := headerSpecs[name]; !ok {
+		return fmt.Errorf("packet: header %q not registered", name)
+	}
+	delete(headerSpecs, name)
+	return nil
+}
+
+// EncodeHeader serializes the named header's fields from the packet into
+// wire bytes appended to dst.
+func EncodeHeader(dst []byte, name string, p *Packet) ([]byte, error) {
+	s, ok := headerSpecs[name]
+	if !ok {
+		return dst, fmt.Errorf("packet: unknown header %q", name)
+	}
+	var bitbuf uint64
+	bits := 0
+	for _, f := range s.fields {
+		v := p.Fields[name+"."+f.name]
+		if f.bits < 64 {
+			v &= (1 << uint(f.bits)) - 1
+		}
+		// Flush whole bytes as they fill.
+		rem := f.bits
+		for rem > 0 {
+			take := rem
+			if take > 64-bits {
+				take = 64 - bits
+			}
+			bitbuf = bitbuf<<uint(take) | (v >> uint(rem-take) & ((1 << uint(take)) - 1))
+			bits += take
+			rem -= take
+			for bits >= 8 {
+				dst = append(dst, byte(bitbuf>>uint(bits-8)))
+				bits -= 8
+			}
+		}
+	}
+	if bits != 0 {
+		return dst, fmt.Errorf("packet: header %q not byte aligned after encode", name)
+	}
+	return dst, nil
+}
+
+// DecodeHeader parses the named header from src into the packet's fields
+// and returns the remaining bytes.
+func DecodeHeader(src []byte, name string, p *Packet) ([]byte, error) {
+	s, ok := headerSpecs[name]
+	if !ok {
+		return src, fmt.Errorf("packet: unknown header %q", name)
+	}
+	if len(src) < s.bytes {
+		return src, fmt.Errorf("packet: short buffer for header %q: have %d bytes, need %d", name, len(src), s.bytes)
+	}
+	bitpos := 0
+	buf := src[:s.bytes]
+	for _, f := range s.fields {
+		var v uint64
+		rem := f.bits
+		for rem > 0 {
+			byteIdx := bitpos / 8
+			bitOff := bitpos % 8
+			avail := 8 - bitOff
+			take := rem
+			if take > avail {
+				take = avail
+			}
+			chunk := uint64(buf[byteIdx]) >> uint(avail-take) & ((1 << uint(take)) - 1)
+			v = v<<uint(take) | chunk
+			bitpos += take
+			rem -= take
+		}
+		p.Fields[name+"."+f.name] = v
+	}
+	p.AddHeader(name)
+	return src[s.bytes:], nil
+}
+
+// Marshal serializes the packet's present headers in order, followed by
+// PayloadLen zero bytes.
+func Marshal(p *Packet) ([]byte, error) {
+	var out []byte
+	var err error
+	for _, h := range p.Headers {
+		out, err = EncodeHeader(out, h, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, make([]byte, p.PayloadLen)...)
+	return out, nil
+}
+
+// ipv4HeaderChecksum computes the standard IPv4 header checksum over a
+// serialized 20-byte header with its checksum field zeroed.
+func ipv4HeaderChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// FixIPv4Checksum recomputes and stores "ipv4.csum" for the packet.
+func FixIPv4Checksum(p *Packet) error {
+	if !p.Has("ipv4") {
+		return fmt.Errorf("packet: no ipv4 header present")
+	}
+	p.Fields["ipv4.csum"] = 0
+	raw, err := EncodeHeader(nil, "ipv4", p)
+	if err != nil {
+		return err
+	}
+	p.Fields["ipv4.csum"] = uint64(ipv4HeaderChecksum(raw))
+	return nil
+}
+
+// VerifyIPv4Checksum reports whether the stored checksum matches.
+func VerifyIPv4Checksum(p *Packet) bool {
+	want := p.Fields["ipv4.csum"]
+	saved := want
+	p.Fields["ipv4.csum"] = 0
+	raw, err := EncodeHeader(nil, "ipv4", p)
+	p.Fields["ipv4.csum"] = saved
+	if err != nil {
+		return false
+	}
+	return uint64(ipv4HeaderChecksum(raw)) == want
+}

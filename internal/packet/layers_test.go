@@ -1,0 +1,150 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodeUnknownHeader(t *testing.T) {
+	p := New(1)
+	if _, err := EncodeHeader(nil, "nosuch", p); err == nil {
+		t.Fatal("encoded unknown header")
+	}
+	if _, err := DecodeHeader(nil, "nosuch", p); err == nil {
+		t.Fatal("decoded unknown header")
+	}
+}
+
+func TestMarshalUnknownHeaderFails(t *testing.T) {
+	p := New(1)
+	p.Headers = append(p.Headers, "ghost")
+	if _, err := Marshal(p); err == nil {
+		t.Fatal("marshalled packet with unknown header")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	p := TCPPacket(1, IP(10, 0, 0, 1), IP(10, 0, 0, 2), 1, 2, 0, 0)
+	if err := FixIPv4Checksum(p); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPv4Checksum(p) {
+		t.Fatal("fresh checksum does not verify")
+	}
+	p.SetField("ipv4.ttl", p.Field("ipv4.ttl")-1)
+	if VerifyIPv4Checksum(p) {
+		t.Fatal("corrupted header still verifies")
+	}
+	if err := FixIPv4Checksum(p); err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyIPv4Checksum(p) {
+		t.Fatal("re-fixed checksum does not verify")
+	}
+}
+
+func TestFixChecksumWithoutIPv4(t *testing.T) {
+	p := New(1)
+	p.AddHeader("eth")
+	if err := FixIPv4Checksum(p); err == nil {
+		t.Fatal("fixed checksum on packet without ipv4")
+	}
+}
+
+func TestHeaderFieldWidthMasking(t *testing.T) {
+	// A value wider than the field must be masked on encode.
+	p := New(1)
+	p.AddHeader("vlan")
+	p.SetField("vlan.vid", 0xFFFFF) // 12-bit field
+	p.SetField("vlan.type", EtherTypeIPv4)
+	raw, err := EncodeHeader(nil, "vlan", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New(2)
+	if _, err := DecodeHeader(raw, "vlan", q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Field("vlan.vid") != 0xFFF {
+		t.Fatalf("vid = %#x, want masked 0xFFF", q.Field("vlan.vid"))
+	}
+}
+
+func TestHeaderFieldsListing(t *testing.T) {
+	fields := HeaderFields("udp")
+	want := []string{"udp.sport", "udp.dport", "udp.len", "udp.csum"}
+	if len(fields) != len(want) {
+		t.Fatalf("fields = %v", fields)
+	}
+	for i := range want {
+		if fields[i] != want[i] {
+			t.Fatalf("fields = %v", fields)
+		}
+	}
+	if HeaderFields("ghost") != nil {
+		t.Fatal("unknown header listed fields")
+	}
+	found := false
+	for _, h := range KnownHeaders() {
+		if h == "drpc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("drpc missing from known headers")
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := UDPPacket(7, IP(1, 2, 3, 4), IP(5, 6, 7, 8), 9, 10, 0)
+	s := p.String()
+	for _, frag := range []string{"pkt 7", "eth,ipv4,udp", "udp.dport=10"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestParseStateErrors(t *testing.T) {
+	g := StandardParseGraph()
+	if err := g.AddState(&ParseState{Name: "eth"}); err == nil {
+		t.Fatal("duplicate state added")
+	}
+	if err := g.AddTransition("nope", 1, "eth"); err == nil {
+		t.Fatal("transition from unknown state")
+	}
+	if err := g.AddTransition("eth", 1, "nope"); err == nil {
+		t.Fatal("transition to unknown state")
+	}
+	if err := g.AddTransition("eth", EtherTypeIPv4, "udp"); err == nil {
+		t.Fatal("duplicate transition value")
+	}
+	if err := g.RemoveTransition("eth", 0x9999); err == nil {
+		t.Fatal("removed missing transition")
+	}
+	if err := g.RemoveState("start"); err == nil {
+		t.Fatal("removed start state")
+	}
+	if err := g.RemoveState("nope"); err == nil {
+		t.Fatal("removed unknown state")
+	}
+	if g.NumStates() == 0 || g.State("eth") == nil {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestParseGraphValidateErrors(t *testing.T) {
+	g := NewParseGraph("start")
+	if err := g.Validate(); err == nil {
+		t.Fatal("empty graph with missing start validated")
+	}
+	g.AddState(&ParseState{Name: "start", Header: "ghosthdr"})
+	if err := g.Validate(); err == nil {
+		t.Fatal("unknown header validated")
+	}
+	g2 := NewParseGraph("start")
+	g2.AddState(&ParseState{Name: "start", Default: "missing"})
+	if err := g2.Validate(); err == nil {
+		t.Fatal("dangling default validated")
+	}
+}

@@ -1,0 +1,263 @@
+// Package packet models network packets for the FlexNet simulator.
+//
+// It provides two complementary views of a packet, mirroring how
+// programmable data planes treat traffic:
+//
+//   - A wire view: byte slices with layered encode/decode in the style of
+//     gopacket's DecodingLayer, used at the edges of the simulation.
+//   - A PHV (parsed header vector) view: named header fields extracted by
+//     a programmable parser, which match/action pipelines read and write.
+//
+// Field names use the "header.field" convention from P4 (for example
+// "ipv4.dst" or "tcp.flags"). Values are carried as uint64; no header
+// field modelled here is wider than 64 bits (MAC addresses are 48 bits).
+package packet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Verdict is the fate assigned to a packet by a processing pipeline.
+type Verdict uint8
+
+const (
+	// VerdictContinue means processing should continue to the next element.
+	VerdictContinue Verdict = iota
+	// VerdictForward means the packet leaves via Packet.EgressPort.
+	VerdictForward
+	// VerdictDrop means the packet is discarded.
+	VerdictDrop
+	// VerdictToController means the packet is punted to the control plane.
+	VerdictToController
+	// VerdictRecirculate means the packet re-enters the pipeline.
+	VerdictRecirculate
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictContinue:
+		return "continue"
+	case VerdictForward:
+		return "forward"
+	case VerdictDrop:
+		return "drop"
+	case VerdictToController:
+		return "to-controller"
+	case VerdictRecirculate:
+		return "recirculate"
+	default:
+		return fmt.Sprintf("verdict(%d)", uint8(v))
+	}
+}
+
+// Packet is a unit of traffic inside the simulator. A Packet carries its
+// parsed header fields (the PHV), simulator metadata, and an optional
+// payload length (payload bytes themselves are not materialized; only
+// their length matters to the simulation).
+type Packet struct {
+	// ID is a unique packet identifier assigned by the traffic source.
+	ID uint64
+	// Fields is the parsed header vector.
+	Fields map[string]uint64
+	// Headers lists the header names present, in parse order.
+	Headers []string
+	// PayloadLen is the number of payload bytes beyond parsed headers.
+	PayloadLen int
+
+	// IngressPort and EgressPort are device-local port numbers.
+	IngressPort int
+	EgressPort  int
+
+	// Epoch is the program version stamp applied at ingress parse time;
+	// the runtime consistency machinery uses it to guarantee that one
+	// packet is never processed by a mix of program versions.
+	Epoch uint64
+
+	// Meta carries free-form simulator metadata (for example the FlexNet
+	// app trace used by consistency checks).
+	Meta map[string]uint64
+
+	// Trace, when non-nil, accumulates the names of processing elements
+	// the packet visited; experiments use it to verify end-to-end paths.
+	Trace []string
+}
+
+// New creates an empty packet with the given id.
+func New(id uint64) *Packet {
+	return &Packet{
+		ID:     id,
+		Fields: make(map[string]uint64, 16),
+		Meta:   make(map[string]uint64, 4),
+	}
+}
+
+// Clone deep-copies the packet. Clones are used when a device replicates
+// or recirculates traffic.
+func (p *Packet) Clone() *Packet {
+	q := &Packet{
+		ID:          p.ID,
+		Fields:      make(map[string]uint64, len(p.Fields)),
+		Headers:     append([]string(nil), p.Headers...),
+		PayloadLen:  p.PayloadLen,
+		IngressPort: p.IngressPort,
+		EgressPort:  p.EgressPort,
+		Epoch:       p.Epoch,
+		Meta:        make(map[string]uint64, len(p.Meta)),
+	}
+	for k, v := range p.Fields {
+		q.Fields[k] = v
+	}
+	for k, v := range p.Meta {
+		q.Meta[k] = v
+	}
+	if p.Trace != nil {
+		q.Trace = append([]string(nil), p.Trace...)
+	}
+	return q
+}
+
+// Has reports whether the named header was parsed.
+func (p *Packet) Has(header string) bool {
+	for _, h := range p.Headers {
+		if h == header {
+			return true
+		}
+	}
+	return false
+}
+
+// AddHeader records that the named header is present. Adding a header that
+// is already present is a no-op.
+func (p *Packet) AddHeader(header string) {
+	if !p.Has(header) {
+		p.Headers = append(p.Headers, header)
+	}
+}
+
+// RemoveHeader removes the named header and all of its fields.
+func (p *Packet) RemoveHeader(header string) {
+	out := p.Headers[:0]
+	for _, h := range p.Headers {
+		if h != header {
+			out = append(out, h)
+		}
+	}
+	p.Headers = out
+	prefix := header + "."
+	for k := range p.Fields {
+		if strings.HasPrefix(k, prefix) {
+			delete(p.Fields, k)
+		}
+	}
+}
+
+// Field returns the value of the named field, or 0 if absent.
+func (p *Packet) Field(name string) uint64 { return p.Fields[name] }
+
+// FieldOK returns the value and whether the field is present.
+func (p *Packet) FieldOK(name string) (uint64, bool) {
+	v, ok := p.Fields[name]
+	return v, ok
+}
+
+// SetField sets the named field.
+func (p *Packet) SetField(name string, v uint64) {
+	p.Fields[name] = v
+}
+
+// Len returns the total simulated length in bytes: the sum of the sizes
+// of present headers plus the payload length.
+func (p *Packet) Len() int {
+	n := p.PayloadLen
+	for _, h := range p.Headers {
+		n += HeaderBytes(h)
+	}
+	return n
+}
+
+// FlowKey returns the canonical 5-tuple flow key of the packet. Packets
+// without an IPv4 header hash to a degenerate key of their ingress port.
+func (p *Packet) FlowKey() FlowKey {
+	return FlowKey{
+		SrcIP:   uint32(p.Fields["ipv4.src"]),
+		DstIP:   uint32(p.Fields["ipv4.dst"]),
+		Proto:   uint8(p.Fields["ipv4.proto"]),
+		SrcPort: uint16(p.Fields[l4Name(p)+".sport"]),
+		DstPort: uint16(p.Fields[l4Name(p)+".dport"]),
+	}
+}
+
+func l4Name(p *Packet) string {
+	switch p.Fields["ipv4.proto"] {
+	case ProtoTCP:
+		return "tcp"
+	case ProtoUDP:
+		return "udp"
+	default:
+		return "tcp"
+	}
+}
+
+// FlowKey identifies a transport flow.
+type FlowKey struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%s:%d>%s:%d/%d", ipString(k.SrcIP), k.SrcPort, ipString(k.DstIP), k.DstPort, k.Proto)
+}
+
+// Reverse returns the key of the opposite direction of the flow.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcIP: k.DstIP, DstIP: k.SrcIP, SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Hash returns a 64-bit FNV-1a hash of the key, used by sketches and ECMP.
+func (k FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(k.SrcIP), 4)
+	mix(uint64(k.DstIP), 4)
+	mix(uint64(k.SrcPort), 2)
+	mix(uint64(k.DstPort), 2)
+	mix(uint64(k.Proto), 1)
+	return h
+}
+
+func ipString(ip uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// IP builds a uint32 IPv4 address from dotted components.
+func IP(a, b, c, d byte) uint32 {
+	return uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+}
+
+// String renders a compact, deterministic description of the packet.
+func (p *Packet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pkt %d [%s]", p.ID, strings.Join(p.Headers, ","))
+	keys := make([]string, 0, len(p.Fields))
+	for k := range p.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, p.Fields[k])
+	}
+	return b.String()
+}

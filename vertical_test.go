@@ -1,0 +1,125 @@
+package flexnet
+
+// Vertical distribution tests: the paper's fungible datapath spans host
+// stacks, NICs, and switches (§3.1 "hides away the details of vertical
+// and horizontal distribution"); the compiler must split a mixed
+// datapath across device classes by capability, and INT telemetry must
+// accumulate across hops.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVerticalDatapathSplitsByCapability(t *testing.T) {
+	// Host-stack device (eBPF class) → SmartNIC (SoC) → switch (DRMT).
+	n, err := New(21).
+		Switch("hoststack", Host).
+		Switch("nic", SoC).
+		Switch("tor", DRMT).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "hoststack").
+		Link("hoststack", "nic").
+		Link("nic", "tor").
+		Link("tor", "h2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Three segments with increasingly narrow requirements:
+	//  - ccmon needs Transport (only the host stack has it),
+	//  - scrub needs GeneralCompute (host or NIC),
+	//  - acl needs TCAM (everyone, but path order pins it last).
+	ccmon := NewProgram("ccmon").
+		Requires(Capabilities{Transport: true}).
+		Do(NewAsm().Ret().MustBuild()).
+		MustBuild()
+	scrub := NewProgram("scrub").
+		Requires(Capabilities{GeneralCompute: true}).
+		Do(NewAsm().Ret().MustBuild()).
+		MustBuild()
+	acl := NewProgram("acl").
+		Action("deny", 0, NewAsm().Drop().MustBuild()).
+		Table(&TableSpec{
+			Name:    "rules",
+			Keys:    []TableKey{{Field: "ipv4.src", Kind: 2 /* ternary */, Bits: 32}},
+			Actions: []string{"deny"},
+			Size:    32,
+		}).
+		Apply("rules").
+		MustBuild()
+
+	if err := n.DeployApp("flexnet://infra/vertical", AppSpec{
+		Programs: []*Program{ccmon, scrub, acl},
+		Path:     []string{"hoststack", "nic", "tor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	app := n.Controller().App("flexnet://infra/vertical")
+	place := func(seg string) string { return app.Replicas[seg][0] }
+	if place("ccmon") != "hoststack" {
+		t.Fatalf("ccmon placed on %s, want hoststack", place("ccmon"))
+	}
+	if got := place("scrub"); got != "hoststack" && got != "nic" {
+		t.Fatalf("scrub placed on %s", got)
+	}
+	// Path ordering: acl's device must not precede scrub's device.
+	pos := map[string]int{"hoststack": 0, "nic": 1, "tor": 2}
+	if pos[place("acl")] < pos[place("scrub")] {
+		t.Fatalf("path order violated: scrub on %s, acl on %s", place("scrub"), place("acl"))
+	}
+
+	// Traffic still flows through the full vertical chain.
+	src, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 6, SrcPort: 1, DstPort: 80, PacketLen: 100})
+	src.StartCBR(5000)
+	n.RunFor(100 * time.Millisecond)
+	src.Stop()
+	n.RunFor(20 * time.Millisecond)
+	if n.HostReceived("h2") != src.Sent {
+		t.Fatalf("delivered %d/%d through the vertical chain", n.HostReceived("h2"), src.Sent)
+	}
+}
+
+func TestINTTelemetryAccumulatesAcrossHops(t *testing.T) {
+	n, err := New(22).
+		Switch("s1", DRMT).
+		Switch("s2", RMT).
+		Switch("s3", Tile).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "s1").
+		Link("s1", "s2").
+		Link("s2", "s3").
+		Link("s3", "h2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One INT program per switch, each stamping its device id.
+	for i, sw := range []string{"s1", "s2", "s3"} {
+		if err := n.DeployApp("flexnet://infra/int-"+sw, AppSpec{
+			Programs: []*Program{INTTelemetry("int", uint64(i+1))},
+			Path:     []string{sw},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var hops, lastDev uint64
+	if err := n.OnHostReceive("h2", func(p *Packet) {
+		hops = p.Field("int.hopcount")
+		lastDev = p.Field("int.device")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 6, SrcPort: 1, DstPort: 80, PacketLen: 100})
+	src.EmitOne(0)
+	n.RunFor(10 * time.Millisecond)
+	if hops != 3 {
+		t.Fatalf("INT hop count = %d, want 3", hops)
+	}
+	if lastDev != 3 {
+		t.Fatalf("last INT device = %d, want 3 (s3)", lastDev)
+	}
+}
