@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file is not gofmt-clean, and prints the offenders.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: fmt vet build race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

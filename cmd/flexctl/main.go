@@ -29,11 +29,11 @@ func usage() {
 commands:
   status                                   controller status
   devices                                  per-device resources
-  deploy   -uri U -app NAME [-args a,b,c] [-path s1,s2] [-tenant T]
-  remove   -uri U
-  migrate  -uri U -segment S -device D [-dp]
-  scale-out -uri U -segment S -device D
-  scale-in  -uri U -segment S -device D
+  deploy   -uri U -app NAME [-args a,b,c] [-path s1,s2] [-tenant T] [-dry-run]
+  remove   -uri U [-dry-run]
+  migrate  -uri U -segment S -device D [-dp] [-dry-run]
+  scale-out -uri U -segment S -device D [-dry-run]
+  scale-in  -uri U -segment S -device D [-dry-run]
   tenant-add    -tenant T
   tenant-remove -tenant T
   traffic  -src HOST -dst IP -pps N
@@ -41,6 +41,9 @@ commands:
   run      [-ms N]
 
 builtin apps: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int
+
+-dry-run validates the operation's change plan and prints its steps and
+cost estimate without mutating the network.
 `)
 	os.Exit(2)
 }
@@ -67,6 +70,7 @@ func main() {
 	pps := sub.Float64("pps", 10000, "packets per second")
 	ms := sub.Int64("ms", 100, "simulated milliseconds to run")
 	dp := sub.Bool("dp", false, "use data-plane state migration")
+	dry := sub.Bool("dry-run", false, "validate the change plan without executing it")
 	sub.Parse(flag.Args()[1:])
 
 	req := map[string]interface{}{"op": cmd}
@@ -95,6 +99,9 @@ func main() {
 	}
 	if *dp {
 		req["data_plane"] = true
+	}
+	if *dry {
+		req["dry_run"] = true
 	}
 	if *argsCSV != "" {
 		var args []uint64

@@ -117,6 +117,9 @@ type Request struct {
 	Millis int64 `json:"millis,omitempty"`
 	// Migration mode.
 	DataPlane bool `json:"data_plane,omitempty"`
+	// DryRun validates the operation's change plan and returns its steps
+	// and cost estimate without mutating the network.
+	DryRun bool `json:"dry_run,omitempty"`
 }
 
 // Response is one API reply.
@@ -160,6 +163,32 @@ func builtinApp(name string, args []uint64) (*flexnet.Program, error) {
 	}
 }
 
+// planData serializes a dry-run plan report for the wire: every step
+// with its validation status, plus the plan-level outcome and estimate.
+func planData(rep *flexnet.PlanReport) Response {
+	steps := make([]map[string]interface{}, 0, len(rep.Steps))
+	for _, sr := range rep.Steps {
+		m := map[string]interface{}{
+			"step":   sr.Step.String(),
+			"status": sr.Status.String(),
+		}
+		if sr.Err != nil {
+			m["error"] = sr.Err.Error()
+		}
+		steps = append(steps, m)
+	}
+	data := map[string]interface{}{
+		"plan":         rep.Label,
+		"outcome":      rep.Outcome.String(),
+		"estimated_ms": float64(rep.Estimated.Microseconds()) / 1000.0,
+		"steps":        steps,
+	}
+	if rep.Err != nil {
+		data["error"] = rep.Err.Error()
+	}
+	return Response{OK: true, Data: data}
+}
+
 func (s *Server) handle(req *Request) Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -188,20 +217,42 @@ func (s *Server) handle(req *Request) Response {
 		if err != nil {
 			return fail(err)
 		}
-		if err := s.net.DeployApp(req.URI, flexnet.AppSpec{
+		spec := flexnet.AppSpec{
 			Programs: []*flexnet.Program{prog},
 			Path:     req.Path,
 			Tenant:   req.Tenant,
-		}); err != nil {
+		}
+		if req.DryRun {
+			rep, err := s.net.DryRunDeploy(req.URI, spec)
+			if err != nil {
+				return fail(err)
+			}
+			return planData(rep)
+		}
+		if err := s.net.DeployApp(req.URI, spec); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Data: map[string]string{"uri": req.URI}}
 	case "remove":
+		if req.DryRun {
+			rep, err := s.net.DryRunRemove(req.URI)
+			if err != nil {
+				return fail(err)
+			}
+			return planData(rep)
+		}
 		if err := s.net.RemoveApp(req.URI); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "migrate":
+		if req.DryRun {
+			rep, err := s.net.DryRunMigrate(req.URI, req.Segment, req.Device, req.DataPlane)
+			if err != nil {
+				return fail(err)
+			}
+			return planData(rep)
+		}
 		rep, err := s.net.MigrateApp(req.URI, req.Segment, req.Device, req.DataPlane)
 		if err != nil {
 			return fail(err)
@@ -212,11 +263,25 @@ func (s *Server) handle(req *Request) Response {
 			"duration_ms":  (rep.Done - rep.Started).Milliseconds(),
 		}}
 	case "scale-out":
+		if req.DryRun {
+			rep, err := s.net.DryRunScaleOut(req.URI, req.Segment, req.Device)
+			if err != nil {
+				return fail(err)
+			}
+			return planData(rep)
+		}
 		if err := s.net.ScaleOut(req.URI, req.Segment, req.Device); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
 	case "scale-in":
+		if req.DryRun {
+			rep, err := s.net.DryRunScaleIn(req.URI, req.Segment, req.Device)
+			if err != nil {
+				return fail(err)
+			}
+			return planData(rep)
+		}
 		if err := s.net.ScaleIn(req.URI, req.Segment, req.Device); err != nil {
 			return fail(err)
 		}

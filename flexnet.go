@@ -43,14 +43,29 @@ import (
 	"flexnet/internal/compiler"
 	"flexnet/internal/controller"
 	"flexnet/internal/dataplane"
+	"flexnet/internal/errdefs"
 	"flexnet/internal/fabric"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/flexbpf/delta"
 	"flexnet/internal/migrate"
 	"flexnet/internal/netsim"
 	"flexnet/internal/packet"
+	"flexnet/internal/plan"
 	"flexnet/internal/runtime"
 	"flexnet/internal/transport"
+)
+
+// Sentinel errors. Internal failures wrap these, so callers can classify
+// outcomes with errors.Is regardless of the layer that produced them.
+var (
+	// ErrNoSuchApp: the URI (or one of its segments/replicas) is unknown.
+	ErrNoSuchApp = errdefs.ErrNoSuchApp
+	// ErrInsufficientResources: placement or growth does not fit.
+	ErrInsufficientResources = errdefs.ErrInsufficientResources
+	// ErrVerifyFailed: a program failed FlexBPF verification.
+	ErrVerifyFailed = errdefs.ErrVerifyFailed
+	// ErrDeviceDown: the target device is marked down.
+	ErrDeviceDown = errdefs.ErrDeviceDown
 )
 
 // Architecture classes (§3.3 of the paper).
@@ -116,6 +131,13 @@ type (
 	App = controller.App
 	// Tenant is an admitted tenant.
 	Tenant = controller.Tenant
+	// ChangePlan is a transactional network change: typed steps with a
+	// validate → prepare → commit lifecycle and automatic rollback.
+	ChangePlan = plan.ChangePlan
+	// PlanStep is one typed operation within a ChangePlan.
+	PlanStep = plan.Step
+	// PlanReport describes a plan's execution or dry run.
+	PlanReport = plan.Report
 )
 
 // Program constructors re-exported from the library.
@@ -448,6 +470,69 @@ func (n *Network) RemoveTenant(name string) error {
 		return fmt.Errorf("flexnet: tenant removal did not complete")
 	}
 	return err
+}
+
+// LastPlanReport returns the report of the most recently executed
+// change plan (nil before the first operation). Every operation —
+// deploy, remove, update, scale, migrate — leaves one.
+func (n *Network) LastPlanReport() *PlanReport { return n.ctl.LastReport() }
+
+// DryRunDeploy compiles and validates a deployment without touching the
+// network: the report lists every step with its estimated cost. The
+// error is non-nil if the plan could not even be built (bad URI,
+// placement failure).
+func (n *Network) DryRunDeploy(uri string, spec AppSpec) (*PlanReport, error) {
+	dp := &Datapath{Name: uri, Segments: spec.Programs, SLA: spec.SLA, Owner: spec.Tenant}
+	cp, _, err := n.ctl.PlanDeploy(uri, dp, controller.DeployOptions{Path: spec.Path, Tenant: spec.Tenant})
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
+}
+
+// DryRunRemove validates an app removal without executing it.
+func (n *Network) DryRunRemove(uri string) (*PlanReport, error) {
+	cp, err := n.ctl.PlanRemove(uri)
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
+}
+
+// DryRunMigrate validates a migration without executing it.
+func (n *Network) DryRunMigrate(uri, segment, dst string, dataPlane bool) (*PlanReport, error) {
+	cp, err := n.ctl.PlanMigrate(uri, segment, dst, dataPlane)
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
+}
+
+// DryRunScaleOut validates adding a replica without executing it.
+func (n *Network) DryRunScaleOut(uri, segment, device string) (*PlanReport, error) {
+	cp, err := n.ctl.PlanScaleOut(uri, segment, device)
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
+}
+
+// DryRunScaleIn validates removing a replica without executing it.
+func (n *Network) DryRunScaleIn(uri, segment, device string) (*PlanReport, error) {
+	cp, err := n.ctl.PlanScaleIn(uri, segment, device)
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
+}
+
+// DryRunUpdate validates an incremental update without executing it.
+func (n *Network) DryRunUpdate(uri, segment string, d *Delta) (*PlanReport, error) {
+	cp, _, _, err := n.ctl.PlanUpdate(uri, segment, d)
+	if err != nil {
+		return nil, err
+	}
+	return n.ctl.DryRun(cp), nil
 }
 
 // waitFor advances simulation until *done or the budget elapses.

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 
+	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
 )
 
@@ -268,7 +269,7 @@ func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, path
 			}
 		}
 		if best == -1 {
-			return nil, fmt.Errorf("no device fits segment %s (demand %v)", seg.Name, need)
+			return nil, fmt.Errorf("no device fits segment %s (demand %v): %w", seg.Name, need, errdefs.ErrInsufficientResources)
 		}
 		reserved[best] = reserved[best].Add(need)
 		if !scratch[best].Active() {

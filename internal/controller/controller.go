@@ -17,11 +17,13 @@ import (
 	"strings"
 
 	"flexnet/internal/compiler"
+	"flexnet/internal/errdefs"
 	"flexnet/internal/fabric"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/migrate"
 	"flexnet/internal/netsim"
 	"flexnet/internal/packet"
+	"flexnet/internal/plan"
 	"flexnet/internal/runtime"
 )
 
@@ -89,6 +91,12 @@ type Controller struct {
 	comp *compiler.Compiler
 	mig  *migrate.Migrator
 
+	// exec is the single transactional change path: every operation's
+	// ChangePlan is executed (or dry-run) through it.
+	exec *runtime.Executor
+	// lastReport is the report of the most recently finished plan.
+	lastReport *plan.Report
+
 	apps    map[string]*App
 	tenants map[string]*Tenant
 	targets map[string]*compiler.DeviceTarget
@@ -128,6 +136,7 @@ func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *C
 		// reaching dst is processed by the new instance.
 		_ = fab.Device(src).RemoveProgram(prog)
 	}
+	c.exec = runtime.NewExecutor(eng, fab.Device, c.mig, fab)
 	fab.Punted = func(dev string, pkt *packet.Packet) {
 		c.Punts = append(c.Punts, PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
 		if c.OnPunt != nil {
@@ -142,6 +151,30 @@ func (c *Controller) Compiler() *compiler.Compiler { return c.comp }
 
 // Migrator exposes the migrator.
 func (c *Controller) Migrator() *migrate.Migrator { return c.mig }
+
+// Executor exposes the transactional plan executor.
+func (c *Controller) Executor() *runtime.Executor { return c.exec }
+
+// LastReport returns the report of the most recently executed plan
+// (nil before the first operation).
+func (c *Controller) LastReport() *plan.Report { return c.lastReport }
+
+// DryRun validates a plan — device, verifier, capability, and resource
+// checks plus the cost estimate — without mutating anything.
+func (c *Controller) DryRun(cp *plan.ChangePlan) *plan.Report { return c.exec.Validate(cp) }
+
+// tenantFilter returns the VLAN isolation filter for a tenant's
+// instances (nil for infrastructure apps).
+func (c *Controller) tenantFilter(tenant string) *flexbpf.Cond {
+	if tenant == "" {
+		return nil
+	}
+	t := c.tenants[tenant]
+	if t == nil {
+		return nil
+	}
+	return &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
+}
 
 // ValidURI checks the app URI shape: flexnet://<owner>/<name>.
 func ValidURI(uri string) bool {
@@ -208,91 +241,84 @@ type DeployOptions struct {
 	Tenant string
 }
 
+// PlanDeploy validates and compiles a deployment, returning the change
+// plan and the placement without executing anything. The returned plan
+// can be dry-run (DryRun) or handed back through Deploy's execution by
+// the caller's choice.
+func (c *Controller) PlanDeploy(uri string, dp *flexbpf.Datapath, opts DeployOptions) (*plan.ChangePlan, *compiler.Plan, error) {
+	if !ValidURI(uri) {
+		return nil, nil, fmt.Errorf("controller: malformed app URI %q", uri)
+	}
+	if _, dup := c.apps[uri]; dup {
+		return nil, nil, fmt.Errorf("controller: app %q already deployed", uri)
+	}
+	if opts.Tenant != "" && c.tenants[opts.Tenant] == nil {
+		return nil, nil, fmt.Errorf("controller: tenant %q not admitted", opts.Tenant)
+	}
+	// Compile against current device state.
+	targets := c.targetList(opts.Path)
+	placement, err := c.comp.Compile(dp, targets, opts.Path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := compiler.CheckSLA(placement, dp); err != nil {
+		return nil, nil, err
+	}
+	filter := c.tenantFilter(opts.Tenant)
+	cp := plan.New("deploy " + uri)
+	for _, a := range placement.Assignments {
+		cp.Install(a.Device, instanceName(uri, a.Segment), dp.Segment(a.Segment), filter, 0)
+	}
+	return cp, placement, nil
+}
+
 // Deploy compiles and installs an app's datapath under the URI handle.
 // done receives the final error (nil on success) after all devices
-// commit.
+// commit; on any failure the plan is rolled back and the URI released
+// so a corrected deployment can retry.
 func (c *Controller) Deploy(uri string, dp *flexbpf.Datapath, opts DeployOptions, done func(error)) {
 	fail := func(err error) {
 		if done != nil {
 			done(err)
 		}
 	}
-	if !ValidURI(uri) {
-		fail(fmt.Errorf("controller: malformed app URI %q", uri))
-		return
-	}
-	if _, dup := c.apps[uri]; dup {
-		fail(fmt.Errorf("controller: app %q already deployed", uri))
-		return
-	}
-	var filter *flexbpf.Cond
-	if opts.Tenant != "" {
-		t := c.tenants[opts.Tenant]
-		if t == nil {
-			fail(fmt.Errorf("controller: tenant %q not admitted", opts.Tenant))
-			return
-		}
-		filter = &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
-	}
-
-	// Compile against current device state.
-	targets := c.targetList(opts.Path)
-	plan, err := c.comp.Compile(dp, targets, opts.Path)
+	cp, placement, err := c.PlanDeploy(uri, dp, opts)
 	if err != nil {
 		fail(err)
 		return
 	}
-	if err := compiler.CheckSLA(plan, dp); err != nil {
-		fail(err)
-		return
-	}
-
 	app := &App{
 		URI:      uri,
 		Tenant:   opts.Tenant,
 		Datapath: dp,
-		Plan:     plan,
+		Plan:     placement,
 		Replicas: map[string][]string{},
 		Status:   StatusDeploying,
+	}
+	for _, a := range placement.Assignments {
+		app.Replicas[a.Segment] = []string{a.Device}
 	}
 	c.apps[uri] = app
 	if opts.Tenant != "" {
 		t := c.tenants[opts.Tenant]
 		t.Apps = append(t.Apps, uri)
 	}
-
-	// Translate the plan into per-device runtime changes.
-	nc := &runtime.NetworkChange{Mode: runtime.ConsistencySimultaneous}
-	byDevice := map[string]*runtime.Change{}
-	for _, a := range plan.Assignments {
-		seg := dp.Segment(a.Segment)
-		prog := seg.Clone()
-		prog.Name = instanceName(uri, a.Segment)
-		ch := byDevice[a.Device]
-		if ch == nil {
-			ch = &runtime.Change{Device: c.fab.Device(a.Device)}
-			byDevice[a.Device] = ch
-			nc.Changes = append(nc.Changes, ch)
-		}
-		ch.Installs = append(ch.Installs, runtime.Install{Program: prog, Filter: filter})
-		app.Replicas[a.Segment] = []string{a.Device}
-	}
-	c.eng.ApplyNetworkRuntime(nc, func(total netsim.Time, errs []error) {
-		if len(errs) > 0 {
-			// Release the URI so a corrected deployment can retry.
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
+		if r.Err != nil {
+			// Rollback restored the devices; release the URI so a
+			// corrected deployment can retry.
 			app.Status = StatusFailed
 			delete(c.apps, uri)
-			if opts.Tenant != "" {
-				if t := c.tenants[opts.Tenant]; t != nil {
-					for i, u := range t.Apps {
-						if u == uri {
-							t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
-							break
-						}
+			if t := c.tenants[opts.Tenant]; t != nil {
+				for i, u := range t.Apps {
+					if u == uri {
+						t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
+						break
 					}
 				}
 			}
-			fail(errs[0])
+			fail(r.Err)
 			return
 		}
 		app.Status = StatusRunning
@@ -332,30 +358,48 @@ func (c *Controller) Apps() []string {
 	return out
 }
 
-// Remove uninstalls an app everywhere and releases its resources.
-func (c *Controller) Remove(uri string, done func(error)) {
+// PlanRemove builds the removal plan for every replica of an app.
+func (c *Controller) PlanRemove(uri string) (*plan.ChangePlan, error) {
 	app := c.apps[uri]
 	if app == nil {
+		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
+	}
+	cp := plan.New("remove " + uri)
+	segs := make([]string, 0, len(app.Replicas))
+	for seg := range app.Replicas {
+		segs = append(segs, seg)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		for _, dev := range app.Replicas[seg] {
+			cp.Remove(dev, instanceName(uri, seg))
+		}
+	}
+	return cp, nil
+}
+
+// Remove uninstalls an app everywhere and releases its resources. On
+// failure the rollback re-places every instance (state intact) and the
+// app stays registered and running.
+func (c *Controller) Remove(uri string, done func(error)) {
+	cp, err := c.PlanRemove(uri)
+	if err != nil {
 		if done != nil {
-			done(fmt.Errorf("controller: no app %q", uri))
+			done(err)
 		}
 		return
 	}
+	app := c.apps[uri]
 	app.Status = StatusRemoving
-	nc := &runtime.NetworkChange{Mode: runtime.ConsistencySimultaneous}
-	byDevice := map[string]*runtime.Change{}
-	for seg, devs := range app.Replicas {
-		for _, dev := range devs {
-			ch := byDevice[dev]
-			if ch == nil {
-				ch = &runtime.Change{Device: c.fab.Device(dev)}
-				byDevice[dev] = ch
-				nc.Changes = append(nc.Changes, ch)
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
+		if r.Err != nil {
+			app.Status = StatusRunning
+			if done != nil {
+				done(r.Err)
 			}
-			ch.Removes = append(ch.Removes, instanceName(uri, seg))
+			return
 		}
-	}
-	c.eng.ApplyNetworkRuntime(nc, func(total netsim.Time, errs []error) {
 		delete(c.apps, uri)
 		if app.Tenant != "" {
 			if t := c.tenants[app.Tenant]; t != nil {
@@ -368,52 +412,48 @@ func (c *Controller) Remove(uri string, done func(error)) {
 			}
 		}
 		if done != nil {
-			if len(errs) > 0 {
-				done(errs[0])
-			} else {
-				done(nil)
-			}
+			done(nil)
 		}
 	})
+}
+
+// PlanScaleOut builds the plan for one additional replica.
+func (c *Controller) PlanScaleOut(uri, segment, device string) (*plan.ChangePlan, error) {
+	app := c.apps[uri]
+	if app == nil {
+		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
+	}
+	seg := app.Datapath.Segment(segment)
+	if seg == nil {
+		return nil, fmt.Errorf("controller: app %q has no segment %q: %w", uri, segment, errdefs.ErrNoSuchApp)
+	}
+	for _, d := range app.Replicas[segment] {
+		if d == device {
+			return nil, fmt.Errorf("controller: %q already replicated on %s", uri, device)
+		}
+	}
+	cp := plan.New(fmt.Sprintf("scale-out %s/%s -> %s", uri, segment, device))
+	cp.Install(device, instanceName(uri, segment), seg, c.tenantFilter(app.Tenant), 0)
+	return cp, nil
 }
 
 // ScaleOut installs an additional replica of an app segment on a device
 // (elastic defenses, §1.1: defenses "dynamically scale in and out based
 // on attack traffic volume").
 func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
-	app := c.apps[uri]
 	fail := func(err error) {
 		if done != nil {
 			done(err)
 		}
 	}
-	if app == nil {
-		fail(fmt.Errorf("controller: no app %q", uri))
+	cp, err := c.PlanScaleOut(uri, segment, device)
+	if err != nil {
+		fail(err)
 		return
 	}
-	seg := app.Datapath.Segment(segment)
-	if seg == nil {
-		fail(fmt.Errorf("controller: app %q has no segment %q", uri, segment))
-		return
-	}
-	for _, d := range app.Replicas[segment] {
-		if d == device {
-			fail(fmt.Errorf("controller: %q already replicated on %s", uri, device))
-			return
-		}
-	}
-	var filter *flexbpf.Cond
-	if app.Tenant != "" {
-		if t := c.tenants[app.Tenant]; t != nil {
-			filter = &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
-		}
-	}
-	prog := seg.Clone()
-	prog.Name = instanceName(uri, segment)
-	c.eng.ApplyRuntime(&runtime.Change{
-		Device:   c.fab.Device(device),
-		Installs: []runtime.Install{{Program: prog, Filter: filter}},
-	}, func(r runtime.Result) {
+	app := c.apps[uri]
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
 		if r.Err != nil {
 			fail(r.Err)
 			return
@@ -425,77 +465,127 @@ func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
 	})
 }
 
+// PlanScaleIn builds the plan to retire one replica.
+func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan, error) {
+	app := c.apps[uri]
+	if app == nil {
+		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
+	}
+	devs := app.Replicas[segment]
+	found := false
+	for _, d := range devs {
+		if d == device {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("controller: %q segment %q has no replica on %s", uri, segment, device)
+	}
+	if len(devs) == 1 {
+		return nil, fmt.Errorf("controller: refusing to remove the last replica of %q/%q", uri, segment)
+	}
+	cp := plan.New(fmt.Sprintf("scale-in %s/%s on %s", uri, segment, device))
+	cp.Remove(device, instanceName(uri, segment))
+	return cp, nil
+}
+
 // ScaleIn removes a replica from a device.
 func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
-	app := c.apps[uri]
 	fail := func(err error) {
 		if done != nil {
 			done(err)
 		}
 	}
-	if app == nil {
-		fail(fmt.Errorf("controller: no app %q", uri))
+	cp, err := c.PlanScaleIn(uri, segment, device)
+	if err != nil {
+		fail(err)
 		return
 	}
-	devs := app.Replicas[segment]
-	idx := -1
-	for i, d := range devs {
-		if d == device {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		fail(fmt.Errorf("controller: %q segment %q has no replica on %s", uri, segment, device))
-		return
-	}
-	if len(devs) == 1 {
-		fail(fmt.Errorf("controller: refusing to remove the last replica of %q/%q", uri, segment))
-		return
-	}
-	c.eng.ApplyRuntime(&runtime.Change{
-		Device:  c.fab.Device(device),
-		Removes: []string{instanceName(uri, segment)},
-	}, func(r runtime.Result) {
+	app := c.apps[uri]
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
 		if r.Err != nil {
 			fail(r.Err)
 			return
 		}
-		app.Replicas[segment] = append(devs[:idx], devs[idx+1:]...)
+		devs := app.Replicas[segment]
+		for i, d := range devs {
+			if d == device {
+				app.Replicas[segment] = append(devs[:i], devs[i+1:]...)
+				break
+			}
+		}
 		if done != nil {
 			done(nil)
 		}
 	})
 }
 
-// Migrate moves an app segment between devices using data-plane state
-// migration (useDataPlane) or the control-plane baseline.
-func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done func(migrate.Report)) {
+// PlanMigrate builds the migration plan for an app segment's primary
+// replica: install the instance at dst (committed epoch-atomically),
+// then move its state and flip traffic as a post-commit step.
+func (c *Controller) PlanMigrate(uri, segment, dst string, useDataPlane bool) (*plan.ChangePlan, error) {
 	app := c.apps[uri]
 	if app == nil {
-		done(migrate.Report{Err: fmt.Errorf("controller: no app %q", uri)})
-		return
+		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
 	devs := app.Replicas[segment]
 	if len(devs) == 0 {
-		done(migrate.Report{Err: fmt.Errorf("controller: app %q segment %q not placed", uri, segment)})
-		return
+		return nil, fmt.Errorf("controller: app %q segment %q not placed: %w", uri, segment, errdefs.ErrNoSuchApp)
 	}
 	src := devs[0]
-	app.Status = StatusMigrating
-	prog := instanceName(uri, segment)
-	finish := func(rep migrate.Report) {
-		if rep.Err == nil {
-			app.Replicas[segment][0] = dst
+	if src == dst {
+		return nil, fmt.Errorf("controller: %q segment %q already on %s", uri, segment, dst)
+	}
+	instName := instanceName(uri, segment)
+	// Install the instance's *live* program (it may have been updated
+	// since deployment), falling back to the logical segment.
+	prog := app.Datapath.Segment(segment)
+	if sdev := c.fab.Device(src); sdev != nil {
+		if inst := sdev.Instance(instName); inst != nil {
+			prog = inst.Program()
 		}
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("controller: app %q has no segment %q: %w", uri, segment, errdefs.ErrNoSuchApp)
+	}
+	cp := plan.New(fmt.Sprintf("migrate %s/%s %s -> %s", uri, segment, src, dst))
+	cp.Install(dst, instName, prog, c.tenantFilter(app.Tenant), 0)
+	cp.MigrateState(instName, src, dst, useDataPlane)
+	return cp, nil
+}
+
+// Migrate moves an app segment between devices using data-plane state
+// migration (useDataPlane) or the control-plane baseline. A failure at
+// any point rolls the plan back: the destination install is undone and
+// the source stays authoritative.
+func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done func(migrate.Report)) {
+	cp, err := c.PlanMigrate(uri, segment, dst, useDataPlane)
+	if err != nil {
+		done(migrate.Report{Err: err})
+		return
+	}
+	app := c.apps[uri]
+	src := app.Replicas[segment][0]
+	instName := instanceName(uri, segment)
+	app.Status = StatusMigrating
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
 		app.Status = StatusRunning
-		done(rep)
-	}
-	if useDataPlane {
-		c.mig.DataPlane(prog, src, dst, finish)
-	} else {
-		c.mig.ControlPlane(prog, src, dst, finish)
-	}
+		if r.Err != nil {
+			rep := c.mig.LastReport()
+			if rep.Program != instName || rep.Err == nil {
+				// The failure happened before the mover ran (install
+				// phase); synthesize a report.
+				rep = migrate.Report{Program: instName, Src: src, Dst: dst, Err: r.Err}
+			}
+			done(rep)
+			return
+		}
+		app.Replicas[segment][0] = dst
+		done(c.mig.LastReport())
+	})
 }
 
 // Resources reports per-device free resources and fungibility — the
@@ -527,7 +617,7 @@ func (c *Controller) ResourceView() []Resources {
 func (c *Controller) MarkRemovable(uri string) error {
 	app := c.apps[uri]
 	if app == nil {
-		return fmt.Errorf("controller: no app %q", uri)
+		return fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
 	for seg, devs := range app.Replicas {
 		for _, dev := range devs {

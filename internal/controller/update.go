@@ -3,174 +3,78 @@ package controller
 import (
 	"fmt"
 
-	"flexnet/internal/dataplane"
-	"flexnet/internal/dataplane/state"
+	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/flexbpf/delta"
-	"flexnet/internal/runtime"
+	"flexnet/internal/plan"
 )
+
+// PlanUpdate applies a delta to one segment's logical program and builds
+// the swap plan over every hosting replica. The new program and the
+// delta report are returned alongside the plan; nothing is executed.
+// Resource (grow-in-place) and verifier checks happen in the executor's
+// validate phase.
+func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.ChangePlan, *flexbpf.Program, *delta.Report, error) {
+	app := c.apps[uri]
+	if app == nil {
+		return nil, nil, nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
+	}
+	seg := app.Datapath.Segment(segment)
+	if seg == nil {
+		return nil, nil, nil, fmt.Errorf("controller: app %q has no segment %q: %w", uri, segment, errdefs.ErrNoSuchApp)
+	}
+	newProg, rep, err := delta.Apply(seg, d)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	devs := app.Replicas[segment]
+	if len(devs) == 0 {
+		return nil, nil, nil, fmt.Errorf("controller: app %q segment %q not placed: %w", uri, segment, errdefs.ErrNoSuchApp)
+	}
+	cp := plan.New(fmt.Sprintf("update %s#%s", uri, segment))
+	filter := c.tenantFilter(app.Tenant)
+	for _, devName := range devs {
+		cp.Swap(devName, instanceName(uri, segment), newProg, filter)
+	}
+	return cp, newProg, rep, nil
+}
 
 // UpdateApp applies an incremental change (a §3.2 delta) to one segment
 // of a deployed app, live:
 //
 //  1. The delta is applied to the segment's logical program and the
 //     result re-verified.
-//  2. The change is validated against the hosting devices' free
-//     resources (grow-in-place; a change that no longer fits fails
-//     without touching the network — callers can then Migrate first).
-//  3. Each replica swaps old→new atomically, carrying over the state of
-//     every stateful object that survives the delta.
+//  2. The plan's validate phase checks the change against the hosting
+//     devices' free resources (grow-in-place; a change that no longer
+//     fits fails without touching the network — callers can then
+//     Migrate first).
+//  3. Each replica swaps old→new atomically — all replicas at one
+//     simulated instant — carrying over the state of every stateful
+//     object that survives the delta. Any failure rolls every replica
+//     back to the old program, state intact.
 //
 // done receives the per-application report and the first error.
 func (c *Controller) UpdateApp(uri, segment string, d *delta.Delta, done func(*delta.Report, error)) {
-	fail := func(err error) {
+	cp, newProg, rep, err := c.PlanUpdate(uri, segment, d)
+	if err != nil {
 		if done != nil {
 			done(nil, err)
 		}
+		return
 	}
 	app := c.apps[uri]
-	if app == nil {
-		fail(fmt.Errorf("controller: no app %q", uri))
-		return
-	}
-	seg := app.Datapath.Segment(segment)
-	if seg == nil {
-		fail(fmt.Errorf("controller: app %q has no segment %q", uri, segment))
-		return
-	}
-	newProg, rep, err := delta.Apply(seg, d)
-	if err != nil {
-		fail(err)
-		return
-	}
-
-	// Resource check: the *growth* must fit on every hosting device.
-	oldDemand := flexbpf.ProgramDemand(seg)
-	newDemand := flexbpf.ProgramDemand(newProg)
-	growth := newDemand.Sub(oldDemand)
-	devs := app.Replicas[segment]
-	if len(devs) == 0 {
-		fail(fmt.Errorf("controller: app %q segment %q not placed", uri, segment))
-		return
-	}
-	for _, devName := range devs {
-		dev := c.fab.Device(devName)
-		if dev == nil {
-			fail(fmt.Errorf("controller: device %q vanished", devName))
-			return
-		}
-		free := dev.Free()
-		if !growth.Fits(free) {
-			fail(fmt.Errorf("controller: delta grows %q by %v, which does not fit on %s (free %v) — migrate first",
-				segment, growth, devName, free))
-			return
-		}
-	}
-
-	var filter *flexbpf.Cond
-	if app.Tenant != "" {
-		if t := c.tenants[app.Tenant]; t != nil {
-			filter = &flexbpf.Cond{Field: "vlan.vid", Op: flexbpf.CmpEq, Value: t.VLAN}
-		}
-	}
-
-	instName := instanceName(uri, segment)
-	remaining := len(devs)
-	var firstErr error
-	for _, devName := range devs {
-		dev := c.fab.Device(devName)
-		ch := &updateChange{
-			dev:      dev,
-			instName: instName,
-			newProg:  newProg,
-			filter:   filter,
-		}
-		c.eng.ApplyRuntime(&runtime.Change{Device: dev}, func(r runtime.Result) {
-			// ApplyRuntime modelled the latency; perform the actual
-			// state-preserving swap now.
-			if err := ch.execute(); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			remaining--
-			if remaining == 0 {
-				if firstErr == nil {
-					// Commit the logical view.
-					for i, s := range app.Datapath.Segments {
-						if s.Name == segment {
-							app.Datapath.Segments[i] = newProg
-						}
-					}
-				}
-				if done != nil {
-					done(rep, firstErr)
+	c.exec.Execute(cp, func(r *plan.Report) {
+		c.lastReport = r
+		if r.Err == nil {
+			// Commit the logical view.
+			for i, s := range app.Datapath.Segments {
+				if s.Name == segment {
+					app.Datapath.Segments[i] = newProg
 				}
 			}
-		})
-	}
-}
-
-// updateChange swaps one instance for its upgraded version, migrating
-// surviving state and table entries across the swap.
-type updateChange struct {
-	dev      *dataplane.Device
-	instName string
-	newProg  *flexbpf.Program
-	filter   *flexbpf.Cond
-}
-
-func (u *updateChange) execute() error {
-	old := u.dev.Instance(u.instName)
-	if old == nil {
-		return fmt.Errorf("controller: instance %q missing on %s", u.instName, u.dev.Name())
-	}
-	// Capture state and entries before the swap.
-	savedState := old.ExportState()
-	savedEntries := map[string][]*flexbpf.TableEntry{}
-	for name, ti := range old.Tables() {
-		savedEntries[name] = ti.Entries()
-	}
-
-	prog := u.newProg.Clone()
-	prog.Name = u.instName
-	err := u.dev.Swap(func(st *dataplane.StagedConfig) error {
-		if err := st.Remove(u.instName); err != nil {
-			return err
 		}
-		return st.Install(prog, u.filter)
+		if done != nil {
+			done(rep, r.Err)
+		}
 	})
-	if err != nil {
-		return err
-	}
-	inst := u.dev.Instance(u.instName)
-	// Restore state for objects that survived the delta (removed objects
-	// are skipped; new objects start empty).
-	surviving := map[string]bool{}
-	for _, n := range inst.Store().Names() {
-		surviving[n] = true
-	}
-	var keep []state.Logical
-	for _, l := range savedState {
-		if surviving[l.Name] {
-			keep = append(keep, l)
-		}
-	}
-	if err := inst.ImportState(keep); err != nil {
-		return err
-	}
-	// Restore entries for surviving tables whose shape is unchanged.
-	for name, entries := range savedEntries {
-		ti := inst.Table(name)
-		if ti == nil {
-			continue
-		}
-		for _, e := range entries {
-			if err := ti.Insert(e); err != nil {
-				// Shape or capacity changed: skip incompatible entries
-				// rather than failing the whole upgrade; the report told
-				// the caller which tables were touched.
-				break
-			}
-		}
-	}
-	return nil
 }

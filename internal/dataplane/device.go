@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/packet"
 )
@@ -129,7 +130,10 @@ type Config struct {
 	Arch Arch
 	// Ports is the number of attached ports.
 	Ports int
-	// Seed seeds the device-local random source (deterministic).
+	// Seed seeds the device-local random source. Zero means "derive":
+	// the embedding fabric draws a seed from the simulation's seeded
+	// rng, so all per-device randomness descends from the single
+	// simulation seed and every run replays bit-for-bit.
 	Seed int64
 
 	// Architecture geometry. Zero values select sensible defaults
@@ -162,7 +166,7 @@ type Config struct {
 // Geometry loosely follows public numbers for the respective device
 // classes, scaled down so experiments run quickly.
 func DefaultConfig(name string, arch Arch) Config {
-	c := Config{Name: name, Arch: arch, Ports: 32, Seed: 1}
+	c := Config{Name: name, Arch: arch, Ports: 32}
 	switch arch {
 	case ArchRMT:
 		c.Stages = 12
@@ -273,6 +277,10 @@ type Device struct {
 	placements map[string]placement
 	order      []string // instance order (install order, infra first)
 	draining   atomic.Bool
+	down       atomic.Bool
+	// fault, when set, can fail control-plane operations by phase
+	// (test-only fault injection; see SetFaultInjector). Guarded by mu.
+	fault FaultInjector
 
 	rng *rand.Rand
 	// now supplies simulation time; settable by the harness.
@@ -468,19 +476,22 @@ func (d *Device) InstallProgramFiltered(prog *flexbpf.Program, cond *flexbpf.Con
 func (d *Device) InstallProgramOpt(prog *flexbpf.Program, opts InstallOptions) error {
 	cond := opts.Filter
 	if err := flexbpf.Verify(prog); err != nil {
-		return fmt.Errorf("dataplane: %s: refusing unverified program: %w", d.name, err)
+		return fmt.Errorf("dataplane: %s: refusing unverified program: %w: %w", d.name, errdefs.ErrVerifyFailed, err)
 	}
 	if !d.caps.Satisfies(prog.Requires) {
 		return fmt.Errorf("dataplane: %s (%v) lacks capabilities for program %s", d.name, d.cfg.Arch, prog.Name)
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.down.Load() {
+		return fmt.Errorf("dataplane: %s: %w", d.name, errdefs.ErrDeviceDown)
+	}
 	if _, dup := d.placements[prog.Name]; dup {
 		return fmt.Errorf("dataplane: %s: program %s already installed", d.name, prog.Name)
 	}
 	pl, err := d.model.place(prog)
 	if err != nil {
-		return fmt.Errorf("dataplane: %s: %w", d.name, err)
+		return fmt.Errorf("dataplane: %s: %w: %w", d.name, errdefs.ErrInsufficientResources, err)
 	}
 	inst, err := newInstance(prog, cond, d.rng, d.now)
 	if err != nil {
@@ -519,6 +530,9 @@ func sortByPriority(insts []*ProgramInstance) []*ProgramInstance {
 func (d *Device) RemoveProgram(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.down.Load() {
+		return fmt.Errorf("dataplane: %s: %w", d.name, errdefs.ErrDeviceDown)
+	}
 	pl, ok := d.placements[name]
 	if !ok {
 		return fmt.Errorf("dataplane: %s: program %s not installed", d.name, name)
@@ -582,6 +596,57 @@ func (d *Device) SetDraining(v bool) { d.draining.Store(v) }
 // Draining reports drain state.
 func (d *Device) Draining() bool { return d.draining.Load() }
 
+// SetDown fails (or restores) the device: arriving packets are dropped
+// and every control-plane operation returns ErrDeviceDown.
+func (d *Device) SetDown(v bool) { d.down.Store(v) }
+
+// Down reports whether the device is down.
+func (d *Device) Down() bool { return d.down.Load() }
+
+// FaultOp names a control-plane phase for fault injection.
+type FaultOp string
+
+// Injectable fault points.
+const (
+	FaultValidate FaultOp = "validate"
+	FaultPrepare  FaultOp = "prepare"
+	FaultCommit   FaultOp = "commit"
+	FaultMigrate  FaultOp = "migrate"
+)
+
+// FaultInjector lets tests fail a device's control-plane operations at a
+// chosen phase. Returning a non-nil error fails the operation as if the
+// device's management path had died mid-plan.
+type FaultInjector func(device string, op FaultOp) error
+
+// SetFaultInjector installs (or clears, with nil) the fault injector.
+func (d *Device) SetFaultInjector(fi FaultInjector) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = fi
+}
+
+// FaultCheck returns the error this device would inject for op: the
+// device being down, or whatever the fault injector reports.
+func (d *Device) FaultCheck(op FaultOp) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faultLocked(op)
+}
+
+// faultLocked is FaultCheck with d.mu held.
+func (d *Device) faultLocked(op FaultOp) error {
+	if d.down.Load() {
+		return fmt.Errorf("dataplane: %s: %w", d.name, errdefs.ErrDeviceDown)
+	}
+	if d.fault != nil {
+		if err := d.fault(d.name, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Swap atomically replaces the whole program set and parser in one
 // epoch bump: the network-wide consistent-update building block. The
 // prepare function receives install/remove primitives that act on a
@@ -589,23 +654,55 @@ func (d *Device) Draining() bool { return d.draining.Load() }
 func (d *Device) Swap(prepare func(stage *StagedConfig) error) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.down.Load() {
+		return fmt.Errorf("dataplane: %s: %w", d.name, errdefs.ErrDeviceDown)
+	}
+	st := d.newStagedLocked()
+	if err := prepare(st); err != nil {
+		st.releaseLocked()
+		return err
+	}
+	d.applyStagedLocked(st)
+	return nil
+}
+
+// newStagedLocked starts a staged configuration from the current one.
+// Caller holds d.mu.
+func (d *Device) newStagedLocked() *StagedConfig {
 	old := d.snapshot()
-	st := &StagedConfig{
+	return &StagedConfig{
 		dev:       d,
 		parser:    old.parser.Clone(),
 		instances: append([]*ProgramInstance(nil), old.instances...),
 		added:     map[string]placement{},
 	}
-	if err := prepare(st); err != nil {
-		// Roll back staged placements.
-		for _, pl := range st.added {
-			d.model.release(pl)
-		}
-		return err
+}
+
+// releaseLocked returns all staged-but-unactivated placements to the
+// pool. Caller holds d.mu.
+func (st *StagedConfig) releaseLocked() {
+	for _, pl := range st.added {
+		st.dev.model.release(pl)
 	}
-	// Release placements of removed programs.
+	st.added = map[string]placement{}
+}
+
+// applyStagedLocked makes a staged configuration live: removed programs'
+// placements are released, staged placements adopted, and the new config
+// committed with epoch+1. It returns the programs whose placements were
+// released, so a PreparedChange can re-place them on revert. Caller
+// holds d.mu.
+func (d *Device) applyStagedLocked(st *StagedConfig) map[string]*flexbpf.Program {
+	removed := map[string]*flexbpf.Program{}
+	old := d.snapshot()
 	for _, name := range st.removed {
 		if pl, ok := d.placements[name]; ok {
+			for _, inst := range old.instances {
+				if inst.prog.Name == name {
+					removed[name] = inst.prog
+					break
+				}
+			}
 			d.model.release(pl)
 			delete(d.placements, name)
 			for i, n := range d.order {
@@ -621,6 +718,125 @@ func (d *Device) Swap(prepare func(stage *StagedConfig) error) error {
 		d.order = append(d.order, name)
 	}
 	d.commit(&config{parser: st.parser, instances: st.instances})
+	return removed
+}
+
+// PrepareChange stages a configuration change without activating it: the
+// first half of the executor's two-phase commit. Resources are reserved
+// and instances built, but packets keep seeing the old configuration
+// until Activate. On error nothing is retained.
+//
+// Prepared changes are not stackable: the executor serializes plans, and
+// Activate refuses to fire if the device was reconfigured by anything
+// else since PrepareChange.
+func (d *Device) PrepareChange(build func(stage *StagedConfig) error) (*PreparedChange, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.faultLocked(FaultPrepare); err != nil {
+		return nil, err
+	}
+	st := d.newStagedLocked()
+	if err := build(st); err != nil {
+		st.releaseLocked()
+		return nil, err
+	}
+	return &PreparedChange{dev: d, base: d.snapshot(), staged: st}, nil
+}
+
+// PreparedChange is a staged device change awaiting Activate or Abort.
+type PreparedChange struct {
+	dev    *Device
+	base   *config // configuration the staging was built against
+	staged *StagedConfig
+	// next and removed are filled by Activate for Revert.
+	next      *config
+	removed   map[string]*flexbpf.Program
+	activated bool
+	released  bool
+}
+
+// Device returns the device this change is staged on.
+func (p *PreparedChange) Device() *Device { return p.dev }
+
+// Activate commits the staged change in one epoch bump. It fails — and
+// leaves the device untouched, staging intact — if the device is down,
+// the fault injector fires, or the device was reconfigured since
+// PrepareChange (stale staging).
+func (p *PreparedChange) Activate() error {
+	d := p.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.activated {
+		return fmt.Errorf("dataplane: %s: prepared change already activated", d.name)
+	}
+	if p.released {
+		return fmt.Errorf("dataplane: %s: prepared change was aborted", d.name)
+	}
+	if err := d.faultLocked(FaultCommit); err != nil {
+		return err
+	}
+	if d.snapshot() != p.base {
+		return fmt.Errorf("dataplane: %s: device reconfigured since prepare (epoch %d != %d)", d.name, d.snapshot().epoch, p.base.epoch)
+	}
+	p.removed = d.applyStagedLocked(p.staged)
+	p.next = d.snapshot()
+	p.activated = true
+	return nil
+}
+
+// Abort discards a staged-but-unactivated change, returning its
+// reserved resources. Safe to call more than once.
+func (p *PreparedChange) Abort() {
+	d := p.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p.activated || p.released {
+		return
+	}
+	p.staged.releaseLocked()
+	p.released = true
+}
+
+// Revert undoes an activated change, restoring the exact pre-change
+// configuration (the base instances carry their state, so the device is
+// byte-identical to its pre-plan snapshot). It fails if the device was
+// reconfigured again after Activate.
+func (p *PreparedChange) Revert() error {
+	d := p.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !p.activated {
+		return fmt.Errorf("dataplane: %s: revert of unactivated change", d.name)
+	}
+	if d.snapshot() != p.next {
+		return fmt.Errorf("dataplane: %s: device reconfigured since commit; cannot revert", d.name)
+	}
+	// Undo adds: release their placements.
+	for name := range p.staged.added {
+		if pl, ok := d.placements[name]; ok {
+			d.model.release(pl)
+			delete(d.placements, name)
+			for i, n := range d.order {
+				if n == name {
+					d.order = append(d.order[:i], d.order[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	// Undo removes: re-place the old programs (their resources are free
+	// again because the plan holds the only outstanding change).
+	for name, prog := range p.removed {
+		pl, err := d.model.place(prog)
+		if err != nil {
+			return fmt.Errorf("dataplane: %s: revert could not re-place %s: %w", d.name, name, err)
+		}
+		d.placements[name] = pl
+		d.order = append(d.order, name)
+	}
+	d.commit(&config{parser: p.base.parser, instances: p.base.instances})
+	p.activated = false
+	p.released = true
 	return nil
 }
 
@@ -652,7 +868,7 @@ func (st *StagedConfig) Install(prog *flexbpf.Program, cond *flexbpf.Cond) error
 func (st *StagedConfig) InstallOpt(prog *flexbpf.Program, opts InstallOptions) error {
 	cond := opts.Filter
 	if err := flexbpf.Verify(prog); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errdefs.ErrVerifyFailed, err)
 	}
 	if !st.dev.caps.Satisfies(prog.Requires) {
 		return fmt.Errorf("dataplane: %s lacks capabilities for %s", st.dev.name, prog.Name)
@@ -665,7 +881,7 @@ func (st *StagedConfig) InstallOpt(prog *flexbpf.Program, opts InstallOptions) e
 	}
 	pl, err := st.dev.model.place(prog)
 	if err != nil {
-		return err
+		return fmt.Errorf("dataplane: %s: %w: %w", st.dev.name, errdefs.ErrInsufficientResources, err)
 	}
 	inst, err := newInstance(prog, cond, st.dev.rng, st.dev.now)
 	if err != nil {
@@ -709,7 +925,7 @@ func (st *StagedConfig) Parser() *packet.ParseGraph { return st.parser }
 // concurrently with reconfiguration: the packet uses the configuration
 // snapshot current at entry.
 func (d *Device) Process(pkt *packet.Packet) ProcStats {
-	if d.draining.Load() {
+	if d.draining.Load() || d.down.Load() {
 		d.bump(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
 		return ProcStats{Verdict: packet.VerdictDrop}
 	}

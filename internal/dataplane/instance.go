@@ -168,7 +168,9 @@ func (pi *ProgramInstance) TableLookup(name string, keys []uint64) (string, []ui
 // Now implements flexbpf.Env.
 func (pi *ProgramInstance) Now() uint64 { return pi.now() }
 
-// Rand implements flexbpf.Env.
+// Rand implements flexbpf.Env. The source is the hosting device's rng,
+// which the fabric seeds from the simulation seed — never the global
+// math/rand source — so OpRand draws replay bit-for-bit.
 func (pi *ProgramInstance) Rand() uint64 { return pi.rng.Uint64() }
 
 // ExportState captures all stateful objects in logical form, including

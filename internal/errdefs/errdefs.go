@@ -1,0 +1,29 @@
+// Package errdefs holds the sentinel errors shared across FlexNet's
+// layers. Internal packages wrap these with %w so callers can classify
+// failures with errors.Is instead of string matching; the public flexnet
+// package re-exports them.
+//
+// It lives in its own leaf package (rather than in flexnet proper)
+// because internal packages cannot import the public facade without a
+// cycle.
+package errdefs
+
+import "errors"
+
+var (
+	// ErrNoSuchApp reports an operation on an app URI that is not
+	// deployed (or a segment that is not placed).
+	ErrNoSuchApp = errors.New("no such app")
+
+	// ErrInsufficientResources reports that a device (or the fabric as a
+	// whole) cannot reserve the resources a program demands.
+	ErrInsufficientResources = errors.New("insufficient resources")
+
+	// ErrVerifyFailed reports that a program failed FlexBPF verification
+	// and was refused before touching any device.
+	ErrVerifyFailed = errors.New("program verification failed")
+
+	// ErrDeviceDown reports a control-plane operation against a device
+	// that is down (failed or administratively disabled).
+	ErrDeviceDown = errors.New("device down")
+)

@@ -83,8 +83,14 @@ func (f *Fabric) AddSwitch(name string, arch dataplane.Arch) *dataplane.Device {
 	return f.AddSwitchCfg(dataplane.DefaultConfig(name, arch))
 }
 
-// AddSwitchCfg creates a device from an explicit config.
+// AddSwitchCfg creates a device from an explicit config. When the config
+// leaves Seed at zero, the device's random source is derived from the
+// fabric simulator's seeded rng, so all per-device randomness descends
+// from the single simulation seed and runs replay bit-for-bit.
 func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
+	if cfg.Seed == 0 {
+		cfg.Seed = f.Sim.Rand().Int63()
+	}
 	d := dataplane.MustNew(cfg)
 	d.SetClock(func() uint64 { return uint64(f.Sim.Now()) })
 	node := f.Net.AddNode(cfg.Name)

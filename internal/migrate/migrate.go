@@ -54,7 +54,9 @@ type Report struct {
 	Err                    error
 }
 
-// Migrator moves program instances between fabric devices.
+// Migrator moves program instances between fabric devices. It also
+// implements plan.StateMover, so state moves appear as OpMigrateState
+// steps inside ChangePlans rather than a private flow.
 type Migrator struct {
 	fab *fabric.Fabric
 	eng *runtime.Engine
@@ -62,11 +64,79 @@ type Migrator struct {
 	// (route change, filter swap). It must take effect atomically at the
 	// simulated instant it is called.
 	Flip func(prog, src, dst string)
+	// lastReport remembers the most recent move for LastReport.
+	lastReport Report
 }
 
 // New creates a migrator.
 func New(fab *fabric.Fabric, eng *runtime.Engine) *Migrator {
 	return &Migrator{fab: fab, eng: eng}
+}
+
+// LastReport returns the most recently completed (or failed) move.
+func (m *Migrator) LastReport() Report { return m.lastReport }
+
+// ValidateMove implements plan.StateMover: it checks a move's
+// preconditions without touching anything.
+func (m *Migrator) ValidateMove(prog, src, dst string, useDataPlane bool) error {
+	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
+	if sdev == nil || ddev == nil {
+		return fmt.Errorf("migrate: unknown device %s or %s", src, dst)
+	}
+	if sdev.Instance(prog) == nil {
+		return fmt.Errorf("migrate: %s has no program %s", src, prog)
+	}
+	if useDataPlane && (m.fab.Router(src) == nil || m.fab.Router(dst) == nil) {
+		return fmt.Errorf("migrate: dRPC not enabled on %s or %s", src, dst)
+	}
+	return nil
+}
+
+// EstimateMove implements plan.StateMover: the modelled transfer time,
+// proportional to the instance's current state volume.
+func (m *Migrator) EstimateMove(prog, src string, useDataPlane bool) netsim.Time {
+	sdev := m.fab.Device(src)
+	if sdev == nil {
+		return 0
+	}
+	sinst := sdev.Instance(prog)
+	if sinst == nil {
+		return 0
+	}
+	return m.eng.MigrateLatency(logicalBytes(sinst.ExportState()))
+}
+
+// MoveState implements plan.StateMover: it transfers the instance's
+// state from src to dst (which must already host an instance of the same
+// name — the plan installs it in an earlier step) and flips traffic.
+// Failures before the flip leave the source authoritative and untouched;
+// the flip is the commit point.
+func (m *Migrator) MoveState(prog, src, dst string, useDataPlane bool, done func(error)) {
+	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
+	if err := m.ValidateMove(prog, src, dst, useDataPlane); err != nil {
+		rep.Err = err
+		m.lastReport = rep
+		done(err)
+		return
+	}
+	fin := func(err error) {
+		m.lastReport = rep
+		done(err)
+	}
+	if useDataPlane {
+		m.transferData(&rep, fin)
+	} else {
+		m.transferControl(&rep, fin)
+	}
+}
+
+// migrateFault asks both endpoints whether a mid-migration fault is
+// injected (or a device is down). Checked immediately before the flip.
+func (m *Migrator) migrateFault(src, dst string) error {
+	if err := m.fab.Device(src).FaultCheck(dataplane.FaultMigrate); err != nil {
+		return err
+	}
+	return m.fab.Device(dst).FaultCheck(dataplane.FaultMigrate)
 }
 
 // instanceUpdates reads the total update count of an instance's additive
@@ -82,63 +152,87 @@ func instanceUpdates(inst *dataplane.ProgramInstance) uint64 {
 	return total
 }
 
-// ControlPlane performs the baseline migration. done receives the report
-// when migration completes.
+// ControlPlane performs the baseline migration (install at destination,
+// then transfer). done receives the report when migration completes.
 func (m *Migrator) ControlPlane(prog, src, dst string, done func(Report)) {
-	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
-	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
-	if sdev == nil || ddev == nil {
-		rep.Err = fmt.Errorf("migrate: unknown device %s or %s", src, dst)
-		done(rep)
-		return
-	}
-	sinst := sdev.Instance(prog)
-	if sinst == nil {
-		rep.Err = fmt.Errorf("migrate: %s has no program %s", src, prog)
-		done(rep)
-		return
-	}
+	m.installThen(prog, src, dst, false, done)
+}
 
-	// 1. Install the program at the destination (runtime, hitless).
+// installThen installs the program at the destination, then runs the
+// transfer phase — the standalone migration entry points share it.
+func (m *Migrator) installThen(prog, src, dst string, useDataPlane bool, done func(Report)) {
+	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
+	finish := func() {
+		m.lastReport = rep
+		done(rep)
+	}
+	if err := m.ValidateMove(prog, src, dst, useDataPlane); err != nil {
+		rep.Err = err
+		finish()
+		return
+	}
+	sinst := m.fab.Device(src).Instance(prog)
 	m.eng.ApplyRuntime(&runtime.Change{
-		Device:   ddev,
+		Device:   m.fab.Device(dst),
 		Installs: []runtime.Install{{Program: sinst.Program().Clone()}},
 	}, func(res runtime.Result) {
 		if res.Err != nil {
 			rep.Err = res.Err
-			done(rep)
+			finish()
 			return
 		}
-		dinst := ddev.Instance(prog)
-		if err := dinst.CopyEntriesFrom(sinst); err != nil {
-			rep.Err = err
-			done(rep)
-			return
+		if useDataPlane {
+			m.transferData(&rep, func(error) { finish() })
+		} else {
+			m.transferControl(&rep, func(error) { finish() })
 		}
+	})
+}
 
-		// 2. Snapshot over the management channel: latency ∝ bytes.
-		snapshot := sinst.ExportState()
-		snapUpdates := instanceUpdates(sinst)
-		bytes := logicalBytes(snapshot)
-		rep.ChunksSent = logicalEntries(snapshot)
-		m.fab.Sim.After(m.eng.MigrateLatency(bytes), func() {
-			if err := dinst.ImportState(snapshot); err != nil {
-				rep.Err = err
-				done(rep)
-				return
-			}
-			// 3. Flip traffic. Updates that hit src after the snapshot
-			// are lost: dst starts from the stale snapshot.
-			nowUpdates := instanceUpdates(sinst)
-			rep.UpdatesDuringMigration = nowUpdates - snapUpdates
-			rep.LostUpdates = rep.UpdatesDuringMigration
-			if m.Flip != nil {
-				m.Flip(prog, src, dst)
-			}
-			rep.Flipped = m.fab.Sim.Now()
-			rep.Done = rep.Flipped
-			done(rep)
-		})
+// transferControl copies state over the management channel and flips:
+// phase 2+3 of the control-plane baseline. The destination instance must
+// already exist. Errors are recorded in rep.Err and passed to done.
+func (m *Migrator) transferControl(rep *Report, done func(error)) {
+	sdev, ddev := m.fab.Device(rep.Src), m.fab.Device(rep.Dst)
+	sinst, dinst := sdev.Instance(rep.Program), ddev.Instance(rep.Program)
+	fail := func(err error) {
+		rep.Err = err
+		done(err)
+	}
+	if dinst == nil {
+		fail(fmt.Errorf("migrate: %s has no program %s to receive state", rep.Dst, rep.Program))
+		return
+	}
+	if err := dinst.CopyEntriesFrom(sinst); err != nil {
+		fail(err)
+		return
+	}
+
+	// Snapshot over the management channel: latency ∝ bytes.
+	snapshot := sinst.ExportState()
+	snapUpdates := instanceUpdates(sinst)
+	bytes := logicalBytes(snapshot)
+	rep.ChunksSent = logicalEntries(snapshot)
+	m.fab.Sim.After(m.eng.MigrateLatency(bytes), func() {
+		if err := m.migrateFault(rep.Src, rep.Dst); err != nil {
+			fail(err)
+			return
+		}
+		if err := dinst.ImportState(snapshot); err != nil {
+			fail(err)
+			return
+		}
+		// Flip traffic. Updates that hit src after the snapshot are
+		// lost: dst starts from the stale snapshot.
+		nowUpdates := instanceUpdates(sinst)
+		rep.UpdatesDuringMigration = nowUpdates - snapUpdates
+		rep.LostUpdates = rep.UpdatesDuringMigration
+		if m.Flip != nil {
+			m.Flip(rep.Program, rep.Src, rep.Dst)
+		}
+		rep.Flipped = m.fab.Sim.Now()
+		rep.Done = rep.Flipped
+		done(nil)
 	})
 }
 
@@ -152,79 +246,72 @@ func (m *Migrator) ControlPlane(prog, src, dst string, done func(Report)) {
 //  4. export the residual delta (source updates since the snapshot) and
 //     merge it additively into the destination.
 func (m *Migrator) DataPlane(prog, src, dst string, done func(Report)) {
-	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
-	sdev, ddev := m.fab.Device(src), m.fab.Device(dst)
-	srouter, drouter := m.fab.Router(src), m.fab.Router(dst)
-	if sdev == nil || ddev == nil {
-		rep.Err = fmt.Errorf("migrate: unknown device %s or %s", src, dst)
-		done(rep)
+	m.installThen(prog, src, dst, true, done)
+}
+
+// transferData streams state over dRPC and flips: phases 1–3 of the
+// data-plane migration. The destination instance must already exist.
+// Errors before the flip leave the source authoritative; the flip is the
+// commit point (a residual-merge failure after it is reported but not
+// rolled back — the destination keeps the snapshot).
+func (m *Migrator) transferData(rep *Report, done func(error)) {
+	sdev, ddev := m.fab.Device(rep.Src), m.fab.Device(rep.Dst)
+	srouter, drouter := m.fab.Router(rep.Src), m.fab.Router(rep.Dst)
+	sinst, dinst := sdev.Instance(rep.Program), ddev.Instance(rep.Program)
+	fail := func(err error) {
+		rep.Err = err
+		done(err)
+	}
+	if dinst == nil {
+		fail(fmt.Errorf("migrate: %s has no program %s to receive state", rep.Dst, rep.Program))
 		return
 	}
-	if srouter == nil || drouter == nil {
-		rep.Err = fmt.Errorf("migrate: dRPC not enabled on %s or %s", src, dst)
-		done(rep)
-		return
-	}
-	sinst := sdev.Instance(prog)
-	if sinst == nil {
-		rep.Err = fmt.Errorf("migrate: %s has no program %s", src, prog)
-		done(rep)
+	if err := dinst.CopyEntriesFrom(sinst); err != nil {
+		fail(err)
 		return
 	}
 
-	m.eng.ApplyRuntime(&runtime.Change{
-		Device:   ddev,
-		Installs: []runtime.Install{{Program: sinst.Program().Clone()}},
-	}, func(res runtime.Result) {
-		if res.Err != nil {
-			rep.Err = res.Err
-			done(rep)
+	// Phase 1: snapshot → stream via dRPC.
+	snapshot := sinst.ExportState()
+	preUpdates := instanceUpdates(sinst)
+	allNames := sortedNames(sinst)
+	receiver := NewStateReceiver(dinst)
+	drouter.Register(drpc.ServiceStatePush, receiver.Handler())
+	sender := newStateSender(srouter, drouter.IP, snapshot, allNames)
+	rep.ChunksSent = sender.totalChunks()
+	sender.start(m.fab.Sim, func() {
+		// Phase 2: all chunks acknowledged → import snapshot at dst,
+		// flip traffic, then merge residual delta.
+		if err := m.migrateFault(rep.Src, rep.Dst); err != nil {
+			drouter.Unregister(drpc.ServiceStatePush)
+			fail(err)
 			return
 		}
-		dinst := ddev.Instance(prog)
-		if err := dinst.CopyEntriesFrom(sinst); err != nil {
-			rep.Err = err
-			done(rep)
+		if err := receiver.Commit(); err != nil {
+			drouter.Unregister(drpc.ServiceStatePush)
+			fail(err)
 			return
 		}
+		if m.Flip != nil {
+			m.Flip(rep.Program, rep.Src, rep.Dst)
+		}
+		rep.Flipped = m.fab.Sim.Now()
+		rep.UpdatesDuringMigration = instanceUpdates(sinst) - preUpdates
 
-		// Phase 1: snapshot → stream via dRPC.
-		snapshot := sinst.ExportState()
-		preUpdates := instanceUpdates(sinst)
-		allNames := sortedNames(sinst)
-		receiver := NewStateReceiver(dinst)
-		drouter.Register(drpc.ServiceStatePush, receiver.Handler())
-		sender := newStateSender(srouter, drouter.IP, snapshot, allNames)
-		rep.ChunksSent = sender.totalChunks()
-		sender.start(m.fab.Sim, func() {
-			// Phase 2: all chunks acknowledged → import snapshot at dst,
-			// flip traffic, then merge residual delta.
-			if err := receiver.Commit(); err != nil {
+		// Phase 3: residual delta = src now − snapshot, additive.
+		delta := diffLogical(sinst.ExportState(), snapshot)
+		dsender := newStateSender(srouter, drouter.IP, delta, allNames)
+		rep.ChunksSent += dsender.totalChunks()
+		receiver.SetAdditive(true)
+		dsender.start(m.fab.Sim, func() {
+			err := receiver.Commit()
+			if err != nil {
 				rep.Err = err
-				drouter.Unregister(drpc.ServiceStatePush)
-				done(rep)
-				return
 			}
-			if m.Flip != nil {
-				m.Flip(prog, src, dst)
-			}
-			rep.Flipped = m.fab.Sim.Now()
-			rep.UpdatesDuringMigration = instanceUpdates(sinst) - preUpdates
-
-			// Phase 3: residual delta = src now − snapshot, additive.
-			delta := diffLogical(sinst.ExportState(), snapshot)
-			dsender := newStateSender(srouter, drouter.IP, delta, allNames)
-			rep.ChunksSent += dsender.totalChunks()
-			receiver.SetAdditive(true)
-			dsender.start(m.fab.Sim, func() {
-				if err := receiver.Commit(); err != nil {
-					rep.Err = err
-				}
-				drouter.Unregister(drpc.ServiceStatePush)
-				rep.Done = m.fab.Sim.Now()
-				rep.LostUpdates = 0
-				done(rep)
-			})
+			drouter.Unregister(drpc.ServiceStatePush)
+			rep.Done = m.fab.Sim.Now()
+			rep.LostUpdates = 0
+			done(err)
 		})
 	})
 }

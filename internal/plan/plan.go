@@ -1,0 +1,324 @@
+// Package plan defines FlexNet's transactional change pipeline: every
+// control-plane operation — deploy, remove, update, scale, migrate — is
+// expressed as a ChangePlan, an ordered list of typed per-device steps
+// with a three-phase lifecycle:
+//
+//	Validate  dry-run resource/verifier checks plus a cost estimate;
+//	          touches nothing, so a validated plan doubles as --dry-run.
+//	Prepare   stage new instances and placements on every device without
+//	          activating them; traffic still sees the old configuration.
+//	Commit    epoch-atomic activation, all devices at one simulated
+//	          instant, so no packet observes a mixed configuration.
+//
+// If any step fails in any phase, the executor (internal/runtime) rolls
+// back: staged-but-inactive changes are aborted, already-activated
+// devices are reverted to their pre-plan configuration at the same
+// simulated instant the failure is detected. The invariant is that a
+// failed plan leaves the network byte-identical to its pre-plan state.
+//
+// This package is deliberately a leaf: steps name devices by string and
+// the executor supplies the device lookup, state mover, and route
+// updater, so controller, runtime, and migrate all speak one vocabulary
+// without import cycles.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/netsim"
+)
+
+// Op is the type of one plan step.
+type Op uint8
+
+// Step operations.
+const (
+	// OpInstallInstance installs a new program instance on a device.
+	OpInstallInstance Op = iota
+	// OpRemoveInstance removes an installed instance.
+	OpRemoveInstance
+	// OpSwapProgram replaces an instance's program in one epoch bump,
+	// carrying over the state and table entries that survive the swap.
+	OpSwapProgram
+	// OpMigrateState moves an instance's state from Src to Device after
+	// commit (the instance must have been installed at Device by an
+	// earlier step or a previous plan).
+	OpMigrateState
+	// OpRouteUpdate recomputes fabric routing after commit.
+	OpRouteUpdate
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpInstallInstance:
+		return "install"
+	case OpRemoveInstance:
+		return "remove"
+	case OpSwapProgram:
+		return "swap"
+	case OpMigrateState:
+		return "migrate-state"
+	case OpRouteUpdate:
+		return "route-update"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Step is one typed operation within a ChangePlan.
+type Step struct {
+	Op Op
+	// Device is the target device (empty for OpRouteUpdate).
+	Device string
+	// Instance is the device-level instance name.
+	Instance string
+	// Program is the program to install or swap in (nil otherwise).
+	Program *flexbpf.Program
+	// Filter optionally isolates the instance (tenant VLAN guard).
+	Filter *flexbpf.Cond
+	// Priority orders the device's program chain (0 = extension default).
+	Priority int
+	// Src is the source device for OpMigrateState.
+	Src string
+	// UseDataPlane selects packet-carried state migration over the
+	// control-plane baseline for OpMigrateState.
+	UseDataPlane bool
+}
+
+func (s Step) String() string {
+	switch s.Op {
+	case OpMigrateState:
+		mode := "control-plane"
+		if s.UseDataPlane {
+			mode = "data-plane"
+		}
+		return fmt.Sprintf("migrate-state %s: %s -> %s (%s)", s.Instance, s.Src, s.Device, mode)
+	case OpRouteUpdate:
+		return "route-update"
+	default:
+		return fmt.Sprintf("%s %s on %s", s.Op, s.Instance, s.Device)
+	}
+}
+
+// ChangePlan is an ordered, inspectable network change. Build one with
+// the fluent helpers, then hand it to the runtime executor.
+type ChangePlan struct {
+	// Label names the plan in reports ("deploy flexnet://t/app").
+	Label string
+	// Steps in declaration order. Structural steps (install, remove,
+	// swap) commit together at one simulated instant; post-commit steps
+	// (migrate-state, route-update) run sequentially afterwards.
+	Steps []Step
+}
+
+// New starts an empty plan.
+func New(label string) *ChangePlan { return &ChangePlan{Label: label} }
+
+// Install appends an instance installation.
+func (p *ChangePlan) Install(device, instance string, prog *flexbpf.Program, filter *flexbpf.Cond, priority int) *ChangePlan {
+	p.Steps = append(p.Steps, Step{Op: OpInstallInstance, Device: device, Instance: instance, Program: prog, Filter: filter, Priority: priority})
+	return p
+}
+
+// Remove appends an instance removal.
+func (p *ChangePlan) Remove(device, instance string) *ChangePlan {
+	p.Steps = append(p.Steps, Step{Op: OpRemoveInstance, Device: device, Instance: instance})
+	return p
+}
+
+// Swap appends a state-preserving program replacement.
+func (p *ChangePlan) Swap(device, instance string, prog *flexbpf.Program, filter *flexbpf.Cond) *ChangePlan {
+	p.Steps = append(p.Steps, Step{Op: OpSwapProgram, Device: device, Instance: instance, Program: prog, Filter: filter})
+	return p
+}
+
+// MigrateState appends a post-commit state move from src to dst.
+func (p *ChangePlan) MigrateState(instance, src, dst string, useDataPlane bool) *ChangePlan {
+	p.Steps = append(p.Steps, Step{Op: OpMigrateState, Device: dst, Src: src, Instance: instance, UseDataPlane: useDataPlane})
+	return p
+}
+
+// RouteUpdate appends a post-commit routing refresh.
+func (p *ChangePlan) RouteUpdate() *ChangePlan {
+	p.Steps = append(p.Steps, Step{Op: OpRouteUpdate})
+	return p
+}
+
+// Devices returns the distinct devices the plan's structural steps
+// touch, in first-appearance order.
+func (p *ChangePlan) Devices() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range p.Steps {
+		if s.Device == "" || seen[s.Device] {
+			continue
+		}
+		seen[s.Device] = true
+		out = append(out, s.Device)
+	}
+	return out
+}
+
+// Phase identifies where in the lifecycle a plan (or its failure) is.
+type Phase uint8
+
+// Lifecycle phases.
+const (
+	PhaseValidate Phase = iota
+	PhasePrepare
+	PhaseCommit
+	PhasePost
+	PhaseDone
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseValidate:
+		return "validate"
+	case PhasePrepare:
+		return "prepare"
+	case PhaseCommit:
+		return "commit"
+	case PhasePost:
+		return "post"
+	case PhaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Outcome is a plan's final disposition.
+type Outcome uint8
+
+// Outcomes.
+const (
+	// OutcomePlanned: validate-only run (dry run); nothing executed.
+	OutcomePlanned Outcome = iota
+	// OutcomeSucceeded: all steps committed.
+	OutcomeSucceeded
+	// OutcomeFailed: rejected before anything became packet-visible
+	// (validate or prepare); the network was never touched.
+	OutcomeFailed
+	// OutcomeRolledBack: a failure after activation was undone; the
+	// network was restored to its pre-plan state.
+	OutcomeRolledBack
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePlanned:
+		return "planned"
+	case OutcomeSucceeded:
+		return "succeeded"
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeRolledBack:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// StepStatus tracks one step through the lifecycle.
+type StepStatus uint8
+
+// Step statuses.
+const (
+	StepPending StepStatus = iota
+	StepValidated
+	StepPrepared
+	StepCommitted
+	StepFailed
+	StepRolledBack
+	StepSkipped
+)
+
+func (s StepStatus) String() string {
+	switch s {
+	case StepPending:
+		return "pending"
+	case StepValidated:
+		return "validated"
+	case StepPrepared:
+		return "prepared"
+	case StepCommitted:
+		return "committed"
+	case StepFailed:
+		return "failed"
+	case StepRolledBack:
+		return "rolled-back"
+	case StepSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// StepReport is one step's outcome.
+type StepReport struct {
+	Step   Step
+	Status StepStatus
+	Err    error
+}
+
+// Report describes one plan's execution (or dry run).
+type Report struct {
+	Label string
+	Steps []StepReport
+	// Phase is the phase reached (PhaseDone on success; the failing
+	// phase otherwise).
+	Phase   Phase
+	Outcome Outcome
+	// Estimated is the modelled cost from Validate; Actual is the
+	// simulated time the plan actually took (zero for dry runs).
+	Estimated netsim.Time
+	Actual    netsim.Time
+	// RolledBack reports whether any staged or committed work had to be
+	// undone.
+	RolledBack bool
+	// Err is the first error (nil on success).
+	Err error
+}
+
+// Format renders the report as an operator-readable multi-line string.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %q: %s (phase %s, est %v", r.Label, r.Outcome, r.Phase, r.Estimated)
+	if r.Outcome != OutcomePlanned {
+		fmt.Fprintf(&b, ", actual %v", r.Actual)
+	}
+	b.WriteString(")\n")
+	for i, sr := range r.Steps {
+		fmt.Fprintf(&b, "  %2d. %-10s %s", i+1, sr.Status, sr.Step)
+		if sr.Err != nil {
+			fmt.Fprintf(&b, " — %v", sr.Err)
+		}
+		b.WriteByte('\n')
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, "  error: %v\n", r.Err)
+	}
+	return b.String()
+}
+
+// StateMover executes OpMigrateState steps. internal/migrate implements
+// it; the executor calls it after commit.
+type StateMover interface {
+	// ValidateMove checks a move without touching anything.
+	ValidateMove(instance, src, dst string, useDataPlane bool) error
+	// EstimateMove returns the modelled move duration.
+	EstimateMove(instance, src string, useDataPlane bool) netsim.Time
+	// MoveState transfers instance state from src to dst and flips
+	// traffic. done fires with nil after the flip completes, or with an
+	// error before anything flipped (the source must remain
+	// authoritative and untouched on error).
+	MoveState(instance, src, dst string, useDataPlane bool, done func(error))
+}
+
+// RouteUpdater executes OpRouteUpdate steps (the fabric implements it).
+type RouteUpdater interface {
+	RefreshRoutes() error
+}

@@ -147,11 +147,18 @@ func NewEngine(sim *netsim.Sim, costs Costs) *Engine {
 // of a change.
 func (e *Engine) EstimateLatency(c *Change) netsim.Time {
 	ta, tr, po, eo := c.opCounts()
+	return e.EstimateOps(ta, tr, po, eo)
+}
+
+// EstimateOps prices a change from primitive-operation counts. This is
+// the one cost model every reconfiguration path shares: legacy Changes
+// and the plan executor both price their work here.
+func (e *Engine) EstimateOps(tablesAdded, tablesRemoved, parserOps, entryOps int) netsim.Time {
 	return e.costs.Base +
-		netsim.Time(ta)*e.costs.TableAdd +
-		netsim.Time(tr)*e.costs.TableRemove +
-		netsim.Time(po)*e.costs.ParserOp +
-		netsim.Time(eo)*e.costs.EntryOp
+		netsim.Time(tablesAdded)*e.costs.TableAdd +
+		netsim.Time(tablesRemoved)*e.costs.TableRemove +
+		netsim.Time(parserOps)*e.costs.ParserOp +
+		netsim.Time(entryOps)*e.costs.EntryOp
 }
 
 // apply executes the change against the device, atomically.

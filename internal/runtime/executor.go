@@ -1,0 +1,537 @@
+package runtime
+
+import (
+	"fmt"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/dataplane/state"
+	"flexnet/internal/errdefs"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/netsim"
+	"flexnet/internal/plan"
+)
+
+// Executor runs ChangePlans through the three-phase transactional
+// pipeline (validate → prepare → commit, plus post-commit state moves
+// and route updates), with automatic rollback on any failure.
+//
+// Plans are serialized: one executes at a time, later submissions queue.
+// This is the single abortable change path every controller operation
+// goes through — there is no other way configuration reaches devices
+// from the control plane.
+//
+// Phase timing mirrors the engine's cost model: each device's prepare
+// takes its estimated reconfiguration latency of simulated time (traffic
+// keeps flowing under the old configuration), and every device then
+// activates at one simulated instant — the epoch-atomic network-wide
+// flip. Rollback also happens within a single instant, so no packet
+// ever observes a mixed configuration, even on failure.
+type Executor struct {
+	eng    *Engine
+	device func(string) *dataplane.Device
+	mover  plan.StateMover
+	routes plan.RouteUpdater
+
+	busy  bool
+	queue []queuedPlan
+	// Reports accumulates every executed plan's report, oldest first.
+	Reports []*plan.Report
+}
+
+type queuedPlan struct {
+	p    *plan.ChangePlan
+	done func(*plan.Report)
+}
+
+// NewExecutor creates an executor over the engine's simulator and cost
+// model. device resolves names to devices; mover and routes handle the
+// post-commit step types (either may be nil if the corresponding step
+// type is never used).
+func NewExecutor(eng *Engine, device func(string) *dataplane.Device, mover plan.StateMover, routes plan.RouteUpdater) *Executor {
+	return &Executor{eng: eng, device: device, mover: mover, routes: routes}
+}
+
+// group is one device's slice of a plan: the structural steps (install,
+// remove, swap) that commit together in that device's epoch bump.
+type group struct {
+	dev   *dataplane.Device
+	steps []int // indices into the plan's Steps
+	lat   netsim.Time
+}
+
+// split partitions a plan into per-device structural groups (in
+// first-appearance device order) and post-commit step indices (in plan
+// order). Call only after Validate: unknown devices are skipped here.
+func (x *Executor) split(p *plan.ChangePlan) (groups []*group, post []int) {
+	byDev := map[string]*group{}
+	for i, s := range p.Steps {
+		switch s.Op {
+		case plan.OpMigrateState, plan.OpRouteUpdate:
+			post = append(post, i)
+		default:
+			g := byDev[s.Device]
+			if g == nil {
+				g = &group{dev: x.device(s.Device)}
+				byDev[s.Device] = g
+				groups = append(groups, g)
+			}
+			g.steps = append(g.steps, i)
+		}
+	}
+	for _, g := range groups {
+		g.lat = x.estimateGroup(p, g)
+	}
+	return groups, post
+}
+
+// estimateGroup prices one device's structural steps with the shared
+// cost model.
+func (x *Executor) estimateGroup(p *plan.ChangePlan, g *group) netsim.Time {
+	var ta, tr int
+	tables := func(prog *flexbpf.Program) int {
+		if len(prog.Tables) == 0 {
+			return 1 // pure-compute programs still reprogram one unit
+		}
+		return len(prog.Tables)
+	}
+	removedTables := func(name string) int {
+		if g.dev != nil {
+			if inst := g.dev.Instance(name); inst != nil {
+				return tables(inst.Program())
+			}
+		}
+		return 1
+	}
+	for _, i := range g.steps {
+		s := p.Steps[i]
+		switch s.Op {
+		case plan.OpInstallInstance:
+			ta += tables(s.Program)
+		case plan.OpRemoveInstance:
+			tr += removedTables(s.Instance)
+		case plan.OpSwapProgram:
+			tr += removedTables(s.Instance)
+			ta += tables(s.Program)
+		}
+	}
+	return x.eng.EstimateOps(ta, tr, 0, 0)
+}
+
+// estimate prices the whole plan: prepare proceeds on all devices in
+// parallel (cost = the slowest device), then post steps run in sequence.
+func (x *Executor) estimate(p *plan.ChangePlan) netsim.Time {
+	groups, post := x.split(p)
+	var total netsim.Time
+	for _, g := range groups {
+		if g.lat > total {
+			total = g.lat
+		}
+	}
+	for _, i := range post {
+		s := p.Steps[i]
+		switch s.Op {
+		case plan.OpMigrateState:
+			if x.mover != nil {
+				total += x.mover.EstimateMove(s.Instance, s.Src, s.UseDataPlane)
+			}
+		case plan.OpRouteUpdate:
+			total += x.eng.EstimateOps(0, 0, 0, 0)
+		}
+	}
+	return total
+}
+
+// Validate dry-runs the plan: device, capability, verifier, and resource
+// checks plus the cost estimate. Nothing is mutated and no simulated
+// time passes, so the report doubles as the --dry-run answer. A viable
+// plan reports OutcomePlanned with a nil Err.
+func (x *Executor) Validate(p *plan.ChangePlan) *plan.Report {
+	rep := &plan.Report{
+		Label:   p.Label,
+		Steps:   make([]plan.StepReport, len(p.Steps)),
+		Phase:   plan.PhaseValidate,
+		Outcome: plan.OutcomePlanned,
+	}
+	// Instances this plan adds/removes so far, per device: later steps
+	// may legitimately reference them (swap-after-install is nonsense,
+	// but migrate-after-install is the normal migration shape).
+	adds := map[string]map[string]bool{}
+	added := func(dev, inst string) bool { return adds[dev][inst] }
+	noteAdd := func(dev, inst string) {
+		if adds[dev] == nil {
+			adds[dev] = map[string]bool{}
+		}
+		adds[dev][inst] = true
+	}
+	for i, s := range p.Steps {
+		err := x.validateStep(s, added, noteAdd)
+		rep.Steps[i] = plan.StepReport{Step: s, Status: plan.StepValidated, Err: err}
+		if err != nil {
+			rep.Steps[i].Status = plan.StepFailed
+			if rep.Err == nil {
+				rep.Err = fmt.Errorf("plan %q step %d (%s): %w", p.Label, i+1, s, err)
+			}
+		}
+	}
+	rep.Estimated = x.estimate(p)
+	if rep.Err != nil {
+		rep.Outcome = plan.OutcomeFailed
+	}
+	return rep
+}
+
+func (x *Executor) validateStep(s plan.Step, added func(dev, inst string) bool, noteAdd func(dev, inst string)) error {
+	if s.Op == plan.OpRouteUpdate {
+		if x.routes == nil {
+			return fmt.Errorf("runtime: no route updater configured")
+		}
+		return nil
+	}
+	dev := x.device(s.Device)
+	if dev == nil {
+		return fmt.Errorf("runtime: unknown device %q", s.Device)
+	}
+	if err := dev.FaultCheck(dataplane.FaultValidate); err != nil {
+		return err
+	}
+	switch s.Op {
+	case plan.OpInstallInstance:
+		if err := flexbpf.Verify(s.Program); err != nil {
+			return fmt.Errorf("%w: %w", errdefs.ErrVerifyFailed, err)
+		}
+		if !dev.Capabilities().Satisfies(s.Program.Requires) {
+			return fmt.Errorf("runtime: %s lacks capabilities for %s", s.Device, s.Instance)
+		}
+		if dev.Instance(s.Instance) != nil {
+			return fmt.Errorf("runtime: instance %q already installed on %s", s.Instance, s.Device)
+		}
+		if !dev.CanHost(s.Program) {
+			return fmt.Errorf("runtime: %s cannot host %s: %w", s.Device, s.Instance, errdefs.ErrInsufficientResources)
+		}
+		noteAdd(s.Device, s.Instance)
+	case plan.OpRemoveInstance:
+		if dev.Instance(s.Instance) == nil {
+			return fmt.Errorf("runtime: instance %q not installed on %s", s.Instance, s.Device)
+		}
+	case plan.OpSwapProgram:
+		old := dev.Instance(s.Instance)
+		if old == nil {
+			return fmt.Errorf("runtime: instance %q not installed on %s", s.Instance, s.Device)
+		}
+		if err := flexbpf.Verify(s.Program); err != nil {
+			return fmt.Errorf("%w: %w", errdefs.ErrVerifyFailed, err)
+		}
+		growth := flexbpf.ProgramDemand(s.Program).Sub(flexbpf.ProgramDemand(old.Program()))
+		if !growth.Fits(dev.Free()) {
+			return fmt.Errorf("runtime: swap grows %q by %v, which does not fit on %s (free %v) — migrate first: %w",
+				s.Instance, growth, s.Device, dev.Free(), errdefs.ErrInsufficientResources)
+		}
+	case plan.OpMigrateState:
+		src := x.device(s.Src)
+		if src == nil {
+			return fmt.Errorf("runtime: unknown device %q", s.Src)
+		}
+		if err := src.FaultCheck(dataplane.FaultValidate); err != nil {
+			return err
+		}
+		if x.mover == nil {
+			return fmt.Errorf("runtime: no state mover configured")
+		}
+		if src.Instance(s.Instance) == nil {
+			return fmt.Errorf("runtime: instance %q not installed on %s", s.Instance, s.Src)
+		}
+		if dev.Instance(s.Instance) == nil && !added(s.Device, s.Instance) {
+			return fmt.Errorf("runtime: migrate target %s neither hosts nor installs %q", s.Device, s.Instance)
+		}
+		if err := x.mover.ValidateMove(s.Instance, s.Src, s.Device, s.UseDataPlane); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Execute runs the plan through validate → prepare → commit → post,
+// rolling back on any failure, and invokes done with the final report.
+// Plans are serialized in submission order; validation happens when the
+// plan reaches the head of the queue.
+func (x *Executor) Execute(p *plan.ChangePlan, done func(*plan.Report)) {
+	x.queue = append(x.queue, queuedPlan{p: p, done: done})
+	x.kick()
+}
+
+func (x *Executor) kick() {
+	if x.busy || len(x.queue) == 0 {
+		return
+	}
+	x.busy = true
+	q := x.queue[0]
+	x.queue = x.queue[1:]
+	x.run(q.p, func(r *plan.Report) {
+		x.Reports = append(x.Reports, r)
+		x.busy = false
+		if q.done != nil {
+			q.done(r)
+		}
+		x.kick()
+	})
+}
+
+func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
+	rep := x.Validate(p)
+	started := x.eng.sim.Now()
+	finish := func(phase plan.Phase, outcome plan.Outcome, err error) {
+		rep.Phase, rep.Outcome = phase, outcome
+		if rep.Err == nil {
+			rep.Err = err
+		}
+		rep.Actual = x.eng.sim.Now() - started
+		done(rep)
+	}
+	if rep.Err != nil {
+		finish(plan.PhaseValidate, plan.OutcomeFailed, rep.Err)
+		return
+	}
+	groups, post := x.split(p)
+	prepared := make([]*dataplane.PreparedChange, len(groups))
+	var activated []*dataplane.PreparedChange
+
+	setStatus := func(steps []int, st plan.StepStatus) {
+		for _, i := range steps {
+			rep.Steps[i].Status = st
+		}
+	}
+
+	// rollback undoes everything: activated changes are reverted (reverse
+	// order), staged ones aborted. Runs within one simulated instant.
+	rollback := func() error {
+		var firstErr error
+		for i := len(activated) - 1; i >= 0; i-- {
+			if err := activated[i].Revert(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, pc := range prepared {
+			if pc != nil {
+				pc.Abort()
+			}
+		}
+		rep.RolledBack = true
+		return firstErr
+	}
+
+	// Post steps run sequentially after all devices committed.
+	var runPost func(i int)
+	runPost = func(i int) {
+		if i == len(post) {
+			finish(plan.PhaseDone, plan.OutcomeSucceeded, nil)
+			return
+		}
+		idx := post[i]
+		s := p.Steps[idx]
+		onDone := func(err error) {
+			if err != nil {
+				rep.Steps[idx].Status = plan.StepFailed
+				rep.Steps[idx].Err = err
+				for j := 0; j < i; j++ {
+					rep.Steps[post[j]].Status = plan.StepRolledBack
+				}
+				for _, g := range groups {
+					setStatus(g.steps, plan.StepRolledBack)
+				}
+				if rbErr := rollback(); rbErr != nil {
+					err = fmt.Errorf("%w (rollback incomplete: %v)", err, rbErr)
+				}
+				finish(plan.PhasePost, plan.OutcomeRolledBack, err)
+				return
+			}
+			rep.Steps[idx].Status = plan.StepCommitted
+			runPost(i + 1)
+		}
+		switch s.Op {
+		case plan.OpMigrateState:
+			x.mover.MoveState(s.Instance, s.Src, s.Device, s.UseDataPlane, onDone)
+		case plan.OpRouteUpdate:
+			x.eng.sim.After(x.eng.EstimateOps(0, 0, 0, 0), func() {
+				onDone(x.routes.RefreshRoutes())
+			})
+		}
+	}
+
+	// Commit activates every prepared group at one simulated instant. A
+	// failure mid-loop reverts the already-activated devices and aborts
+	// the rest before any simulated time passes, so packets only ever see
+	// all-old or all-new.
+	commit := func(prepErr error) {
+		if prepErr != nil {
+			for _, pc := range prepared {
+				if pc != nil {
+					pc.Abort()
+				}
+			}
+			rep.RolledBack = true
+			finish(plan.PhasePrepare, plan.OutcomeFailed, prepErr)
+			return
+		}
+		for gi, g := range groups {
+			pc := prepared[gi]
+			carries, err := x.captureCarries(p, g)
+			if err == nil {
+				if err = pc.Activate(); err == nil {
+					activated = append(activated, pc)
+					err = x.applyCarries(g.dev, carries)
+				}
+			}
+			if err != nil {
+				setStatus(g.steps, plan.StepFailed)
+				for _, i := range g.steps {
+					if rep.Steps[i].Err == nil {
+						rep.Steps[i].Err = err
+					}
+				}
+				for j := 0; j < gi; j++ {
+					setStatus(groups[j].steps, plan.StepRolledBack)
+				}
+				if rbErr := rollback(); rbErr != nil {
+					err = fmt.Errorf("%w (rollback incomplete: %v)", err, rbErr)
+				}
+				finish(plan.PhaseCommit, plan.OutcomeRolledBack, err)
+				return
+			}
+			setStatus(g.steps, plan.StepCommitted)
+		}
+		runPost(0)
+	}
+
+	if len(groups) == 0 {
+		x.eng.sim.After(0, func() { commit(nil) })
+		return
+	}
+	// Prepare proceeds on all devices in parallel; the commit instant is
+	// gated by the slowest prepare.
+	remaining := len(groups)
+	var prepErr error
+	for gi, g := range groups {
+		gi, g := gi, g
+		x.eng.sim.After(g.lat, func() {
+			pc, err := x.prepareGroup(p, g)
+			if err != nil {
+				setStatus(g.steps, plan.StepFailed)
+				for _, i := range g.steps {
+					rep.Steps[i].Err = err
+				}
+				if prepErr == nil {
+					prepErr = err
+				}
+			} else {
+				prepared[gi] = pc
+				setStatus(g.steps, plan.StepPrepared)
+			}
+			remaining--
+			if remaining == 0 {
+				commit(prepErr)
+			}
+		})
+	}
+}
+
+// prepareGroup stages one device's structural steps as a single
+// two-phase change.
+func (x *Executor) prepareGroup(p *plan.ChangePlan, g *group) (*dataplane.PreparedChange, error) {
+	return g.dev.PrepareChange(func(st *dataplane.StagedConfig) error {
+		for _, i := range g.steps {
+			s := p.Steps[i]
+			switch s.Op {
+			case plan.OpInstallInstance:
+				prog := s.Program.Clone()
+				prog.Name = s.Instance
+				if err := st.InstallOpt(prog, dataplane.InstallOptions{Filter: s.Filter, Priority: s.Priority}); err != nil {
+					return err
+				}
+			case plan.OpRemoveInstance:
+				if err := st.Remove(s.Instance); err != nil {
+					return err
+				}
+			case plan.OpSwapProgram:
+				if err := st.Remove(s.Instance); err != nil {
+					return err
+				}
+				prog := s.Program.Clone()
+				prog.Name = s.Instance
+				if err := st.InstallOpt(prog, dataplane.InstallOptions{Filter: s.Filter, Priority: s.Priority}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// carry is the state and table entries captured from an instance about
+// to be swapped, to be re-imported into its replacement.
+type carry struct {
+	instance string
+	state    []state.Logical
+	entries  map[string][]*flexbpf.TableEntry
+}
+
+// captureCarries snapshots the old instances of this group's swap steps.
+// It runs at the commit instant, immediately before activation, so the
+// replacement starts from the state the packet stream left behind.
+func (x *Executor) captureCarries(p *plan.ChangePlan, g *group) ([]carry, error) {
+	var out []carry
+	for _, i := range g.steps {
+		s := p.Steps[i]
+		if s.Op != plan.OpSwapProgram {
+			continue
+		}
+		old := g.dev.Instance(s.Instance)
+		if old == nil {
+			return nil, fmt.Errorf("runtime: instance %q vanished from %s before commit", s.Instance, g.dev.Name())
+		}
+		c := carry{instance: s.Instance, state: old.ExportState(), entries: map[string][]*flexbpf.TableEntry{}}
+		for name, ti := range old.Tables() {
+			c.entries[name] = ti.Entries()
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// applyCarries restores captured state into the freshly-activated
+// replacement instances: objects that survive the swap keep their
+// values, vanished objects are dropped, new objects start empty.
+// Incompatible table entries are skipped (the delta report already told
+// the caller which tables changed shape).
+func (x *Executor) applyCarries(dev *dataplane.Device, carries []carry) error {
+	for _, c := range carries {
+		inst := dev.Instance(c.instance)
+		if inst == nil {
+			return fmt.Errorf("runtime: swapped instance %q missing on %s", c.instance, dev.Name())
+		}
+		surviving := map[string]bool{}
+		for _, n := range inst.Store().Names() {
+			surviving[n] = true
+		}
+		var keep []state.Logical
+		for _, l := range c.state {
+			if surviving[l.Name] {
+				keep = append(keep, l)
+			}
+		}
+		if err := inst.ImportState(keep); err != nil {
+			return err
+		}
+		for name, entries := range c.entries {
+			ti := inst.Table(name)
+			if ti == nil {
+				continue
+			}
+			for _, e := range entries {
+				if err := ti.Insert(e); err != nil {
+					break
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"flexnet/internal/dataplane"
+	"flexnet/internal/errdefs"
+	"flexnet/internal/fabric"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/netsim"
+	"flexnet/internal/packet"
+	"flexnet/internal/plan"
+)
+
+// threeSwitchLine builds h1 — s1 — s2 — s3 — h2 with base routing and
+// returns the fabric plus a CBR source at h1.
+func threeSwitchLine(t *testing.T) (*fabric.Fabric, *netsim.Source) {
+	t.Helper()
+	f := fabric.New(7)
+	f.AddSwitch("s1", dataplane.ArchDRMT)
+	f.AddSwitch("s2", dataplane.ArchDRMT)
+	f.AddSwitch("s3", dataplane.ArchTile)
+	h1 := f.AddHost("h1", packet.IP(10, 0, 0, 1))
+	f.AddHost("h2", packet.IP(10, 0, 0, 2))
+	f.Connect("h1", "s1", netsim.DefaultLink())
+	f.Connect("s1", "s2", netsim.DefaultLink())
+	f.Connect("s2", "s3", netsim.DefaultLink())
+	f.Connect("s3", "h2", netsim.DefaultLink())
+	if err := f.InstallBaseRouting(); err != nil {
+		t.Fatal(err)
+	}
+	src := h1.NewSource(netsim.FlowSpec{
+		Dst: packet.IP(10, 0, 0, 2), Proto: packet.ProtoUDP,
+		SrcPort: 1000, DstPort: 2000, PacketLen: 300,
+	})
+	return f, src
+}
+
+func newTestExecutor(f *fabric.Fabric, mover plan.StateMover) (*Engine, *Executor) {
+	eng := NewEngine(f.Sim, DefaultCosts())
+	return eng, NewExecutor(eng, f.Device, mover, f)
+}
+
+// counterProgram is a pure-compute program that counts every packet.
+func counterProgram(name string, extraNops int) *flexbpf.Program {
+	a := flexbpf.NewAsm().
+		MovImm(0, 0).
+		MovImm(1, 1).
+		Count(name+"_pkts", 0, 1)
+	for i := 0; i < extraNops; i++ {
+		a.Nop()
+	}
+	return flexbpf.NewProgram(name).
+		Counter(name+"_pkts", 1).
+		Do(a.Ret().MustBuild()).
+		MustBuild()
+}
+
+// deviceSnapshot renders a device's packet-visible configuration and
+// state — installed programs, their logical state, and table contents —
+// as a canonical string for byte-identical comparisons.
+func deviceSnapshot(d *dataplane.Device) string {
+	var b strings.Builder
+	progs := append([]string(nil), d.Programs()...)
+	sort.Strings(progs)
+	for _, name := range progs {
+		inst := d.Instance(name)
+		fmt.Fprintf(&b, "program %s\n", name)
+		for _, l := range inst.ExportState() {
+			kvs := l.Entries
+			sort.Slice(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+			fmt.Fprintf(&b, "  state %s/%v %v\n", l.Name, l.Kind, kvs)
+		}
+		var tables []string
+		for tn := range inst.Tables() {
+			tables = append(tables, tn)
+		}
+		sort.Strings(tables)
+		for _, tn := range tables {
+			fmt.Fprintf(&b, "  table %s:", tn)
+			for _, e := range inst.Table(tn).Entries() {
+				fmt.Fprintf(&b, " %v->%s%v", e.Match, e.Action, e.Params)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func runPlan(t *testing.T, f *fabric.Fabric, x *Executor, p *plan.ChangePlan) *plan.Report {
+	t.Helper()
+	var rep *plan.Report
+	x.Execute(p, func(r *plan.Report) { rep = r })
+	f.Sim.RunFor(2 * time.Second)
+	if rep == nil {
+		t.Fatalf("plan %q did not finish", p.Label)
+	}
+	return rep
+}
+
+func TestExecutorCommitsMultiDevicePlan(t *testing.T) {
+	f, src := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	src.StartCBR(20000)
+	f.Sim.RunFor(30 * time.Millisecond)
+
+	p := plan.New("deploy acl").
+		Install("s1", "acl1", aclProgram("acl1"), nil, 0).
+		Install("s2", "acl2", aclProgram("acl2"), nil, 0).
+		Install("s3", "acl3", aclProgram("acl3"), nil, 0)
+	rep := runPlan(t, f, x, p)
+	src.Stop()
+	f.Sim.RunFor(10 * time.Millisecond)
+
+	if rep.Err != nil {
+		t.Fatalf("plan failed: %v", rep.Err)
+	}
+	if rep.Outcome != plan.OutcomeSucceeded || rep.Phase != plan.PhaseDone {
+		t.Fatalf("outcome %v phase %v", rep.Outcome, rep.Phase)
+	}
+	if rep.Estimated <= 0 || rep.Actual <= 0 {
+		t.Fatalf("estimated %v actual %v", rep.Estimated, rep.Actual)
+	}
+	for i, sw := range []string{"s1", "s2", "s3"} {
+		if f.Device(sw).Instance(fmt.Sprintf("acl%d", i+1)) == nil {
+			t.Fatalf("%s missing its instance", sw)
+		}
+	}
+	for _, sr := range rep.Steps {
+		if sr.Status != plan.StepCommitted {
+			t.Fatalf("step %s status %v", sr.Step, sr.Status)
+		}
+	}
+	if got, want := f.Host("h2").Received, src.Sent; got != want {
+		t.Fatalf("lost packets during plan: %d of %d", got, want)
+	}
+	if f.InfrastructureDrops() != 0 {
+		t.Fatalf("infrastructure drops = %d", f.InfrastructureDrops())
+	}
+}
+
+func TestExecutorValidateIsPureDryRun(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	p := plan.New("dry").Install("s1", "acl", aclProgram("acl"), nil, 0)
+	rep := x.Validate(p)
+	if rep.Err != nil {
+		t.Fatalf("valid plan rejected: %v", rep.Err)
+	}
+	if rep.Outcome != plan.OutcomePlanned {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+	if rep.Estimated <= 0 {
+		t.Fatal("no cost estimate")
+	}
+	if f.Device("s1").Instance("acl") != nil {
+		t.Fatal("dry run mutated the device")
+	}
+	if f.Sim.Now() != 0 {
+		t.Fatal("dry run advanced simulated time")
+	}
+}
+
+func TestExecutorValidateRejections(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+
+	bad := &flexbpf.Program{Name: "bad", Actions: map[string]*flexbpf.Action{}}
+	bad.Pipeline = []flexbpf.Stmt{{Apply: "ghost"}}
+
+	cases := []struct {
+		name string
+		p    *plan.ChangePlan
+		want error
+	}{
+		{"unknown device", plan.New("x").Install("nope", "a", aclProgram("a"), nil, 0), nil},
+		{"unverifiable", plan.New("x").Install("s1", "bad", bad, nil, 0), errdefs.ErrVerifyFailed},
+		{"remove missing", plan.New("x").Remove("s1", "ghost"), nil},
+		{"swap missing", plan.New("x").Swap("s1", "ghost", aclProgram("a"), nil), nil},
+		{"migrate without mover", plan.New("x").MigrateState("ghost", "s1", "s2", false), nil},
+	}
+	for _, tc := range cases {
+		rep := x.Validate(tc.p)
+		if rep.Err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if rep.Outcome != plan.OutcomeFailed {
+			t.Errorf("%s: outcome %v", tc.name, rep.Outcome)
+		}
+		if tc.want != nil && !errors.Is(rep.Err, tc.want) {
+			t.Errorf("%s: err %v does not wrap %v", tc.name, rep.Err, tc.want)
+		}
+	}
+}
+
+func TestExecutorValidateRejectsDownDevice(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	f.Device("s2").SetDown(true)
+	rep := x.Validate(plan.New("x").Install("s2", "a", aclProgram("a"), nil, 0))
+	if !errors.Is(rep.Err, errdefs.ErrDeviceDown) {
+		t.Fatalf("err %v does not wrap ErrDeviceDown", rep.Err)
+	}
+}
+
+func TestExecutorPrepareFaultAbortsWholePlan(t *testing.T) {
+	f, src := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	injected := errors.New("flash write failed")
+	f.Device("s2").SetFaultInjector(func(dev string, op dataplane.FaultOp) error {
+		if op == dataplane.FaultPrepare {
+			return injected
+		}
+		return nil
+	})
+	src.StartCBR(20000)
+	f.Sim.RunFor(20 * time.Millisecond)
+
+	p := plan.New("deploy").
+		Install("s1", "acl1", aclProgram("acl1"), nil, 0).
+		Install("s2", "acl2", aclProgram("acl2"), nil, 0).
+		Install("s3", "acl3", aclProgram("acl3"), nil, 0)
+	rep := runPlan(t, f, x, p)
+	src.Stop()
+	f.Sim.RunFor(10 * time.Millisecond)
+
+	if !errors.Is(rep.Err, injected) {
+		t.Fatalf("err = %v", rep.Err)
+	}
+	if rep.Phase != plan.PhasePrepare || rep.Outcome != plan.OutcomeFailed {
+		t.Fatalf("phase %v outcome %v", rep.Phase, rep.Outcome)
+	}
+	if !rep.RolledBack {
+		t.Fatal("staged work not rolled back")
+	}
+	for i, sw := range []string{"s1", "s2", "s3"} {
+		if f.Device(sw).Instance(fmt.Sprintf("acl%d", i+1)) != nil {
+			t.Fatalf("%s kept a staged instance after abort", sw)
+		}
+	}
+	if got, want := f.Host("h2").Received, src.Sent; got != want {
+		t.Fatalf("lost packets during aborted plan: %d of %d", got, want)
+	}
+}
+
+func TestExecutorCommitFaultRollsBackByteIdentical(t *testing.T) {
+	f, src := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+
+	// Pre-plan network: a stateful counter runs on s2 and accumulates.
+	if err := f.Device("s2").InstallProgram(counterProgram("cnt", 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.StartCBR(20000)
+	f.Sim.RunFor(50 * time.Millisecond)
+	src.Stop()
+	f.Sim.RunFor(10 * time.Millisecond) // drain in-flight packets
+	if v := f.Device("s2").Instance("cnt").Store().Counter("cnt_pkts").Value(0); v == 0 {
+		t.Fatal("counter never incremented")
+	}
+
+	before := map[string]string{}
+	for _, sw := range []string{"s1", "s2", "s3"} {
+		before[sw] = deviceSnapshot(f.Device(sw))
+	}
+
+	// s3 fails at the commit instant, after s1 and s2 already activated.
+	injected := errors.New("asic commit fault")
+	f.Device("s3").SetFaultInjector(func(dev string, op dataplane.FaultOp) error {
+		if op == dataplane.FaultCommit {
+			return injected
+		}
+		return nil
+	})
+	p := plan.New("upgrade").
+		Install("s1", "acl1", aclProgram("acl1"), nil, 0).
+		Swap("s2", "cnt", counterProgram("cnt", 2), nil).
+		Install("s3", "acl3", aclProgram("acl3"), nil, 0)
+	rep := runPlan(t, f, x, p)
+
+	if !errors.Is(rep.Err, injected) {
+		t.Fatalf("err = %v", rep.Err)
+	}
+	if rep.Phase != plan.PhaseCommit || rep.Outcome != plan.OutcomeRolledBack || !rep.RolledBack {
+		t.Fatalf("phase %v outcome %v rolledback %v", rep.Phase, rep.Outcome, rep.RolledBack)
+	}
+	for _, sw := range []string{"s1", "s2", "s3"} {
+		if got := deviceSnapshot(f.Device(sw)); got != before[sw] {
+			t.Fatalf("%s not byte-identical after rollback:\n--- before ---\n%s--- after ---\n%s", sw, before[sw], got)
+		}
+	}
+
+	// The restored network still forwards.
+	h1 := f.Host("h1")
+	src2 := h1.NewSource(netsim.FlowSpec{
+		Dst: packet.IP(10, 0, 0, 2), Proto: packet.ProtoUDP,
+		SrcPort: 1001, DstPort: 2000, PacketLen: 300,
+	})
+	got0 := f.Host("h2").Received
+	src2.StartCBR(10000)
+	f.Sim.RunFor(50 * time.Millisecond)
+	src2.Stop()
+	f.Sim.RunFor(10 * time.Millisecond)
+	if f.Host("h2").Received-got0 != src2.Sent {
+		t.Fatalf("rolled-back network dropped packets: %d of %d",
+			f.Host("h2").Received-got0, src2.Sent)
+	}
+}
+
+func TestExecutorSwapCarriesState(t *testing.T) {
+	f, src := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	if err := f.Device("s2").InstallProgram(counterProgram("cnt", 0)); err != nil {
+		t.Fatal(err)
+	}
+	src.StartCBR(20000)
+	f.Sim.RunFor(50 * time.Millisecond)
+	pre := f.Device("s2").Instance("cnt").Store().Counter("cnt_pkts").Value(0)
+	if pre == 0 {
+		t.Fatal("counter never incremented")
+	}
+
+	rep := runPlan(t, f, x, plan.New("swap").Swap("s2", "cnt", counterProgram("cnt", 3), nil))
+	src.Stop()
+	f.Sim.RunFor(10 * time.Millisecond)
+	if rep.Err != nil {
+		t.Fatalf("swap failed: %v", rep.Err)
+	}
+	post := f.Device("s2").Instance("cnt").Store().Counter("cnt_pkts").Value(0)
+	if post < pre {
+		t.Fatalf("state lost across swap: %d -> %d", pre, post)
+	}
+	if got, want := f.Host("h2").Received, src.Sent; got != want {
+		t.Fatalf("lost packets during swap: %d of %d", got, want)
+	}
+}
+
+// fakeMover implements plan.StateMover for executor-level tests.
+type fakeMover struct {
+	err   error
+	moved []string
+}
+
+func (m *fakeMover) ValidateMove(inst, src, dst string, dp bool) error { return nil }
+func (m *fakeMover) EstimateMove(inst, src string, dp bool) netsim.Time {
+	return 5 * time.Millisecond
+}
+func (m *fakeMover) MoveState(inst, src, dst string, dp bool, done func(error)) {
+	if m.err != nil {
+		done(m.err)
+		return
+	}
+	m.moved = append(m.moved, inst)
+	done(nil)
+}
+
+func TestExecutorMigrateStepRunsAfterCommit(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	mover := &fakeMover{}
+	_, x := newTestExecutor(f, mover)
+	if err := f.Device("s1").InstallProgram(counterProgram("cnt", 0)); err != nil {
+		t.Fatal(err)
+	}
+	p := plan.New("migrate").
+		Install("s3", "cnt", counterProgram("cnt", 0), nil, 0).
+		MigrateState("cnt", "s1", "s3", false)
+	rep := runPlan(t, f, x, p)
+	if rep.Err != nil {
+		t.Fatalf("plan failed: %v", rep.Err)
+	}
+	if len(mover.moved) != 1 || mover.moved[0] != "cnt" {
+		t.Fatalf("mover ran %v", mover.moved)
+	}
+}
+
+func TestExecutorMigrateFaultRollsBackInstall(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	injected := errors.New("state transfer stalled")
+	mover := &fakeMover{err: injected}
+	_, x := newTestExecutor(f, mover)
+	if err := f.Device("s1").InstallProgram(counterProgram("cnt", 0)); err != nil {
+		t.Fatal(err)
+	}
+	before := deviceSnapshot(f.Device("s3"))
+	p := plan.New("migrate").
+		Install("s3", "cnt", counterProgram("cnt", 0), nil, 0).
+		MigrateState("cnt", "s1", "s3", false)
+	rep := runPlan(t, f, x, p)
+	if !errors.Is(rep.Err, injected) {
+		t.Fatalf("err = %v", rep.Err)
+	}
+	if rep.Phase != plan.PhasePost || rep.Outcome != plan.OutcomeRolledBack {
+		t.Fatalf("phase %v outcome %v", rep.Phase, rep.Outcome)
+	}
+	if f.Device("s3").Instance("cnt") != nil {
+		t.Fatal("destination install not rolled back")
+	}
+	if deviceSnapshot(f.Device("s3")) != before {
+		t.Fatal("s3 not byte-identical after rollback")
+	}
+	if f.Device("s1").Instance("cnt") == nil {
+		t.Fatal("source instance lost")
+	}
+}
+
+func TestExecutorSerializesPlans(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	// Plan B removes what plan A installs: it can only validate after A
+	// commits, which is exactly the serialize-at-head-of-queue contract.
+	var repA, repB *plan.Report
+	x.Execute(plan.New("A").Install("s1", "acl", aclProgram("acl"), nil, 0),
+		func(r *plan.Report) { repA = r })
+	x.Execute(plan.New("B").Remove("s1", "acl"),
+		func(r *plan.Report) { repB = r })
+	f.Sim.RunFor(2 * time.Second)
+	if repA == nil || repB == nil {
+		t.Fatal("plans did not finish")
+	}
+	if repA.Err != nil || repB.Err != nil {
+		t.Fatalf("errs: %v / %v", repA.Err, repB.Err)
+	}
+	if len(x.Reports) != 2 || x.Reports[0].Label != "A" || x.Reports[1].Label != "B" {
+		t.Fatalf("report order: %+v", x.Reports)
+	}
+	if f.Device("s1").Instance("acl") != nil {
+		t.Fatal("instance survived remove")
+	}
+}
+
+func TestExecutorRouteUpdateStep(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	rep := runPlan(t, f, x, plan.New("routes").RouteUpdate())
+	if rep.Err != nil {
+		t.Fatalf("route update failed: %v", rep.Err)
+	}
+	if rep.Outcome != plan.OutcomeSucceeded {
+		t.Fatalf("outcome %v", rep.Outcome)
+	}
+}
