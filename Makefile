@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt check bench benchdiff cover
 
 all: build
 
@@ -21,7 +21,18 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build race
+check: fmt vet build test race
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/telemetry
+
+# benchdiff regenerates the deterministic flexbench output and fails if
+# it drifted from the checked-in BENCH_BASELINE.md (CI gate).
+benchdiff:
+	./scripts/benchdiff.sh
+
+# cover writes a coverage profile and prints the per-function summary;
+# the last line is the total, which CI surfaces in the job log.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 25

@@ -11,6 +11,8 @@
 //	flexctl run -ms 500
 //	flexctl migrate -uri flexnet://infra/defense -segment syn -device s2 -dp
 //	flexctl remove -uri flexnet://infra/defense
+//	flexctl -stats
+//	flexctl -trace plan-3
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"net"
 	"os"
 	"strings"
+	"time"
 )
 
 func usage() {
@@ -39,6 +42,12 @@ commands:
   traffic  -src HOST -dst IP -pps N
   traffic-stop
   run      [-ms N]
+  stats                                    telemetry snapshot (all metrics)
+  trace    [-plan ID]                      plan execution trace (default: last)
+  report                                   last executed plan's report
+
+shortcuts: "flexctl -stats" = "flexctl stats";
+           "flexctl -trace ID" = "flexctl trace -plan ID" ("last" = most recent)
 
 builtin apps: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int
 
@@ -50,12 +59,23 @@ cost estimate without mutating the network.
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9177", "flexnetd address")
+	statsFlag := flag.Bool("stats", false, "print the telemetry snapshot (shortcut for the stats command)")
+	traceFlag := flag.String("trace", "", "print a plan's execution trace by ID; \"last\" = most recent")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 {
+	cmd := ""
+	rest := flag.Args()
+	switch {
+	case *statsFlag:
+		cmd = "stats"
+	case *traceFlag != "":
+		cmd = "trace"
+	case len(rest) >= 1:
+		cmd = rest[0]
+		rest = rest[1:]
+	default:
 		usage()
 	}
-	cmd := flag.Arg(0)
 
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
 	uri := sub.String("uri", "", "app URI (flexnet://owner/name)")
@@ -71,7 +91,8 @@ func main() {
 	ms := sub.Int64("ms", 100, "simulated milliseconds to run")
 	dp := sub.Bool("dp", false, "use data-plane state migration")
 	dry := sub.Bool("dry-run", false, "validate the change plan without executing it")
-	sub.Parse(flag.Args()[1:])
+	plan := sub.String("plan", "", "plan ID for trace (empty = most recent)")
+	sub.Parse(rest)
 
 	req := map[string]interface{}{"op": cmd}
 	set := func(k string, v interface{}) {
@@ -118,6 +139,13 @@ func main() {
 	if *pathCSV != "" {
 		req["path"] = strings.Split(*pathCSV, ",")
 	}
+	if cmd == "trace" {
+		id := *plan
+		if id == "" && *traceFlag != "" && *traceFlag != "last" {
+			id = *traceFlag
+		}
+		set("plan", id)
+	}
 
 	conn, err := net.Dial("tcp", *addr)
 	if err != nil {
@@ -149,6 +177,18 @@ func main() {
 		os.Exit(1)
 	}
 	if len(resp.Data) > 0 {
+		switch cmd {
+		case "stats":
+			if out, ok := renderStats(resp.Data); ok {
+				fmt.Print(out)
+				return
+			}
+		case "trace":
+			if out, ok := renderTrace(resp.Data); ok {
+				fmt.Print(out)
+				return
+			}
+		}
 		var pretty interface{}
 		json.Unmarshal(resp.Data, &pretty)
 		out, _ := json.MarshalIndent(pretty, "", "  ")
@@ -156,4 +196,85 @@ func main() {
 	} else {
 		fmt.Println("ok")
 	}
+}
+
+// renderStats pretty-prints a telemetry snapshot (falls back to raw JSON
+// on decode failure).
+func renderStats(raw json.RawMessage) (string, bool) {
+	var s struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Gauges []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"gauges"`
+		Histograms []struct {
+			Name    string   `json:"name"`
+			Count   uint64   `json:"count"`
+			Sum     int64    `json:"sum"`
+			Bounds  []int64  `json:"bounds"`
+			Buckets []uint64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return "", false
+	}
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, p := range s.Counters {
+			fmt.Fprintf(&b, "  %-44s %d\n", p.Name, p.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, p := range s.Gauges {
+			fmt.Fprintf(&b, "  %-44s %d\n", p.Name, p.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		b.WriteString("histograms:\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "  %-44s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+		}
+	}
+	return b.String(), true
+}
+
+// renderTrace pretty-prints a plan execution trace.
+func renderTrace(raw json.RawMessage) (string, bool) {
+	var t struct {
+		ID      string `json:"id"`
+		Label   string `json:"label"`
+		Outcome string `json:"outcome"`
+		StartNs int64  `json:"start_ns"`
+		EndNs   int64  `json:"end_ns"`
+		Spans   []struct {
+			Name    string `json:"name"`
+			Device  string `json:"device"`
+			StartNs int64  `json:"start_ns"`
+			EndNs   int64  `json:"end_ns"`
+			Err     string `json:"error"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &t); err != nil || t.ID == "" {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %q: %s, %v → %v (%v)\n", t.ID, t.Label, t.Outcome,
+		time.Duration(t.StartNs), time.Duration(t.EndNs), time.Duration(t.EndNs-t.StartNs))
+	for _, sp := range t.Spans {
+		name := sp.Name
+		if sp.Device != "" {
+			name += ":" + sp.Device
+		}
+		fmt.Fprintf(&b, "  %-28s %12v +%v", name, time.Duration(sp.StartNs), time.Duration(sp.EndNs-sp.StartNs))
+		if sp.Err != "" {
+			fmt.Fprintf(&b, " — %s", sp.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), true
 }

@@ -117,6 +117,8 @@ type Request struct {
 	Millis int64 `json:"millis,omitempty"`
 	// Migration mode.
 	DataPlane bool `json:"data_plane,omitempty"`
+	// Plan selects a plan ID for the "trace" op ("" = most recent).
+	Plan string `json:"plan,omitempty"`
 	// DryRun validates the operation's change plan and returns its steps
 	// and cost estimate without mutating the network.
 	DryRun bool `json:"dry_run,omitempty"`
@@ -182,6 +184,9 @@ func planData(rep *flexnet.PlanReport) Response {
 		"outcome":      rep.Outcome.String(),
 		"estimated_ms": float64(rep.Estimated.Microseconds()) / 1000.0,
 		"steps":        steps,
+	}
+	if rep.ID != "" {
+		data["id"] = rep.ID
 	}
 	if rep.Err != nil {
 		data["error"] = rep.Err.Error()
@@ -326,6 +331,29 @@ func (s *Server) handle(req *Request) Response {
 		}
 		s.net.RunFor(time.Duration(ms) * time.Millisecond)
 		return Response{OK: true, Data: map[string]int64{"sim_time_ms": s.net.Now().Milliseconds()}}
+	case "stats":
+		return Response{OK: true, Data: s.net.Stats()}
+	case "trace":
+		tr := s.net.Tracer()
+		id := req.Plan
+		if id == "" {
+			last := tr.Last()
+			if last == nil {
+				return fail(fmt.Errorf("no plans executed yet"))
+			}
+			id = last.ID
+		}
+		t := tr.Trace(id)
+		if t == nil {
+			return fail(fmt.Errorf("no trace for plan %q (retained: %v)", id, tr.IDs()))
+		}
+		return Response{OK: true, Data: t.Snapshot()}
+	case "report":
+		rep := s.net.LastPlanReport()
+		if rep == nil {
+			return fail(fmt.Errorf("no plans executed yet"))
+		}
+		return planData(rep)
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}

@@ -154,3 +154,96 @@ func TestServeConnOverTCP(t *testing.T) {
 		t.Fatalf("deploy over TCP: %v", r.Error)
 	}
 }
+
+func TestHandleTelemetryOps(t *testing.T) {
+	s := demoServer(t)
+
+	// Before any plan: trace and report must fail cleanly, stats succeed.
+	if r := s.handle(&Request{Op: "trace"}); r.OK {
+		t.Fatal("trace succeeded before any plan executed")
+	}
+	if r := s.handle(&Request{Op: "report"}); r.OK {
+		t.Fatal("report succeeded before any plan executed")
+	}
+	if r := s.handle(&Request{Op: "stats"}); !r.OK {
+		t.Fatalf("stats: %v", r.Error)
+	}
+
+	if r := s.handle(&Request{Op: "deploy", URI: "flexnet://infra/d", App: "l2", Path: []string{"s1"}}); !r.OK {
+		t.Fatalf("deploy: %v", r.Error)
+	}
+	if r := s.handle(&Request{Op: "traffic", SrcHost: "h1", DstIP: "10.0.0.2", PPS: 1000}); !r.OK {
+		t.Fatalf("traffic: %v", r.Error)
+	}
+	if r := s.handle(&Request{Op: "run", Millis: 100}); !r.OK {
+		t.Fatalf("run: %v", r.Error)
+	}
+
+	// stats reflects live instruments.
+	r := s.handle(&Request{Op: "stats"})
+	if !r.OK {
+		t.Fatalf("stats: %v", r.Error)
+	}
+	raw, _ := json.Marshal(r.Data)
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats payload: %v", err)
+	}
+	byName := map[string]int64{}
+	for _, c := range snap.Counters {
+		byName[c.Name] = c.Value
+	}
+	if byName["plan.executed"] != 1 || byName["ctl.ops.deploy"] != 1 {
+		t.Fatalf("counters after deploy: %v", byName)
+	}
+	if byName["dev.s1.packets_processed"] == 0 {
+		t.Fatalf("no packets counted on s1: %v", byName)
+	}
+
+	// trace defaults to the most recent plan; an explicit ID works too.
+	for _, req := range []*Request{{Op: "trace"}, {Op: "trace", Plan: "plan-1"}} {
+		r = s.handle(req)
+		if !r.OK {
+			t.Fatalf("trace %+v: %v", req, r.Error)
+		}
+		raw, _ = json.Marshal(r.Data)
+		var tr struct {
+			ID      string `json:"id"`
+			Outcome string `json:"outcome"`
+			Spans   []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(raw, &tr); err != nil {
+			t.Fatalf("trace payload: %v", err)
+		}
+		if tr.ID != "plan-1" || tr.Outcome != "succeeded" || len(tr.Spans) == 0 {
+			t.Fatalf("trace = %+v", tr)
+		}
+	}
+	if r = s.handle(&Request{Op: "trace", Plan: "plan-99"}); r.OK {
+		t.Fatal("trace for unknown plan ID succeeded")
+	}
+
+	// report re-serves the last plan report, carrying its trace ID.
+	r = s.handle(&Request{Op: "report"})
+	if !r.OK {
+		t.Fatalf("report: %v", r.Error)
+	}
+	raw, _ = json.Marshal(r.Data)
+	var rep struct {
+		ID      string `json:"id"`
+		Outcome string `json:"outcome"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report payload: %v", err)
+	}
+	if rep.ID != "plan-1" || rep.Outcome != "succeeded" {
+		t.Fatalf("report = %+v", rep)
+	}
+}

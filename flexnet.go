@@ -52,6 +52,7 @@ import (
 	"flexnet/internal/packet"
 	"flexnet/internal/plan"
 	"flexnet/internal/runtime"
+	"flexnet/internal/telemetry"
 	"flexnet/internal/transport"
 )
 
@@ -138,6 +139,11 @@ type (
 	PlanStep = plan.Step
 	// PlanReport describes a plan's execution or dry run.
 	PlanReport = plan.Report
+	// TelemetrySnapshot is a deterministic point-in-time copy of every
+	// metric in the network's registry.
+	TelemetrySnapshot = telemetry.Snapshot
+	// TraceSnapshot is a wire-friendly copy of one plan's execution trace.
+	TraceSnapshot = telemetry.TraceSnapshot
 )
 
 // Program constructors re-exported from the library.
@@ -476,6 +482,25 @@ func (n *Network) RemoveTenant(name string) error {
 // change plan (nil before the first operation). Every operation —
 // deploy, remove, update, scale, migrate — leaves one.
 func (n *Network) LastPlanReport() *PlanReport { return n.ctl.LastReport() }
+
+// Metrics returns the network-wide telemetry registry: per-device packet
+// and occupancy instruments ("dev.*"), plan pipeline counters ("plan.*"),
+// controller operation counters ("ctl.*"), and migration accounting
+// ("migrate.*"). All values derive from simulated time and the seeded
+// simulation, so snapshots are byte-identical across runs at a seed.
+func (n *Network) Metrics() *telemetry.Registry { return n.fab.Metrics }
+
+// Tracer returns the plan-execution tracer. Every executed plan leaves a
+// trace keyed by its ID (see PlanReport.ID) with per-phase spans:
+// validate, per-device prepare, commit, rollback, and post steps.
+func (n *Network) Tracer() *telemetry.Tracer { return n.fab.Tracer }
+
+// Stats returns a deterministic snapshot of every metric.
+func (n *Network) Stats() TelemetrySnapshot { return n.fab.Metrics.Snapshot() }
+
+// PlanTrace returns the execution trace for a plan ID (see
+// PlanReport.ID), or a zero snapshot if the ID is unknown or evicted.
+func (n *Network) PlanTrace(id string) TraceSnapshot { return n.fab.Tracer.Trace(id).Snapshot() }
 
 // DryRunDeploy compiles and validates a deployment without touching the
 // network: the report lists every step with its estimated cost. The

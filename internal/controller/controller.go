@@ -137,6 +137,7 @@ func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *C
 		_ = fab.Device(src).RemoveProgram(prog)
 	}
 	c.exec = runtime.NewExecutor(eng, fab.Device, c.mig, fab)
+	c.exec.SetTelemetry(fab.Metrics, fab.Tracer)
 	fab.Punted = func(dev string, pkt *packet.Packet) {
 		c.Punts = append(c.Punts, PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
 		if c.OnPunt != nil {
@@ -144,6 +145,21 @@ func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *C
 		}
 	}
 	return c
+}
+
+// instrument counts one controller operation ("ctl.ops.<op>") and wraps
+// its completion callback so failures also bump "ctl.op_failures". The
+// returned callback is never nil, so callers can invoke it directly.
+func (c *Controller) instrument(op string, done func(error)) func(error) {
+	c.fab.Metrics.Counter("ctl.ops." + op).Inc()
+	return func(err error) {
+		if err != nil {
+			c.fab.Metrics.Counter("ctl.op_failures").Inc()
+		}
+		if done != nil {
+			done(err)
+		}
+	}
 }
 
 // Compiler exposes the placement compiler (for strategy tweaks).
@@ -188,7 +204,9 @@ func ValidURI(uri string) bool {
 
 // AddTenant admits a tenant and allocates its isolation VLAN.
 func (c *Controller) AddTenant(name string) (*Tenant, error) {
+	c.fab.Metrics.Counter("ctl.ops.tenant_add").Inc()
 	if _, dup := c.tenants[name]; dup {
+		c.fab.Metrics.Counter("ctl.op_failures").Inc()
 		return nil, fmt.Errorf("controller: tenant %q already admitted", name)
 	}
 	t := &Tenant{Name: name, VLAN: c.nextVLAN}
@@ -205,6 +223,7 @@ func (c *Controller) Tenant(name string) *Tenant { return c.tenants[name] }
 // network and release unused resources"). done fires when all removals
 // committed.
 func (c *Controller) RemoveTenant(name string, done func(error)) {
+	done = c.instrument("tenant_remove", done)
 	t := c.tenants[name]
 	if t == nil {
 		done(fmt.Errorf("controller: no tenant %q", name))
@@ -277,6 +296,7 @@ func (c *Controller) PlanDeploy(uri string, dp *flexbpf.Datapath, opts DeployOpt
 // commit; on any failure the plan is rolled back and the URI released
 // so a corrected deployment can retry.
 func (c *Controller) Deploy(uri string, dp *flexbpf.Datapath, opts DeployOptions, done func(error)) {
+	done = c.instrument("deploy", done)
 	fail := func(err error) {
 		if done != nil {
 			done(err)
@@ -382,6 +402,7 @@ func (c *Controller) PlanRemove(uri string) (*plan.ChangePlan, error) {
 // failure the rollback re-places every instance (state intact) and the
 // app stays registered and running.
 func (c *Controller) Remove(uri string, done func(error)) {
+	done = c.instrument("remove", done)
 	cp, err := c.PlanRemove(uri)
 	if err != nil {
 		if done != nil {
@@ -441,6 +462,7 @@ func (c *Controller) PlanScaleOut(uri, segment, device string) (*plan.ChangePlan
 // (elastic defenses, §1.1: defenses "dynamically scale in and out based
 // on attack traffic volume").
 func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
+	done = c.instrument("scale_out", done)
 	fail := func(err error) {
 		if done != nil {
 			done(err)
@@ -492,6 +514,7 @@ func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan,
 
 // ScaleIn removes a replica from a device.
 func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
+	done = c.instrument("scale_in", done)
 	fail := func(err error) {
 		if done != nil {
 			done(err)
@@ -561,6 +584,14 @@ func (c *Controller) PlanMigrate(uri, segment, dst string, useDataPlane bool) (*
 // any point rolls the plan back: the destination install is undone and
 // the source stays authoritative.
 func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done func(migrate.Report)) {
+	count := c.instrument("migrate", nil)
+	inner := done
+	done = func(r migrate.Report) {
+		count(r.Err)
+		if inner != nil {
+			inner(r)
+		}
+	}
 	cp, err := c.PlanMigrate(uri, segment, dst, useDataPlane)
 	if err != nil {
 		done(migrate.Report{Err: err})

@@ -55,6 +55,14 @@ func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.Chan
 //
 // done receives the per-application report and the first error.
 func (c *Controller) UpdateApp(uri, segment string, d *delta.Delta, done func(*delta.Report, error)) {
+	count := c.instrument("update", nil)
+	inner := done
+	done = func(r *delta.Report, err error) {
+		count(err)
+		if inner != nil {
+			inner(r, err)
+		}
+	}
 	cp, newProg, rep, err := c.PlanUpdate(uri, segment, d)
 	if err != nil {
 		if done != nil {

@@ -30,6 +30,7 @@ import (
 	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/packet"
+	"flexnet/internal/telemetry"
 )
 
 // Arch identifies a device architecture class.
@@ -292,6 +293,64 @@ type Device struct {
 	}
 	// processed counts packets for energy accounting.
 	processed atomic.Uint64
+
+	// met holds pre-resolved telemetry handles (nil handles are inert),
+	// so the per-packet path pays only atomic bumps, never map lookups.
+	met deviceMetrics
+}
+
+// deviceMetrics are the device's live telemetry instruments. All handles
+// are nil (no-ops) until SetMetrics wires a registry.
+type deviceMetrics struct {
+	packets    *telemetry.Counter
+	dropped    *telemetry.Counter
+	lookups    *telemetry.Counter
+	faults     *telemetry.Counter
+	epochFlips *telemetry.Counter
+	epoch      *telemetry.Gauge
+	programs   *telemetry.Gauge
+	occupancy  *telemetry.Gauge
+	latency    *telemetry.Histogram
+}
+
+// SetMetrics registers this device's instruments in reg under the
+// "dev.<name>." prefix: packets processed, table hits, occupancy, fault
+// injections, and epoch flips, plus a processing-latency histogram. The
+// embedding fabric calls this at build time, before any traffic flows —
+// the handles are read lock-free on the packet path, so they must not be
+// swapped while the device processes packets. Devices without a registry
+// run with inert nil handles.
+func (d *Device) SetMetrics(reg *telemetry.Registry) {
+	prefix := "dev." + d.name + "."
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.met = deviceMetrics{
+		packets:    reg.Counter(prefix + "packets_processed"),
+		dropped:    reg.Counter(prefix + "packets_dropped"),
+		lookups:    reg.Counter(prefix + "table_lookups"),
+		faults:     reg.Counter(prefix + "fault_injections"),
+		epochFlips: reg.Counter(prefix + "epoch_flips"),
+		epoch:      reg.Gauge(prefix + "epoch"),
+		programs:   reg.Gauge(prefix + "programs"),
+		occupancy:  reg.Gauge(prefix + "occupancy_ppm"),
+		latency:    reg.Histogram(prefix+"proc_latency_ns", telemetry.DefaultLatencyBounds),
+	}
+	d.met.epoch.Set(int64(d.snapshot().epoch))
+	d.exportOccupancyLocked()
+}
+
+// exportOccupancyLocked refreshes the occupancy and program-count
+// gauges from the resource model. Caller holds d.mu.
+func (d *Device) exportOccupancyLocked() {
+	d.met.programs.Set(int64(len(d.placements)))
+	if d.met.occupancy == nil {
+		return
+	}
+	cap := d.model.capacity()
+	free := d.model.free()
+	if cap.SRAMBits > 0 {
+		d.met.occupancy.Set(int64(cap.SRAMBits-free.SRAMBits) * 1_000_000 / int64(cap.SRAMBits))
+	}
 }
 
 // New creates a device from config.
@@ -376,6 +435,9 @@ func (d *Device) Epoch() uint64 { return d.snapshot().epoch }
 func (d *Device) commit(next *config) {
 	next.epoch = d.snapshot().epoch + 1
 	d.current.Store(next)
+	d.met.epochFlips.Inc()
+	d.met.epoch.Set(int64(next.epoch))
+	d.exportOccupancyLocked()
 }
 
 // CanHost reports whether the device could place prog right now (a
@@ -641,6 +703,7 @@ func (d *Device) faultLocked(op FaultOp) error {
 	}
 	if d.fault != nil {
 		if err := d.fault(d.name, op); err != nil {
+			d.met.faults.Inc()
 			return err
 		}
 	}
@@ -927,6 +990,7 @@ func (st *StagedConfig) Parser() *packet.ParseGraph { return st.parser }
 func (d *Device) Process(pkt *packet.Packet) ProcStats {
 	if d.draining.Load() || d.down.Load() {
 		d.bump(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
+		d.met.dropped.Inc()
 		return ProcStats{Verdict: packet.VerdictDrop}
 	}
 	cfg := d.snapshot()
@@ -938,6 +1002,7 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 	// Parse: determine which headers this configuration understands.
 	if _, err := cfg.parser.ParseFields(pkt); err != nil {
 		d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
+		d.met.dropped.Inc()
 		st.Verdict = packet.VerdictDrop
 		return st
 	}
@@ -952,6 +1017,7 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 		st.Programs = append(st.Programs, inst.prog.Name)
 		if err != nil {
 			d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
+			d.met.dropped.Inc()
 			st.Verdict = packet.VerdictDrop
 			return st
 		}
@@ -964,6 +1030,13 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 	st.LatencyNs = d.cfg.Perf.BaseLatencyNs +
 		d.cfg.Perf.PerInstrNs*uint64(st.Instrs) +
 		d.cfg.Perf.PerLookupNs*uint64(st.Lookups)
+
+	d.met.packets.Inc()
+	d.met.lookups.Add(uint64(st.Lookups))
+	d.met.latency.Observe(int64(st.LatencyNs))
+	if st.Verdict == packet.VerdictDrop {
+		d.met.dropped.Inc()
+	}
 
 	d.processed.Add(1)
 	d.bump(func(c *Counters) {

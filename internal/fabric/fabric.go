@@ -17,6 +17,7 @@ import (
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/netsim"
 	"flexnet/internal/packet"
+	"flexnet/internal/telemetry"
 )
 
 // InfraProgramName is the name of the base routing program installed on
@@ -43,6 +44,14 @@ type Fabric struct {
 	Sim *netsim.Sim
 	Net *netsim.Network
 
+	// Metrics is the fabric-wide telemetry registry: every device
+	// registers its instruments here at creation, and the control plane
+	// (executor, controller, migrator) emits through it too.
+	Metrics *telemetry.Registry
+	// Tracer records plan-scoped execution traces on the simulated
+	// clock, keyed by plan ID.
+	Tracer *telemetry.Tracer
+
 	devices map[string]*dataplane.Device
 	hosts   map[string]*Host
 	// routers are per-device dRPC endpoints; routerIPs their control IPs.
@@ -66,6 +75,8 @@ func New(seed int64) *Fabric {
 	return &Fabric{
 		Sim:         sim,
 		Net:         netsim.NewNetwork(sim),
+		Metrics:     telemetry.NewRegistry(),
+		Tracer:      telemetry.NewTracer(func() int64 { return int64(sim.Now()) }),
 		devices:     map[string]*dataplane.Device{},
 		hosts:       map[string]*Host{},
 		routers:     map[string]*drpc.Router{},
@@ -93,6 +104,7 @@ func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
 	}
 	d := dataplane.MustNew(cfg)
 	d.SetClock(func() uint64 { return uint64(f.Sim.Now()) })
+	d.SetMetrics(f.Metrics)
 	node := f.Net.AddNode(cfg.Name)
 	f.devices[cfg.Name] = d
 	node.SetHandler(func(pkt *packet.Packet, inPort int) {

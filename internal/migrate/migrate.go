@@ -31,6 +31,7 @@ import (
 	"flexnet/internal/fabric"
 	"flexnet/internal/netsim"
 	"flexnet/internal/runtime"
+	"flexnet/internal/telemetry"
 )
 
 // Report describes one completed migration.
@@ -76,6 +77,24 @@ func New(fab *fabric.Fabric, eng *runtime.Engine) *Migrator {
 // LastReport returns the most recently completed (or failed) move.
 func (m *Migrator) LastReport() Report { return m.lastReport }
 
+// record files the finished report and emits the migrate.* metrics into
+// the fabric registry: moves attempted/failed, entries moved, updates
+// lost (control-plane window) vs merged in-flight (data-plane residual),
+// and the end-to-end move duration.
+func (m *Migrator) record(rep Report) {
+	m.lastReport = rep
+	met := m.fab.Metrics
+	met.Counter("migrate.moves").Inc()
+	if rep.Err != nil {
+		met.Counter("migrate.failed").Inc()
+		return
+	}
+	met.Counter("migrate.entries_moved").Add(uint64(rep.ChunksSent))
+	met.Counter("migrate.lost_updates").Add(rep.LostUpdates)
+	met.Counter("migrate.inflight_merged").Add(rep.UpdatesDuringMigration - rep.LostUpdates)
+	met.Histogram("migrate.duration_ns", telemetry.DefaultLatencyBounds).Observe(int64(rep.Done - rep.Started))
+}
+
 // ValidateMove implements plan.StateMover: it checks a move's
 // preconditions without touching anything.
 func (m *Migrator) ValidateMove(prog, src, dst string, useDataPlane bool) error {
@@ -115,12 +134,12 @@ func (m *Migrator) MoveState(prog, src, dst string, useDataPlane bool, done func
 	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
 	if err := m.ValidateMove(prog, src, dst, useDataPlane); err != nil {
 		rep.Err = err
-		m.lastReport = rep
+		m.record(rep)
 		done(err)
 		return
 	}
 	fin := func(err error) {
-		m.lastReport = rep
+		m.record(rep)
 		done(err)
 	}
 	if useDataPlane {
@@ -163,7 +182,7 @@ func (m *Migrator) ControlPlane(prog, src, dst string, done func(Report)) {
 func (m *Migrator) installThen(prog, src, dst string, useDataPlane bool, done func(Report)) {
 	rep := Report{Program: prog, Src: src, Dst: dst, Started: m.fab.Sim.Now()}
 	finish := func() {
-		m.lastReport = rep
+		m.record(rep)
 		done(rep)
 	}
 	if err := m.ValidateMove(prog, src, dst, useDataPlane); err != nil {

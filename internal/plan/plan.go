@@ -266,6 +266,10 @@ type StepReport struct {
 
 // Report describes one plan's execution (or dry run).
 type Report struct {
+	// ID is the executor-assigned plan ID ("plan-3"), the key under
+	// which the telemetry tracer files this execution's trace. Empty for
+	// dry runs, which execute nothing and leave no trace.
+	ID    string
 	Label string
 	Steps []StepReport
 	// Phase is the phase reached (PhaseDone on success; the failing
@@ -286,6 +290,9 @@ type Report struct {
 // Format renders the report as an operator-readable multi-line string.
 func (r *Report) Format() string {
 	var b strings.Builder
+	if r.ID != "" {
+		fmt.Fprintf(&b, "[%s] ", r.ID)
+	}
 	fmt.Fprintf(&b, "plan %q: %s (phase %s, est %v", r.Label, r.Outcome, r.Phase, r.Estimated)
 	if r.Outcome != OutcomePlanned {
 		fmt.Fprintf(&b, ", actual %v", r.Actual)

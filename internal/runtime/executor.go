@@ -9,6 +9,7 @@ import (
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/netsim"
 	"flexnet/internal/plan"
+	"flexnet/internal/telemetry"
 )
 
 // Executor runs ChangePlans through the three-phase transactional
@@ -36,6 +37,39 @@ type Executor struct {
 	queue []queuedPlan
 	// Reports accumulates every executed plan's report, oldest first.
 	Reports []*plan.Report
+
+	// tracer and met are the telemetry hookup (inert until SetTelemetry):
+	// every executed plan gets a trace keyed by its assigned plan ID,
+	// with spans for validate, per-device prepare, commit, rollback, and
+	// each post-commit step.
+	tracer *telemetry.Tracer
+	met    execMetrics
+}
+
+// execMetrics are the executor's instruments; nil handles are no-ops.
+type execMetrics struct {
+	executed   *telemetry.Counter
+	succeeded  *telemetry.Counter
+	failed     *telemetry.Counter
+	rolledBack *telemetry.Counter
+	execNs     *telemetry.Histogram
+	prepareNs  *telemetry.Histogram
+}
+
+// SetTelemetry wires the executor to a metrics registry and span tracer.
+// Plan executions then increment the "plan.*" counters, observe
+// execution and per-device prepare latency histograms, and record a
+// queryable trace per plan ID.
+func (x *Executor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
+	x.tracer = tr
+	x.met = execMetrics{
+		executed:   reg.Counter("plan.executed"),
+		succeeded:  reg.Counter("plan.succeeded"),
+		failed:     reg.Counter("plan.failed"),
+		rolledBack: reg.Counter("plan.rolled_back"),
+		execNs:     reg.Histogram("plan.exec_ns", telemetry.DefaultLatencyBounds),
+		prepareNs:  reg.Histogram("plan.prepare_ns", telemetry.DefaultLatencyBounds),
+	}
 }
 
 type queuedPlan struct {
@@ -277,7 +311,14 @@ func (x *Executor) kick() {
 }
 
 func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
+	trace := x.tracer.StartTrace(p.Label)
+	x.met.executed.Inc()
+	vspan := trace.StartSpan("validate", "")
 	rep := x.Validate(p)
+	vspan.Fail(rep.Err)
+	if trace != nil {
+		rep.ID = trace.ID
+	}
 	started := x.eng.sim.Now()
 	finish := func(phase plan.Phase, outcome plan.Outcome, err error) {
 		rep.Phase, rep.Outcome = phase, outcome
@@ -285,6 +326,16 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 			rep.Err = err
 		}
 		rep.Actual = x.eng.sim.Now() - started
+		switch outcome {
+		case plan.OutcomeSucceeded:
+			x.met.succeeded.Inc()
+		case plan.OutcomeRolledBack:
+			x.met.rolledBack.Inc()
+		default:
+			x.met.failed.Inc()
+		}
+		x.met.execNs.Observe(int64(rep.Actual))
+		trace.Finish(outcome.String())
 		done(rep)
 	}
 	if rep.Err != nil {
@@ -304,6 +355,7 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 	// rollback undoes everything: activated changes are reverted (reverse
 	// order), staged ones aborted. Runs within one simulated instant.
 	rollback := func() error {
+		sp := trace.StartSpan("rollback", "")
 		var firstErr error
 		for i := len(activated) - 1; i >= 0; i-- {
 			if err := activated[i].Revert(); err != nil && firstErr == nil {
@@ -316,6 +368,7 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 			}
 		}
 		rep.RolledBack = true
+		sp.Fail(firstErr)
 		return firstErr
 	}
 
@@ -328,7 +381,9 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 		}
 		idx := post[i]
 		s := p.Steps[idx]
+		psp := trace.StartSpan("post:"+s.Op.String(), s.Device)
 		onDone := func(err error) {
+			psp.Fail(err)
 			if err != nil {
 				rep.Steps[idx].Status = plan.StepFailed
 				rep.Steps[idx].Err = err
@@ -372,6 +427,7 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 			finish(plan.PhasePrepare, plan.OutcomeFailed, prepErr)
 			return
 		}
+		csp := trace.StartSpan("commit", "")
 		for gi, g := range groups {
 			pc := prepared[gi]
 			carries, err := x.captureCarries(p, g)
@@ -391,6 +447,7 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 				for j := 0; j < gi; j++ {
 					setStatus(groups[j].steps, plan.StepRolledBack)
 				}
+				csp.Fail(err)
 				if rbErr := rollback(); rbErr != nil {
 					err = fmt.Errorf("%w (rollback incomplete: %v)", err, rbErr)
 				}
@@ -399,6 +456,7 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 			}
 			setStatus(g.steps, plan.StepCommitted)
 		}
+		csp.EndSpan()
 		runPost(0)
 	}
 
@@ -412,8 +470,12 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 	var prepErr error
 	for gi, g := range groups {
 		gi, g := gi, g
+		psp := trace.StartSpan("prepare", g.dev.Name())
+		pstart := x.eng.sim.Now()
 		x.eng.sim.After(g.lat, func() {
 			pc, err := x.prepareGroup(p, g)
+			x.met.prepareNs.Observe(int64(x.eng.sim.Now() - pstart))
+			psp.Fail(err)
 			if err != nil {
 				setStatus(g.steps, plan.StepFailed)
 				for _, i := range g.steps {

@@ -15,6 +15,7 @@ import (
 	"flexnet/internal/netsim"
 	"flexnet/internal/packet"
 	"flexnet/internal/plan"
+	"flexnet/internal/telemetry"
 )
 
 // threeSwitchLine builds h1 — s1 — s2 — s3 — h2 with base routing and
@@ -443,5 +444,130 @@ func TestExecutorRouteUpdateStep(t *testing.T) {
 	}
 	if rep.Outcome != plan.OutcomeSucceeded {
 		t.Fatalf("outcome %v", rep.Outcome)
+	}
+}
+
+// spanNames flattens a trace's spans to "name" or "name:device" labels.
+func spanNames(tr *telemetry.Trace) []string {
+	var out []string
+	for _, sp := range tr.Snapshot().Spans {
+		n := sp.Name
+		if sp.Device != "" {
+			n += ":" + sp.Device
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestExecutorEmitsTraceAndMetrics(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	x.SetTelemetry(f.Metrics, f.Tracer)
+
+	p := plan.New("deploy acl").
+		Install("s1", "acl1", aclProgram("acl1"), nil, 0).
+		Install("s2", "acl2", aclProgram("acl2"), nil, 0)
+	rep := runPlan(t, f, x, p)
+	if rep.Err != nil {
+		t.Fatalf("plan failed: %v", rep.Err)
+	}
+	if rep.ID != "plan-1" {
+		t.Fatalf("report ID = %q, want plan-1", rep.ID)
+	}
+	tr := f.Tracer.Trace(rep.ID)
+	if tr == nil {
+		t.Fatal("no trace filed under the report's plan ID")
+	}
+	snap := tr.Snapshot()
+	if snap.Outcome != "succeeded" {
+		t.Fatalf("trace outcome %q", snap.Outcome)
+	}
+	want := []string{"validate", "prepare:s1", "prepare:s2", "commit"}
+	got := spanNames(tr)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("spans %v, want %v", got, want)
+	}
+	// The prepare spans must carry the per-device reconfiguration time.
+	for _, sp := range snap.Spans {
+		if sp.Name == "prepare" && sp.EndNs <= sp.StartNs {
+			t.Fatalf("prepare span on %s has no duration", sp.Device)
+		}
+	}
+	if v := f.Metrics.CounterValue("plan.executed"); v != 1 {
+		t.Fatalf("plan.executed = %d", v)
+	}
+	if v := f.Metrics.CounterValue("plan.succeeded"); v != 1 {
+		t.Fatalf("plan.succeeded = %d", v)
+	}
+	if c := f.Metrics.Histogram("plan.prepare_ns", nil).Count(); c != 2 {
+		t.Fatalf("prepare_ns observations = %d, want 2 (one per device)", c)
+	}
+}
+
+func TestExecutorRollbackSpanAndCounters(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	x.SetTelemetry(f.Metrics, f.Tracer)
+
+	injected := errors.New("asic commit fault")
+	f.Device("s2").SetFaultInjector(func(dev string, op dataplane.FaultOp) error {
+		if op == dataplane.FaultCommit {
+			return injected
+		}
+		return nil
+	})
+	p := plan.New("upgrade").
+		Install("s1", "acl1", aclProgram("acl1"), nil, 0).
+		Install("s2", "acl2", aclProgram("acl2"), nil, 0)
+	rep := runPlan(t, f, x, p)
+	if !errors.Is(rep.Err, injected) || rep.Outcome != plan.OutcomeRolledBack {
+		t.Fatalf("err %v outcome %v", rep.Err, rep.Outcome)
+	}
+	tr := f.Tracer.Trace(rep.ID)
+	if tr == nil {
+		t.Fatal("no trace for rolled-back plan")
+	}
+	snap := tr.Snapshot()
+	if snap.Outcome != "rolled-back" {
+		t.Fatalf("trace outcome %q", snap.Outcome)
+	}
+	var commitErr, sawRollback bool
+	for _, sp := range snap.Spans {
+		if sp.Name == "commit" && sp.Err != "" {
+			commitErr = true
+		}
+		if sp.Name == "rollback" {
+			sawRollback = true
+		}
+	}
+	if !commitErr {
+		t.Fatalf("commit span did not record the fault: %v", snap.Spans)
+	}
+	if !sawRollback {
+		t.Fatalf("no rollback span: %v", snap.Spans)
+	}
+	if v := f.Metrics.CounterValue("plan.rolled_back"); v != 1 {
+		t.Fatalf("plan.rolled_back = %d", v)
+	}
+	if v := f.Metrics.CounterValue("plan.succeeded"); v != 0 {
+		t.Fatalf("plan.succeeded = %d", v)
+	}
+}
+
+// TestExecutorNoTelemetryIsInert: executors without SetTelemetry must run
+// plans identically (nil-safe handles) and leave no trace behind.
+func TestExecutorNoTelemetryIsInert(t *testing.T) {
+	f, _ := threeSwitchLine(t)
+	_, x := newTestExecutor(f, nil)
+	rep := runPlan(t, f, x, plan.New("deploy").Install("s1", "acl1", aclProgram("acl1"), nil, 0))
+	if rep.Err != nil {
+		t.Fatalf("plan failed: %v", rep.Err)
+	}
+	if rep.ID != "" {
+		t.Fatalf("untraced plan got ID %q", rep.ID)
+	}
+	if ids := f.Tracer.IDs(); len(ids) != 0 {
+		t.Fatalf("tracer has traces %v without SetTelemetry", ids)
 	}
 }

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records plan-scoped execution traces. Every executed ChangePlan
+// gets one Trace, keyed by a sequential plan ID ("plan-1", "plan-2", …)
+// so IDs are deterministic for a deterministic operation sequence. All
+// timestamps come from the supplied clock — under the simulator that is
+// simulated time, so traces replay bit-for-bit at a given seed.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() int64
+	nextID uint64
+	traces map[string]*Trace
+	order  []string
+	keep   int
+}
+
+// DefaultTraceKeep is how many finished traces a tracer retains.
+const DefaultTraceKeep = 256
+
+// NewTracer creates a tracer over the given clock (nanoseconds). A nil
+// clock pins all timestamps at zero.
+func NewTracer(now func() int64) *Tracer {
+	if now == nil {
+		now = func() int64 { return 0 }
+	}
+	return &Tracer{now: now, traces: map[string]*Trace{}, keep: DefaultTraceKeep}
+}
+
+// Trace is one plan execution's recorded lifecycle.
+type Trace struct {
+	tr *Tracer
+
+	ID      string
+	Label   string
+	Start   int64
+	End     int64
+	Outcome string
+	Spans   []*Span
+	done    bool
+}
+
+// Span is one timed phase (or per-device slice of a phase) within a
+// trace: validate, prepare:<device>, commit, rollback, post steps.
+type Span struct {
+	tr *Tracer
+
+	Name   string
+	Device string
+	Start  int64
+	End    int64
+	Err    string
+	open   bool
+}
+
+// StartTrace opens a new trace and assigns its plan ID. Returns nil (a
+// no-op trace) on a nil tracer.
+func (t *Tracer) StartTrace(label string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	tr := &Trace{tr: t, ID: fmt.Sprintf("plan-%d", t.nextID), Label: label, Start: t.now()}
+	t.traces[tr.ID] = tr
+	t.order = append(t.order, tr.ID)
+	if len(t.order) > t.keep {
+		delete(t.traces, t.order[0])
+		t.order = t.order[1:]
+	}
+	return tr
+}
+
+// Trace returns the trace with the given plan ID, or nil.
+func (t *Tracer) Trace(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traces[id]
+}
+
+// Last returns the most recently started trace, or nil.
+func (t *Tracer) Last() *Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.order) == 0 {
+		return nil
+	}
+	return t.traces[t.order[len(t.order)-1]]
+}
+
+// IDs returns retained trace IDs, oldest first.
+func (t *Tracer) IDs() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// StartSpan opens a named span (device may be empty for plan-wide
+// phases). Returns nil on a nil trace.
+func (tr *Trace) StartSpan(name, device string) *Span {
+	if tr == nil {
+		return nil
+	}
+	tr.tr.mu.Lock()
+	defer tr.tr.mu.Unlock()
+	sp := &Span{tr: tr.tr, Name: name, Device: device, Start: tr.tr.now(), open: true}
+	tr.Spans = append(tr.Spans, sp)
+	return sp
+}
+
+// EndSpan closes the span at the current clock. Closing twice is a
+// no-op, as is calling on a nil span.
+func (sp *Span) EndSpan() { sp.finish("") }
+
+// Fail closes the span recording the error (nil err closes cleanly).
+func (sp *Span) Fail(err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	sp.finish(msg)
+}
+
+func (sp *Span) finish(errMsg string) {
+	if sp == nil {
+		return
+	}
+	sp.tr.mu.Lock()
+	defer sp.tr.mu.Unlock()
+	if !sp.open {
+		return
+	}
+	sp.open = false
+	sp.End = sp.tr.now()
+	sp.Err = errMsg
+}
+
+// Finish closes the trace with its final outcome; any still-open spans
+// are closed at the same instant. Finishing twice is a no-op.
+func (tr *Trace) Finish(outcome string) {
+	if tr == nil {
+		return
+	}
+	tr.tr.mu.Lock()
+	defer tr.tr.mu.Unlock()
+	if tr.done {
+		return
+	}
+	tr.done = true
+	tr.End = tr.tr.now()
+	tr.Outcome = outcome
+	for _, sp := range tr.Spans {
+		if sp.open {
+			sp.open = false
+			sp.End = tr.End
+		}
+	}
+}
+
+// SpanSnapshot is one span in a TraceSnapshot.
+type SpanSnapshot struct {
+	Name    string `json:"name"`
+	Device  string `json:"device,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	Err     string `json:"error,omitempty"`
+}
+
+// TraceSnapshot is a wire/JSON-friendly copy of a trace.
+type TraceSnapshot struct {
+	ID      string         `json:"id"`
+	Label   string         `json:"label"`
+	Outcome string         `json:"outcome,omitempty"`
+	StartNs int64          `json:"start_ns"`
+	EndNs   int64          `json:"end_ns"`
+	Spans   []SpanSnapshot `json:"spans"`
+}
+
+// Snapshot copies the trace. Safe to call at any point in the trace's
+// lifecycle; open spans report EndNs zero.
+func (tr *Trace) Snapshot() TraceSnapshot {
+	if tr == nil {
+		return TraceSnapshot{}
+	}
+	tr.tr.mu.Lock()
+	defer tr.tr.mu.Unlock()
+	s := TraceSnapshot{ID: tr.ID, Label: tr.Label, Outcome: tr.Outcome, StartNs: tr.Start, EndNs: tr.End}
+	for _, sp := range tr.Spans {
+		end := sp.End
+		if sp.open {
+			end = 0
+		}
+		s.Spans = append(s.Spans, SpanSnapshot{Name: sp.Name, Device: sp.Device, StartNs: sp.Start, EndNs: end, Err: sp.Err})
+	}
+	return s
+}
+
+// Format renders the trace as an operator-readable multi-line string
+// (deterministic: span order is recording order, times are simulated).
+func (tr *Trace) Format() string {
+	s := tr.Snapshot()
+	if s.ID == "" {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %q: %s, %v → %v (%v)\n", s.ID, s.Label, s.Outcome,
+		time.Duration(s.StartNs), time.Duration(s.EndNs), time.Duration(s.EndNs-s.StartNs))
+	for _, sp := range s.Spans {
+		name := sp.Name
+		if sp.Device != "" {
+			name += ":" + sp.Device
+		}
+		fmt.Fprintf(&b, "  %-28s %12v +%v", name, time.Duration(sp.StartNs), time.Duration(sp.EndNs-sp.StartNs))
+		if sp.Err != "" {
+			fmt.Fprintf(&b, " — %s", sp.Err)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a settable deterministic time source.
+type fakeClock struct{ t int64 }
+
+func (c *fakeClock) now() int64 { return c.t }
+
+func TestSpanLifecycle(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now)
+
+	clk.t = 100
+	trace := tr.StartTrace("deploy app")
+	if trace.ID != "plan-1" {
+		t.Fatalf("first trace ID = %q, want plan-1", trace.ID)
+	}
+	v := trace.StartSpan("validate", "")
+	clk.t = 150
+	v.EndSpan()
+	v.EndSpan() // double close is a no-op
+	p := trace.StartSpan("prepare", "s1")
+	clk.t = 400
+	p.Fail(errors.New("device fault"))
+	rb := trace.StartSpan("rollback", "")
+	clk.t = 400
+	rb.EndSpan()
+	trace.Finish("rolled-back")
+
+	s := trace.Snapshot()
+	if s.Outcome != "rolled-back" || s.StartNs != 100 || s.EndNs != 400 {
+		t.Fatalf("trace snapshot: %+v", s)
+	}
+	if len(s.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(s.Spans))
+	}
+	if s.Spans[0].EndNs != 150 || s.Spans[0].Err != "" {
+		t.Fatalf("validate span: %+v", s.Spans[0])
+	}
+	if s.Spans[1].Device != "s1" || s.Spans[1].Err != "device fault" {
+		t.Fatalf("prepare span: %+v", s.Spans[1])
+	}
+	out := trace.Format()
+	for _, want := range []string{"plan-1", "rolled-back", "prepare:s1", "device fault"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	clk := &fakeClock{}
+	tr := NewTracer(clk.now)
+	trace := tr.StartTrace("p")
+	trace.StartSpan("commit", "")
+	clk.t = 777
+	trace.Finish("succeeded")
+	s := trace.Snapshot()
+	if s.Spans[0].EndNs != 777 {
+		t.Fatalf("open span not closed at finish: %+v", s.Spans[0])
+	}
+	// Finishing again must not reopen or move anything.
+	clk.t = 999
+	trace.Finish("failed")
+	if got := trace.Snapshot(); got.Outcome != "succeeded" || got.EndNs != 777 {
+		t.Fatalf("double finish mutated trace: %+v", got)
+	}
+}
+
+func TestTracerLookupAndRetention(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.keep = 3
+	var last *Trace
+	for i := 0; i < 5; i++ {
+		last = tr.StartTrace(fmt.Sprintf("op %d", i))
+	}
+	ids := tr.IDs()
+	if len(ids) != 3 || ids[0] != "plan-3" || ids[2] != "plan-5" {
+		t.Fatalf("retained IDs = %v", ids)
+	}
+	if tr.Trace("plan-1") != nil {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if tr.Trace("plan-4") == nil {
+		t.Fatal("retained trace not resolvable")
+	}
+	if tr.Last() != last {
+		t.Fatal("Last() is not the most recent trace")
+	}
+}
+
+func TestTraceIDsDeterministic(t *testing.T) {
+	run := func() []string {
+		tr := NewTracer(nil)
+		for i := 0; i < 4; i++ {
+			trace := tr.StartTrace("op")
+			trace.StartSpan("validate", "").EndSpan()
+			trace.Finish("succeeded")
+		}
+		return tr.IDs()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("id count differs: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ids not deterministic: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# benchdiff.sh — regenerate the deterministic flexbench output and diff
+# it against the checked-in baseline.
+#
+# flexbench's -o output is a pure function of the seed (all times are
+# simulated; wall-clock lines go to stdout only), so any diff means a
+# behaviour change: a cost-model edit, an experiment change, a telemetry
+# change, or a lost determinism guarantee. CI fails on drift; refresh the
+# baseline deliberately with:
+#
+#   go run ./cmd/flexbench -seed 1 -o BENCH_BASELINE.md
+#
+# and commit the result alongside the change that caused it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_BASELINE.md
+CURRENT=$(mktemp /tmp/flexbench.XXXXXX.md)
+trap 'rm -f "$CURRENT"' EXIT
+
+if [ ! -f "$BASELINE" ]; then
+    echo "benchdiff: missing $BASELINE (generate with: go run ./cmd/flexbench -seed 1 -o $BASELINE)" >&2
+    exit 1
+fi
+
+echo "benchdiff: running flexbench (seed 1)..."
+go run ./cmd/flexbench -seed 1 -o "$CURRENT" > /dev/null
+
+if ! diff -u "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — flexbench output drifted from $BASELINE." >&2
+    echo "If the change is intentional, refresh the baseline:" >&2
+    echo "  go run ./cmd/flexbench -seed 1 -o $BASELINE" >&2
+    exit 1
+fi
+echo "benchdiff: OK — output matches $BASELINE byte-for-byte."
