@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchdiff cover
+.PHONY: all build test race vet fmt check bench benchdiff cover profile
 
 all: build
 
@@ -24,7 +24,13 @@ fmt:
 check: fmt vet build test race
 
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' . ./internal/telemetry
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/flexbpf ./internal/telemetry
+
+# profile runs the experiment suite under the CPU and heap profilers;
+# inspect with `go tool pprof cpu.pprof`.
+profile: build
+	$(GO) run ./cmd/flexbench -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof mem.pprof"
 
 # benchdiff regenerates the deterministic flexbench output and fails if
 # it drifted from the checked-in BENCH_BASELINE.md (CI gate).

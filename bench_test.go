@@ -92,6 +92,11 @@ func benchDevice(b *testing.B, arch dataplane.Arch) {
 	}
 }
 
+// BenchmarkDeviceProcess measures the end-to-end per-packet device path
+// (parse check, filters, linked program execution, telemetry) on the
+// default dRMT architecture.
+func BenchmarkDeviceProcess(b *testing.B) { benchDevice(b, dataplane.ArchDRMT) }
+
 // BenchmarkProcessDRMT measures per-packet processing on a dRMT device.
 func BenchmarkProcessDRMT(b *testing.B) { benchDevice(b, dataplane.ArchDRMT) }
 

@@ -984,6 +984,10 @@ func (st *StagedConfig) Remove(name string) error {
 // Parser exposes the staged parse graph for mutation.
 func (st *StagedConfig) Parser() *packet.ParseGraph { return st.parser }
 
+// fidMetaIngress is the interned ID of the intrinsic ingress-port field,
+// resolved once so Process never interns on the packet path.
+var fidMetaIngress = packet.InternField("meta.ingress")
+
 // Process runs one packet through the device. It is safe to call
 // concurrently with reconfiguration: the packet uses the configuration
 // snapshot current at entry.
@@ -996,11 +1000,11 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 	cfg := d.snapshot()
 	pkt.Epoch = cfg.epoch
 	// Expose intrinsic metadata to programs (P4 standard-metadata style).
-	pkt.SetField("meta.ingress", uint64(pkt.IngressPort))
+	pkt.SetFieldByID(fidMetaIngress, uint64(pkt.IngressPort))
 	st := ProcStats{Verdict: packet.VerdictContinue, Epoch: cfg.epoch}
 
 	// Parse: determine which headers this configuration understands.
-	if _, err := cfg.parser.ParseFields(pkt); err != nil {
+	if err := cfg.parser.CheckFields(pkt); err != nil {
 		d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
 		d.met.dropped.Inc()
 		st.Verdict = packet.VerdictDrop

@@ -10,16 +10,35 @@ import (
 )
 
 // ProgramInstance is a FlexBPF program installed on a device: the spec,
-// its table instances, and its state store. It implements flexbpf.Env.
+// its table instances, and its state store. It implements flexbpf.Env
+// and flexbpf.LinkedEnv.
+//
+// At creation the program is linked (flexbpf.Link) into a flattened form
+// with map/counter/meter references resolved to the slot slices below,
+// so the per-packet path performs no string lookups and no allocation.
+// If linking fails the instance falls back to the tree interpreter.
 type ProgramInstance struct {
 	prog     *flexbpf.Program
 	priority int
 	filter   *flexbpf.Cond
+	lfilter  *flexbpf.LinkedCond
 	tables   map[string]*flexbpf.TableInstance
 	store    *state.Store
 	rng      *rand.Rand
 	now      func() uint64
 	interp   flexbpf.Interp
+
+	// linked is the install-time linked form (nil = legacy tree path).
+	linked *flexbpf.LinkedProgram
+	// lmaps/lcounters/lmeters are the slot-resolved object pointers the
+	// LinkedEnv methods index into.
+	lmaps     []*state.Map
+	lcounters []*state.Counter
+	lmeters   []*state.Meter
+	// ectx is per-instance scratch for linked execution. Packet
+	// processing through one instance is serialized by the simulator
+	// (reconfiguration may be concurrent, packet processing is not).
+	ectx *flexbpf.ExecContext
 }
 
 func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, now func() uint64) (*ProgramInstance, error) {
@@ -30,6 +49,9 @@ func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, no
 		store:  state.NewStore(),
 		rng:    rng,
 		now:    now,
+	}
+	if filter != nil {
+		inst.lfilter = flexbpf.CompileCond(filter)
 	}
 	for _, t := range prog.Tables {
 		inst.tables[t.Name] = flexbpf.NewTableInstance(t)
@@ -60,8 +82,31 @@ func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, no
 			return nil, err
 		}
 	}
+	// Install-time link: resolve symbols once so the per-packet path is
+	// map-free and allocation-free. Link failure is not an install
+	// failure — the tree interpreter remains the semantic reference.
+	if lp, err := flexbpf.Link(prog, func(name string) *flexbpf.TableInstance { return inst.tables[name] }); err == nil {
+		inst.linked = lp
+		inst.ectx = flexbpf.NewExecContext()
+		for _, n := range lp.MapSlots() {
+			inst.lmaps = append(inst.lmaps, inst.store.Map(n))
+		}
+		for _, n := range lp.CounterSlots() {
+			inst.lcounters = append(inst.lcounters, inst.store.Counter(n))
+		}
+		for _, n := range lp.MeterSlots() {
+			inst.lmeters = append(inst.lmeters, inst.store.Meter(n))
+		}
+		for _, ti := range inst.tables {
+			ti.SetActionResolver(lp.ActionIndex)
+		}
+	}
 	return inst, nil
 }
+
+// Linked returns the install-time linked form, or nil when the instance
+// runs on the tree interpreter.
+func (pi *ProgramInstance) Linked() *flexbpf.LinkedProgram { return pi.linked }
 
 // Program returns the instance's program spec.
 func (pi *ProgramInstance) Program() *flexbpf.Program { return pi.prog }
@@ -75,43 +120,19 @@ func (pi *ProgramInstance) Table(name string) *flexbpf.TableInstance { return pi
 // Tables returns all table instances keyed by name.
 func (pi *ProgramInstance) Tables() map[string]*flexbpf.TableInstance { return pi.tables }
 
-// accepts applies the tenant isolation filter.
+// accepts applies the tenant isolation filter. The filter is compiled to
+// a LinkedCond at instance creation so this is ID-indexed field access.
 func (pi *ProgramInstance) accepts(pkt *packet.Packet) bool {
-	if pi.filter == nil {
+	if pi.lfilter == nil {
 		return true
 	}
-	c := pi.filter
-	var r bool
-	if c.HasHeader != "" {
-		r = pkt.Has(c.HasHeader)
-	} else {
-		lhs := pkt.Field(c.Field)
-		rhs := c.Value
-		if c.OtherField != "" {
-			rhs = pkt.Field(c.OtherField)
-		}
-		switch c.Op {
-		case flexbpf.CmpEq:
-			r = lhs == rhs
-		case flexbpf.CmpNe:
-			r = lhs != rhs
-		case flexbpf.CmpLt:
-			r = lhs < rhs
-		case flexbpf.CmpGe:
-			r = lhs >= rhs
-		case flexbpf.CmpGt:
-			r = lhs > rhs
-		case flexbpf.CmpLe:
-			r = lhs <= rhs
-		}
-	}
-	if c.Negate {
-		r = !r
-	}
-	return r
+	return pi.lfilter.Eval(pkt)
 }
 
 func (pi *ProgramInstance) run(pkt *packet.Packet) (flexbpf.ExecResult, error) {
+	if pi.linked != nil {
+		return pi.linked.Run(pkt, pi, pi.ectx)
+	}
 	return pi.interp.Run(pi.prog, pkt, pi)
 }
 
@@ -163,6 +184,47 @@ func (pi *ProgramInstance) TableLookup(name string, keys []uint64) (string, []ui
 		return "", nil, false
 	}
 	return t.Lookup(keys)
+}
+
+// MapLoadSlot implements flexbpf.LinkedEnv.
+func (pi *ProgramInstance) MapLoadSlot(slot int, key uint64) (uint64, bool) {
+	m := pi.lmaps[slot]
+	if m == nil {
+		return 0, false
+	}
+	return m.Load(key)
+}
+
+// MapStoreSlot implements flexbpf.LinkedEnv.
+func (pi *ProgramInstance) MapStoreSlot(slot int, key, val uint64) error {
+	m := pi.lmaps[slot]
+	if m == nil {
+		return fmt.Errorf("dataplane: program %s has no map %q", pi.prog.Name, pi.linked.MapSlots()[slot])
+	}
+	return m.Store(key, val)
+}
+
+// MapDeleteSlot implements flexbpf.LinkedEnv.
+func (pi *ProgramInstance) MapDeleteSlot(slot int, key uint64) {
+	if m := pi.lmaps[slot]; m != nil {
+		m.Delete(key)
+	}
+}
+
+// CounterAddSlot implements flexbpf.LinkedEnv.
+func (pi *ProgramInstance) CounterAddSlot(slot int, idx, delta uint64) {
+	if c := pi.lcounters[slot]; c != nil {
+		c.Add(idx, delta)
+	}
+}
+
+// MeterExecSlot implements flexbpf.LinkedEnv.
+func (pi *ProgramInstance) MeterExecSlot(slot int, idx, bytes uint64) uint64 {
+	m := pi.lmeters[slot]
+	if m == nil {
+		return state.ColorRed
+	}
+	return m.Exec(idx, bytes, pi.now())
 }
 
 // Now implements flexbpf.Env.

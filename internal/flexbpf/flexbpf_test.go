@@ -67,7 +67,7 @@ func run(t *testing.T, prog *Program, pkt *packet.Packet, env Env) ExecResult {
 
 // aclProgram builds a small but representative program: a ternary ACL
 // table plus a flow counter map.
-func aclProgram(t *testing.T) *Program {
+func aclProgram(t testing.TB) *Program {
 	t.Helper()
 	allow := NewAsm().
 		LdParam(0, 0).

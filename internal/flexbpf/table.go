@@ -51,34 +51,84 @@ type TableEntry struct {
 	Match    []MatchValue
 	Action   string
 	Params   []uint64
+
+	// actIdx caches the linked action index + 1 (0 = unresolved). It is
+	// annotated under the instance write lock before the entry is
+	// published, so the lock-free read path can jump straight to the
+	// lowered action body without a name lookup.
+	actIdx int32
 }
+
+// tableState is an immutable snapshot of a table's contents. Lookups load
+// the current snapshot with one atomic pointer read; writers clone the
+// snapshot, mutate the clone, and swap it in. Readers therefore never
+// block and never observe a half-applied update — the same discipline the
+// runtime engine uses for whole-config epoch swaps.
+//
+// Entries are stored by value so linear scans (ternary/LPM tables) walk
+// one contiguous array. All-exact tables keep entries in insertion order
+// (order is irrelevant to exact matching) so the hash index can address
+// them by position and survive copy-on-write clones unchanged; all other
+// tables keep entries in match order (priority desc, prefix desc).
+type tableState struct {
+	entries []TableEntry
+	// exact is the hash index for all-exact-key tables (nil otherwise).
+	exact *exactIndex
+}
+
+var emptyTableState = &tableState{}
 
 // TableInstance is the runtime realization of a TableSpec: the entry
 // store plus lookup. Device models wrap instances with resource
 // accounting; the matching semantics live here with the language.
 //
-// TableInstance is safe for concurrent lookups with serialized updates
-// (the runtime engine's model: the data plane reads while the control
-// plane performs atomic entry updates).
+// TableInstance is safe for concurrent lookups with concurrent updates:
+// the data plane reads copy-on-write snapshots lock-free while control
+// plane writers serialize on an internal mutex and publish via
+// atomic.Pointer.
 type TableInstance struct {
 	Spec *TableSpec
 
-	mu      sync.RWMutex
-	entries []*TableEntry
-	// exact is a fast path index for all-exact-key tables.
-	exact map[string]*TableEntry
-	// hits and misses count lookups for telemetry; atomics because
-	// lookups run under the read lock.
+	mu    sync.Mutex // serializes writers
+	state atomic.Pointer[tableState]
+	// hits and misses count lookups for telemetry.
 	hits, misses atomic.Uint64
+	// resolve maps an action name to its linked action index (-1 if
+	// unknown). Installed once before the instance serves traffic.
+	resolve func(string) int32
 }
 
 // NewTableInstance creates an empty instance of spec.
 func NewTableInstance(spec *TableSpec) *TableInstance {
 	ti := &TableInstance{Spec: spec}
-	if spec.allExact() {
-		ti.exact = make(map[string]*TableEntry)
-	}
+	ti.state.Store(emptyTableState)
 	return ti
+}
+
+func (ti *TableInstance) load() *tableState {
+	if st := ti.state.Load(); st != nil {
+		return st
+	}
+	return emptyTableState
+}
+
+// SetActionResolver installs the linked action-index resolver and
+// annotates entries. It must be called before the instance serves
+// traffic (the install path links programs before the config swap).
+func (ti *TableInstance) SetActionResolver(fn func(string) int32) {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.resolve = fn
+	st := ti.load()
+	if len(st.entries) == 0 {
+		return
+	}
+	// Entry positions are unchanged, so the exact index carries over.
+	next := &tableState{entries: append([]TableEntry(nil), st.entries...), exact: st.exact}
+	for i := range next.entries {
+		next.entries[i].actIdx = fn(next.entries[i].Action) + 1
+	}
+	ti.state.Store(next)
 }
 
 func (t *TableSpec) allExact() bool {
@@ -90,21 +140,119 @@ func (t *TableSpec) allExact() bool {
 	return true
 }
 
-func exactKeyString(keys []uint64) string {
-	b := make([]byte, 0, len(keys)*8)
+// hashWords is FNV-1a over the key words directly — no string key is
+// materialized on the lookup path.
+func hashWords(keys []uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
 	for _, k := range keys {
-		for i := 0; i < 8; i++ {
-			b = append(b, byte(k>>(8*i)))
+		h ^= k
+		h *= prime
+	}
+	return h
+}
+
+// exactIndex is an open-addressing hash table over the entries of an
+// all-exact table. Slots hold entry positions + 1 (0 = empty), so
+// cloning for a copy-on-write update is a flat memcpy, and the index
+// stays valid across entry-slice clones because exact storage is
+// append-ordered.
+type exactIndex struct {
+	slots []int32 // position + 1; len is a power of two
+	mask  uint64
+	n     int
+}
+
+func newExactIndex(capacity int) *exactIndex {
+	size := 8
+	for size < capacity*2 {
+		size *= 2
+	}
+	return &exactIndex{slots: make([]int32, size), mask: uint64(size - 1)}
+}
+
+func entryKeysEqual(e *TableEntry, keys []uint64) bool {
+	if len(e.Match) != len(keys) {
+		return false
+	}
+	for i, k := range keys {
+		if e.Match[i].Value != k {
+			return false
 		}
 	}
-	return string(b)
+	return true
+}
+
+// find probes for the position of the entry with exactly these key
+// values, or -1.
+func (ix *exactIndex) find(entries []TableEntry, keys []uint64) int {
+	if ix == nil || len(ix.slots) == 0 {
+		return -1
+	}
+	i := hashWords(keys) & ix.mask
+	for {
+		pos := ix.slots[i]
+		if pos == 0 {
+			return -1
+		}
+		if entryKeysEqual(&entries[pos-1], keys) {
+			return int(pos - 1)
+		}
+		i = (i + 1) & ix.mask
+	}
+}
+
+func (ix *exactIndex) insert(entries []TableEntry, pos int) {
+	i := hashWords(entryKeyWords(&entries[pos])) & ix.mask
+	for ix.slots[i] != 0 {
+		i = (i + 1) & ix.mask
+	}
+	ix.slots[i] = int32(pos + 1)
+	ix.n++
+}
+
+func entryKeyWords(e *TableEntry) []uint64 {
+	out := make([]uint64, len(e.Match))
+	for i, m := range e.Match {
+		out[i] = m.Value
+	}
+	return out
+}
+
+// clone returns a flat copy sized so the caller can insert one more
+// entry, rehashing only when past half load.
+func (ix *exactIndex) clone(entries []TableEntry) *exactIndex {
+	if ix == nil {
+		return newExactIndex(1)
+	}
+	if (ix.n+1)*2 > len(ix.slots) {
+		ns := newExactIndex(ix.n + 1)
+		for _, pos := range ix.slots {
+			if pos != 0 {
+				ns.insert(entries, int(pos-1))
+			}
+		}
+		return ns
+	}
+	ns := &exactIndex{slots: make([]int32, len(ix.slots)), mask: ix.mask, n: ix.n}
+	copy(ns.slots, ix.slots)
+	return ns
+}
+
+func buildExactIndex(entries []TableEntry) *exactIndex {
+	ix := newExactIndex(len(entries) + 1)
+	for pos := range entries {
+		ix.insert(entries, pos)
+	}
+	return ix
 }
 
 // Len returns the number of installed entries.
 func (ti *TableInstance) Len() int {
-	ti.mu.RLock()
-	defer ti.mu.RUnlock()
-	return len(ti.entries)
+	return len(ti.load().entries)
 }
 
 // Stats returns lookup hit/miss counts.
@@ -126,34 +274,42 @@ func (ti *TableInstance) Insert(e *TableEntry) error {
 	}
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
-	if ti.Spec.Size > 0 && len(ti.entries) >= ti.Spec.Size {
+	old := ti.load()
+	if ti.Spec.Size > 0 && len(old.entries) >= ti.Spec.Size {
 		return fmt.Errorf("flexbpf: table %s full (%d entries)", ti.Spec.Name, ti.Spec.Size)
 	}
-	if ti.exact != nil {
-		k := exactKeyString(matchValues(e.Match))
-		if _, dup := ti.exact[k]; dup {
-			return fmt.Errorf("flexbpf: table %s: duplicate exact entry", ti.Spec.Name)
-		}
-		ti.exact[k] = e
+	allExact := ti.Spec.allExact()
+	if allExact && old.exact.find(old.entries, entryKeyWords(e)) >= 0 {
+		return fmt.Errorf("flexbpf: table %s: duplicate exact entry", ti.Spec.Name)
 	}
-	ti.entries = append(ti.entries, e)
-	ti.sortLocked()
+	if ti.resolve != nil {
+		e.actIdx = ti.resolve(e.Action) + 1
+	}
+	next := &tableState{}
+	next.entries = make([]TableEntry, len(old.entries), len(old.entries)+1)
+	copy(next.entries, old.entries)
+	next.entries = append(next.entries, *e)
+	if allExact {
+		// Exact storage stays append-ordered so existing index positions
+		// remain valid; only the new tail position is inserted.
+		if old.exact == nil {
+			next.exact = buildExactIndex(next.entries)
+		} else {
+			next.exact = old.exact.clone(next.entries)
+			next.exact.insert(next.entries, len(next.entries)-1)
+		}
+	} else {
+		sortEntries(next.entries)
+	}
+	ti.state.Store(next)
 	return nil
 }
 
-func matchValues(ms []MatchValue) []uint64 {
-	out := make([]uint64, len(ms))
-	for i, m := range ms {
-		out[i] = m.Value
-	}
-	return out
-}
-
-// sortLocked orders entries: priority desc, then total LPM prefix desc,
+// sortEntries orders entries: priority desc, then total LPM prefix desc,
 // then insertion-stable.
-func (ti *TableInstance) sortLocked() {
-	sort.SliceStable(ti.entries, func(i, j int) bool {
-		a, b := ti.entries[i], ti.entries[j]
+func sortEntries(entries []TableEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		a, b := &entries[i], &entries[j]
 		if a.Priority != b.Priority {
 			return a.Priority > b.Priority
 		}
@@ -174,12 +330,19 @@ func totalPrefix(e *TableEntry) int {
 func (ti *TableInstance) Delete(match []MatchValue) error {
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
-	for i, e := range ti.entries {
-		if matchEqual(e.Match, match) {
-			ti.entries = append(ti.entries[:i], ti.entries[i+1:]...)
-			if ti.exact != nil {
-				delete(ti.exact, exactKeyString(matchValues(match)))
+	old := ti.load()
+	for i := range old.entries {
+		if matchEqual(old.entries[i].Match, match) {
+			next := &tableState{}
+			next.entries = make([]TableEntry, 0, len(old.entries)-1)
+			next.entries = append(next.entries, old.entries[:i]...)
+			next.entries = append(next.entries, old.entries[i+1:]...)
+			if old.exact != nil {
+				// Deletion shifts positions and open addressing would need
+				// tombstones; removals are control-plane rare, so rebuild.
+				next.exact = buildExactIndex(next.entries)
 			}
+			ti.state.Store(next)
 			return nil
 		}
 	}
@@ -202,26 +365,27 @@ func matchEqual(a, b []MatchValue) bool {
 func (ti *TableInstance) Clear() {
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
-	ti.entries = nil
-	if ti.exact != nil {
-		ti.exact = make(map[string]*TableEntry)
-	}
+	ti.state.Store(emptyTableState)
 }
 
 // Entries returns a snapshot copy of the installed entries in match
 // order. Used by migration and incremental recompilation.
 func (ti *TableInstance) Entries() []*TableEntry {
-	ti.mu.RLock()
-	defer ti.mu.RUnlock()
-	out := make([]*TableEntry, len(ti.entries))
-	for i, e := range ti.entries {
-		ec := &TableEntry{
-			Priority: e.Priority,
-			Match:    append([]MatchValue(nil), e.Match...),
-			Action:   e.Action,
-			Params:   append([]uint64(nil), e.Params...),
+	entries := ti.load().entries
+	snap := append([]TableEntry(nil), entries...)
+	// Exact tables store entries in insertion order; present them in the
+	// same deterministic match order as every other table. (With equal
+	// priorities and no prefixes the stable sort preserves insertion
+	// order, so this is an ordering guarantee, not a reordering.)
+	sortEntries(snap)
+	out := make([]*TableEntry, len(snap))
+	for i := range snap {
+		out[i] = &TableEntry{
+			Priority: snap[i].Priority,
+			Match:    append([]MatchValue(nil), snap[i].Match...),
+			Action:   snap[i].Action,
+			Params:   append([]uint64(nil), snap[i].Params...),
 		}
-		out[i] = ec
 	}
 	return out
 }
@@ -229,19 +393,35 @@ func (ti *TableInstance) Entries() []*TableEntry {
 // Lookup finds the best-matching entry for the key values, in spec key
 // order. On miss it returns the spec's default action with hit=false.
 func (ti *TableInstance) Lookup(keys []uint64) (action string, params []uint64, hit bool) {
-	ti.mu.RLock()
-	defer ti.mu.RUnlock()
-	if ti.exact != nil {
-		if e, ok := ti.exact[exactKeyString(keys)]; ok {
-			ti.hits.Add(1)
-			return e.Action, e.Params, true
-		}
-		ti.misses.Add(1)
+	e, ok := ti.LookupEntry(keys)
+	if !ok {
 		return ti.Spec.DefaultAction, ti.Spec.DefaultParams, false
 	}
-	for _, e := range ti.entries {
+	return e.Action, e.Params, true
+}
+
+// LookupEntry finds the best-matching entry for the key values and
+// returns it directly; the linked fast path uses it to reach the
+// pre-resolved action index without re-deriving it from the name. It
+// updates hit/miss statistics exactly as Lookup does. The returned
+// pointer references an immutable snapshot and must be treated as
+// read-only.
+func (ti *TableInstance) LookupEntry(keys []uint64) (*TableEntry, bool) {
+	st := ti.load()
+	if st.exact != nil {
+		if pos := st.exact.find(st.entries, keys); pos >= 0 {
+			ti.hits.Add(1)
+			return &st.entries[pos], true
+		}
+		ti.misses.Add(1)
+		return nil, false
+	}
+	specKeys := ti.Spec.Keys
+	for j := range st.entries {
+		e := &st.entries[j]
 		ok := true
-		for i, k := range ti.Spec.Keys {
+		for i := range specKeys {
+			k := &specKeys[i]
 			bits := k.Bits
 			if bits == 0 {
 				bits = 64
@@ -253,11 +433,11 @@ func (ti *TableInstance) Lookup(keys []uint64) (action string, params []uint64, 
 		}
 		if ok {
 			ti.hits.Add(1)
-			return e.Action, e.Params, true
+			return e, true
 		}
 	}
 	ti.misses.Add(1)
-	return ti.Spec.DefaultAction, ti.Spec.DefaultParams, false
+	return nil, false
 }
 
 // ExactEntry builds an all-exact-match entry (convenience).

@@ -1,0 +1,112 @@
+package packet
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FieldID is a dense integer handle for an interned field name.
+//
+// Runtime-programmable datapaths do not chase strings per packet: field
+// references are resolved to offsets when a program is compiled or
+// linked. FieldID is that resolution for the simulator — the install-time
+// linker (internal/flexbpf.Link) interns every field a program touches,
+// and the packet fast path addresses the PHV by index instead of by name.
+type FieldID int32
+
+// fieldTable is an immutable snapshot of the global intern table. Readers
+// load it with a single atomic pointer read; writers clone-and-swap under
+// internMu, so the per-packet path never takes a lock.
+type fieldTable struct {
+	byName map[string]FieldID
+	names  []string
+	// byHeader maps a header name to the IDs of all fields interned under
+	// its "<header>." prefix, in intern order. RemoveHeader uses it to
+	// clear a header's fields without scanning a map.
+	byHeader map[string][]FieldID
+}
+
+var (
+	internMu sync.Mutex
+	fields   atomic.Pointer[fieldTable]
+
+	// emptyFields stands in before the first intern. Header registration
+	// runs during package-variable init, before any init() would run, so
+	// loads must tolerate a nil pointer.
+	emptyFields = &fieldTable{
+		byName:   map[string]FieldID{},
+		byHeader: map[string][]FieldID{},
+	}
+)
+
+func loadFields() *fieldTable {
+	if t := fields.Load(); t != nil {
+		return t
+	}
+	return emptyFields
+}
+
+// InternField returns the stable FieldID for name, interning it on first
+// use. Interning is a control-plane operation (program install, header
+// registration); the returned ID is valid for the process lifetime.
+func InternField(name string) FieldID {
+	if id, ok := loadFields().byName[name]; ok {
+		return id
+	}
+	internMu.Lock()
+	defer internMu.Unlock()
+	old := loadFields()
+	if id, ok := old.byName[name]; ok {
+		return id
+	}
+	id := FieldID(len(old.names))
+	next := &fieldTable{
+		byName:   make(map[string]FieldID, len(old.byName)+1),
+		names:    make([]string, len(old.names), len(old.names)+1),
+		byHeader: make(map[string][]FieldID, len(old.byHeader)+1),
+	}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	copy(next.names, old.names)
+	for k, v := range old.byHeader {
+		next.byHeader[k] = v
+	}
+	next.byName[name] = id
+	next.names = append(next.names, name)
+	if dot := strings.IndexByte(name, '.'); dot > 0 {
+		hdr := name[:dot]
+		// Copy-on-append so published slices stay immutable.
+		ids := next.byHeader[hdr]
+		next.byHeader[hdr] = append(append([]FieldID(nil), ids...), id)
+	}
+	fields.Store(next)
+	return id
+}
+
+// FieldIDOf returns the ID for an already-interned field name.
+func FieldIDOf(name string) (FieldID, bool) {
+	id, ok := loadFields().byName[name]
+	return id, ok
+}
+
+// FieldIDName returns the name interned as id ("" if out of range).
+func FieldIDName(id FieldID) string {
+	t := loadFields()
+	if id < 0 || int(id) >= len(t.names) {
+		return ""
+	}
+	return t.names[id]
+}
+
+// NumFieldIDs returns the number of interned field names. IDs are dense:
+// every id in [0, NumFieldIDs()) is valid.
+func NumFieldIDs() int { return len(loadFields().names) }
+
+// HeaderFieldIDs returns the IDs of every interned field under the
+// "<header>." prefix. The returned slice is shared and must not be
+// mutated.
+func HeaderFieldIDs(header string) []FieldID {
+	return loadFields().byHeader[header]
+}

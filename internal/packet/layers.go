@@ -45,17 +45,24 @@ type headerSpec struct {
 type fieldSpec struct {
 	name string
 	bits int
+	// full is the interned "header.field" name and id its FieldID, both
+	// resolved at registration so the wire codecs never build strings.
+	full string
+	id   FieldID
 }
 
 var headerSpecs = map[string]*headerSpec{}
 
 func registerHeader(name string, fields ...fieldSpec) *headerSpec {
 	total := 0
-	for _, f := range fields {
+	for i := range fields {
+		f := &fields[i]
 		if f.bits <= 0 || f.bits > 64 {
 			panic(fmt.Sprintf("packet: field %s.%s has invalid width %d", name, f.name, f.bits))
 		}
 		total += f.bits
+		f.full = name + "." + f.name
+		f.id = InternField(f.full)
 	}
 	if total%8 != 0 {
 		panic(fmt.Sprintf("packet: header %s is %d bits, not byte aligned", name, total))
@@ -70,35 +77,56 @@ func registerHeader(name string, fields ...fieldSpec) *headerSpec {
 // at 5, TCP data offset at 5).
 var (
 	specEthernet = registerHeader("eth",
-		fieldSpec{"dst", 48}, fieldSpec{"src", 48}, fieldSpec{"type", 16})
+		fieldSpec{name: "dst", bits: 48}, fieldSpec{name: "src", bits: 48}, fieldSpec{name: "type", bits: 16})
 	specVLAN = registerHeader("vlan",
-		fieldSpec{"pcp", 3}, fieldSpec{"dei", 1}, fieldSpec{"vid", 12}, fieldSpec{"type", 16})
+		fieldSpec{name: "pcp", bits: 3}, fieldSpec{name: "dei", bits: 1}, fieldSpec{name: "vid", bits: 12}, fieldSpec{name: "type", bits: 16})
 	specIPv4 = registerHeader("ipv4",
-		fieldSpec{"version", 4}, fieldSpec{"ihl", 4}, fieldSpec{"dscp", 6}, fieldSpec{"ecn", 2},
-		fieldSpec{"len", 16}, fieldSpec{"id", 16}, fieldSpec{"flags", 3}, fieldSpec{"frag", 13},
-		fieldSpec{"ttl", 8}, fieldSpec{"proto", 8}, fieldSpec{"csum", 16},
-		fieldSpec{"src", 32}, fieldSpec{"dst", 32})
+		fieldSpec{name: "version", bits: 4}, fieldSpec{name: "ihl", bits: 4}, fieldSpec{name: "dscp", bits: 6}, fieldSpec{name: "ecn", bits: 2},
+		fieldSpec{name: "len", bits: 16}, fieldSpec{name: "id", bits: 16}, fieldSpec{name: "flags", bits: 3}, fieldSpec{name: "frag", bits: 13},
+		fieldSpec{name: "ttl", bits: 8}, fieldSpec{name: "proto", bits: 8}, fieldSpec{name: "csum", bits: 16},
+		fieldSpec{name: "src", bits: 32}, fieldSpec{name: "dst", bits: 32})
 	specTCP = registerHeader("tcp",
-		fieldSpec{"sport", 16}, fieldSpec{"dport", 16}, fieldSpec{"seq", 32}, fieldSpec{"ack", 32},
-		fieldSpec{"off", 4}, fieldSpec{"rsvd", 3}, fieldSpec{"flags", 9},
-		fieldSpec{"win", 16}, fieldSpec{"csum", 16}, fieldSpec{"urg", 16})
+		fieldSpec{name: "sport", bits: 16}, fieldSpec{name: "dport", bits: 16}, fieldSpec{name: "seq", bits: 32}, fieldSpec{name: "ack", bits: 32},
+		fieldSpec{name: "off", bits: 4}, fieldSpec{name: "rsvd", bits: 3}, fieldSpec{name: "flags", bits: 9},
+		fieldSpec{name: "win", bits: 16}, fieldSpec{name: "csum", bits: 16}, fieldSpec{name: "urg", bits: 16})
 	specUDP = registerHeader("udp",
-		fieldSpec{"sport", 16}, fieldSpec{"dport", 16}, fieldSpec{"len", 16}, fieldSpec{"csum", 16})
+		fieldSpec{name: "sport", bits: 16}, fieldSpec{name: "dport", bits: 16}, fieldSpec{name: "len", bits: 16}, fieldSpec{name: "csum", bits: 16})
 	// FlexNet epoch shim: version epoch + original ethertype.
 	specFlexEpoch = registerHeader("flexepoch",
-		fieldSpec{"epoch", 32}, fieldSpec{"type", 16})
+		fieldSpec{name: "epoch", bits: 32}, fieldSpec{name: "type", bits: 16})
 	// In-band network telemetry record (one hop).
 	specINT = registerHeader("int",
-		fieldSpec{"hopcount", 8}, fieldSpec{"device", 16}, fieldSpec{"qdepth", 24}, fieldSpec{"latency", 32}, fieldSpec{"type", 16})
+		fieldSpec{name: "hopcount", bits: 8}, fieldSpec{name: "device", bits: 16}, fieldSpec{name: "qdepth", bits: 24}, fieldSpec{name: "latency", bits: 32}, fieldSpec{name: "type", bits: 16})
 	// Data-plane RPC header (see internal/drpc): carried over IPv4 proto ProtoDRPC.
 	specDRPC = registerHeader("drpc",
-		fieldSpec{"service", 16}, fieldSpec{"method", 8}, fieldSpec{"flags", 8},
-		fieldSpec{"callid", 32}, fieldSpec{"arg0", 64}, fieldSpec{"arg1", 64}, fieldSpec{"arg2", 64})
+		fieldSpec{name: "service", bits: 16}, fieldSpec{name: "method", bits: 8}, fieldSpec{name: "flags", bits: 8},
+		fieldSpec{name: "callid", bits: 32}, fieldSpec{name: "arg0", bits: 64}, fieldSpec{name: "arg1", bits: 64}, fieldSpec{name: "arg2", bits: 64})
 )
 
 // HeaderBytes returns the wire size in bytes of the named header, or 0 if
 // the header type is unknown.
 func HeaderBytes(name string) int {
+	// Built-in headers resolve without a map hash; Packet.Len walks the
+	// header stack per packet, so this sits on the data path. Dynamically
+	// registered headers fall back to the registry.
+	switch name {
+	case "eth":
+		return specEthernet.bytes
+	case "vlan":
+		return specVLAN.bytes
+	case "ipv4":
+		return specIPv4.bytes
+	case "tcp":
+		return specTCP.bytes
+	case "udp":
+		return specUDP.bytes
+	case "flexepoch":
+		return specFlexEpoch.bytes
+	case "int":
+		return specINT.bytes
+	case "drpc":
+		return specDRPC.bytes
+	}
 	if s, ok := headerSpecs[name]; ok {
 		return s.bytes
 	}
@@ -146,7 +174,8 @@ func RegisterCustomHeader(name string, fields map[string]int, order []string) er
 		if bits <= 0 || bits > 64 {
 			return fmt.Errorf("packet: header %q field %q has invalid width %d", name, fname, bits)
 		}
-		fs = append(fs, fieldSpec{fname, bits})
+		full := name + "." + fname
+		fs = append(fs, fieldSpec{name: fname, bits: bits, full: full, id: InternField(full)})
 		total += bits
 	}
 	if len(fs) != len(fields) {
@@ -183,7 +212,7 @@ func EncodeHeader(dst []byte, name string, p *Packet) ([]byte, error) {
 	var bitbuf uint64
 	bits := 0
 	for _, f := range s.fields {
-		v := p.Fields[name+"."+f.name]
+		v := p.FieldByID(f.id)
 		if f.bits < 64 {
 			v &= (1 << uint(f.bits)) - 1
 		}
@@ -237,7 +266,7 @@ func DecodeHeader(src []byte, name string, p *Packet) ([]byte, error) {
 			bitpos += take
 			rem -= take
 		}
-		p.Fields[name+"."+f.name] = v
+		p.SetFieldByID(f.id, v)
 	}
 	p.AddHeader(name)
 	return src[s.bytes:], nil
@@ -276,24 +305,38 @@ func FixIPv4Checksum(p *Packet) error {
 	if !p.Has("ipv4") {
 		return fmt.Errorf("packet: no ipv4 header present")
 	}
-	p.Fields["ipv4.csum"] = 0
+	p.SetFieldByID(fidIPv4Csum, 0)
 	raw, err := EncodeHeader(nil, "ipv4", p)
 	if err != nil {
 		return err
 	}
-	p.Fields["ipv4.csum"] = uint64(ipv4HeaderChecksum(raw))
+	p.SetFieldByID(fidIPv4Csum, uint64(ipv4HeaderChecksum(raw)))
 	return nil
 }
 
 // VerifyIPv4Checksum reports whether the stored checksum matches.
 func VerifyIPv4Checksum(p *Packet) bool {
-	want := p.Fields["ipv4.csum"]
+	want := p.FieldByID(fidIPv4Csum)
 	saved := want
-	p.Fields["ipv4.csum"] = 0
+	p.SetFieldByID(fidIPv4Csum, 0)
 	raw, err := EncodeHeader(nil, "ipv4", p)
-	p.Fields["ipv4.csum"] = saved
+	p.SetFieldByID(fidIPv4Csum, saved)
 	if err != nil {
 		return false
 	}
 	return uint64(ipv4HeaderChecksum(raw)) == want
 }
+
+// Pre-resolved IDs of the fields the packet fast paths touch (flow keys,
+// checksums). Declared after the standard header registrations above so
+// they resolve to the already-interned IDs.
+var (
+	fidIPv4Src   = InternField("ipv4.src")
+	fidIPv4Dst   = InternField("ipv4.dst")
+	fidIPv4Proto = InternField("ipv4.proto")
+	fidIPv4Csum  = InternField("ipv4.csum")
+	fidTCPSport  = InternField("tcp.sport")
+	fidTCPDport  = InternField("tcp.dport")
+	fidUDPSport  = InternField("udp.sport")
+	fidUDPDport  = InternField("udp.dport")
+)

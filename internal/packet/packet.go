@@ -11,10 +11,17 @@
 // Field names use the "header.field" convention from P4 (for example
 // "ipv4.dst" or "tcp.flags"). Values are carried as uint64; no header
 // field modelled here is wider than 64 bits (MAC addresses are 48 bits).
+//
+// Internally the PHV is a dense vector indexed by interned FieldID (see
+// intern.go), not a map: per-packet field access on the linked fast path
+// is a bounds-checked array load, exactly as a compiled datapath would
+// address a PHV slot. The string-keyed accessors remain for control-plane
+// and test convenience.
 package packet
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -59,8 +66,14 @@ func (v Verdict) String() string {
 type Packet struct {
 	// ID is a unique packet identifier assigned by the traffic source.
 	ID uint64
-	// Fields is the parsed header vector.
-	Fields map[string]uint64
+
+	// vals is the parsed header vector, indexed by FieldID. Invariant:
+	// a slot is zero unless its presence bit is set, so the common
+	// "absent reads as 0" access needs no presence check.
+	vals []uint64
+	// present is a bitset over FieldIDs marking which fields exist.
+	present []uint64
+
 	// Headers lists the header names present, in parse order.
 	Headers []string
 	// PayloadLen is the number of payload bytes beyond parsed headers.
@@ -84,12 +97,15 @@ type Packet struct {
 	Trace []string
 }
 
-// New creates an empty packet with the given id.
+// New creates an empty packet with the given id. The PHV is sized to the
+// current intern table so steady-state field access never reallocates.
 func New(id uint64) *Packet {
+	n := NumFieldIDs()
 	return &Packet{
-		ID:     id,
-		Fields: make(map[string]uint64, 16),
-		Meta:   make(map[string]uint64, 4),
+		ID:      id,
+		vals:    make([]uint64, n),
+		present: make([]uint64, (n+63)/64),
+		Meta:    make(map[string]uint64, 4),
 	}
 }
 
@@ -98,16 +114,14 @@ func New(id uint64) *Packet {
 func (p *Packet) Clone() *Packet {
 	q := &Packet{
 		ID:          p.ID,
-		Fields:      make(map[string]uint64, len(p.Fields)),
+		vals:        append([]uint64(nil), p.vals...),
+		present:     append([]uint64(nil), p.present...),
 		Headers:     append([]string(nil), p.Headers...),
 		PayloadLen:  p.PayloadLen,
 		IngressPort: p.IngressPort,
 		EgressPort:  p.EgressPort,
 		Epoch:       p.Epoch,
 		Meta:        make(map[string]uint64, len(p.Meta)),
-	}
-	for k, v := range p.Fields {
-		q.Fields[k] = v
 	}
 	for k, v := range p.Meta {
 		q.Meta[k] = v
@@ -145,26 +159,109 @@ func (p *Packet) RemoveHeader(header string) {
 		}
 	}
 	p.Headers = out
-	prefix := header + "."
-	for k := range p.Fields {
-		if strings.HasPrefix(k, prefix) {
-			delete(p.Fields, k)
-		}
+	for _, id := range HeaderFieldIDs(header) {
+		p.clearField(id)
+	}
+}
+
+// grow extends the PHV to cover FieldID i (fields interned after this
+// packet was created).
+func (p *Packet) grow(i int) {
+	for len(p.vals) <= i {
+		p.vals = append(p.vals, 0)
+	}
+	for len(p.present) <= i/64 {
+		p.present = append(p.present, 0)
+	}
+}
+
+// FieldByID returns the value of the field, or 0 if absent. This is the
+// linked fast path: one bounds check and one load.
+func (p *Packet) FieldByID(id FieldID) uint64 {
+	if i := int(id); i >= 0 && i < len(p.vals) {
+		return p.vals[i]
+	}
+	return 0
+}
+
+// FieldOKByID returns the value and whether the field is present.
+func (p *Packet) FieldOKByID(id FieldID) (uint64, bool) {
+	i := int(id)
+	if i < 0 || i >= len(p.vals) {
+		return 0, false
+	}
+	if p.present[i/64]&(1<<(uint(i)%64)) == 0 {
+		return 0, false
+	}
+	return p.vals[i], true
+}
+
+// SetFieldByID sets the field by interned ID.
+func (p *Packet) SetFieldByID(id FieldID, v uint64) {
+	i := int(id)
+	if i < 0 {
+		return
+	}
+	if i >= len(p.vals) {
+		p.grow(i)
+	}
+	p.vals[i] = v
+	p.present[i/64] |= 1 << (uint(i) % 64)
+}
+
+func (p *Packet) clearField(id FieldID) {
+	i := int(id)
+	if i < 0 || i >= len(p.vals) {
+		return
+	}
+	p.vals[i] = 0
+	if i/64 < len(p.present) {
+		p.present[i/64] &^= 1 << (uint(i) % 64)
 	}
 }
 
 // Field returns the value of the named field, or 0 if absent.
-func (p *Packet) Field(name string) uint64 { return p.Fields[name] }
+func (p *Packet) Field(name string) uint64 {
+	id, ok := FieldIDOf(name)
+	if !ok {
+		return 0
+	}
+	return p.FieldByID(id)
+}
 
 // FieldOK returns the value and whether the field is present.
 func (p *Packet) FieldOK(name string) (uint64, bool) {
-	v, ok := p.Fields[name]
-	return v, ok
+	id, ok := FieldIDOf(name)
+	if !ok {
+		return 0, false
+	}
+	return p.FieldOKByID(id)
 }
 
-// SetField sets the named field.
+// SetField sets the named field, interning the name on first use.
 func (p *Packet) SetField(name string, v uint64) {
-	p.Fields[name] = v
+	p.SetFieldByID(InternField(name), v)
+}
+
+// NumFields returns the number of fields present in the PHV.
+func (p *Packet) NumFields() int {
+	n := 0
+	for _, w := range p.present {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// fieldIDs appends the IDs of all present fields to dst.
+func (p *Packet) fieldIDs(dst []FieldID) []FieldID {
+	for wi, w := range p.present {
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, FieldID(wi*64+bits.TrailingZeros64(w)))
+		}
+	}
+	return dst
 }
 
 // Len returns the total simulated length in bytes: the sum of the sizes
@@ -180,23 +277,19 @@ func (p *Packet) Len() int {
 // FlowKey returns the canonical 5-tuple flow key of the packet. Packets
 // without an IPv4 header hash to a degenerate key of their ingress port.
 func (p *Packet) FlowKey() FlowKey {
-	return FlowKey{
-		SrcIP:   uint32(p.Fields["ipv4.src"]),
-		DstIP:   uint32(p.Fields["ipv4.dst"]),
-		Proto:   uint8(p.Fields["ipv4.proto"]),
-		SrcPort: uint16(p.Fields[l4Name(p)+".sport"]),
-		DstPort: uint16(p.Fields[l4Name(p)+".dport"]),
-	}
-}
-
-func l4Name(p *Packet) string {
-	switch p.Fields["ipv4.proto"] {
-	case ProtoTCP:
-		return "tcp"
+	var sport, dport uint64
+	switch p.FieldByID(fidIPv4Proto) {
 	case ProtoUDP:
-		return "udp"
+		sport, dport = p.FieldByID(fidUDPSport), p.FieldByID(fidUDPDport)
 	default:
-		return "tcp"
+		sport, dport = p.FieldByID(fidTCPSport), p.FieldByID(fidTCPDport)
+	}
+	return FlowKey{
+		SrcIP:   uint32(p.FieldByID(fidIPv4Src)),
+		DstIP:   uint32(p.FieldByID(fidIPv4Dst)),
+		Proto:   uint8(p.FieldByID(fidIPv4Proto)),
+		SrcPort: uint16(sport),
+		DstPort: uint16(dport),
 	}
 }
 
@@ -251,13 +344,14 @@ func IP(a, b, c, d byte) uint32 {
 func (p *Packet) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "pkt %d [%s]", p.ID, strings.Join(p.Headers, ","))
-	keys := make([]string, 0, len(p.Fields))
-	for k := range p.Fields {
-		keys = append(keys, k)
+	ids := p.fieldIDs(nil)
+	keys := make([]string, 0, len(ids))
+	for _, id := range ids {
+		keys = append(keys, FieldIDName(id))
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Fprintf(&b, " %s=%d", k, p.Fields[k])
+		fmt.Fprintf(&b, " %s=%d", k, p.Field(k))
 	}
 	return b.String()
 }

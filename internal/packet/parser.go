@@ -280,6 +280,41 @@ func (g *ParseGraph) ParseFields(p *Packet) ([]string, error) {
 	return accepted, nil
 }
 
+// CheckFields is the allocation-free variant of ParseFields for the
+// per-packet path: it walks the state machine to validate the header
+// chain but does not build the accepted-header list.
+func (g *ParseGraph) CheckFields(p *Packet) error {
+	state := g.start
+	idx := 0
+	for state != "" {
+		st, ok := g.states[state]
+		if !ok {
+			return fmt.Errorf("packet: parse reached unknown state %q", state)
+		}
+		if st.Header != "" {
+			if idx >= len(p.Headers) || p.Headers[idx] != st.Header {
+				return nil
+			}
+			idx++
+		}
+		if st.SelectField == "" {
+			state = st.Default
+			continue
+		}
+		v, ok := p.FieldOK(st.SelectField)
+		if !ok {
+			state = st.Default
+			continue
+		}
+		next, ok := st.Transitions[v]
+		if !ok {
+			next = st.Default
+		}
+		state = next
+	}
+	return nil
+}
+
 // StandardParseGraph builds the default infrastructure parser:
 // eth → (vlan) → ipv4 → tcp/udp/drpc, with an optional flexepoch shim
 // between eth and the rest.
