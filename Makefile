@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench benchdiff cover profile
+.PHONY: all build test race vet fmt check bench bench-parallel benchdiff cover profile
 
 all: build
 
@@ -25,6 +25,11 @@ check: fmt vet build test race
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/flexbpf ./internal/telemetry
+
+# bench-parallel measures the sharded engine's throughput scaling across
+# worker-pool sizes (compare pkts/s between the workers=N sub-benchmarks).
+bench-parallel:
+	$(GO) test -bench 'BenchmarkFabricParallel' -benchmem -benchtime 5x -run '^$$' .
 
 # profile runs the experiment suite under the CPU and heap profilers;
 # inspect with `go tool pprof cpu.pprof`.

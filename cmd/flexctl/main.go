@@ -1,6 +1,10 @@
 // Command flexctl is the CLI client for flexnetd: it translates
-// command-line verbs into the daemon's JSON API and pretty-prints the
+// subcommands into the daemon's JSON API and pretty-prints the
 // responses — the operator's handle on the app-level management plane.
+//
+// Each subcommand maps 1:1 onto one of the flexnet control requests
+// (DeployOptions, MigrateRequest, ScaleRequest, ...) and declares only
+// the flags that request actually has.
 //
 // Usage examples:
 //
@@ -11,8 +15,8 @@
 //	flexctl run -ms 500
 //	flexctl migrate -uri flexnet://infra/defense -segment syn -device s2 -dp
 //	flexctl remove -uri flexnet://infra/defense
-//	flexctl -stats
-//	flexctl -trace plan-3
+//	flexctl stats
+//	flexctl trace -plan plan-3
 package main
 
 import (
@@ -22,129 +26,268 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"time"
 )
 
-func usage() {
-	fmt.Fprintf(os.Stderr, `usage: flexctl [-addr host:port] <command> [flags]
+// request is the JSON body sent to flexnetd.
+type request map[string]interface{}
 
-commands:
-  status                                   controller status
-  devices                                  per-device resources
-  deploy   -uri U -app NAME [-args a,b,c] [-path s1,s2] [-tenant T] [-dry-run]
-  remove   -uri U [-dry-run]
-  migrate  -uri U -segment S -device D [-dp] [-dry-run]
-  scale-out -uri U -segment S -device D [-dry-run]
-  scale-in  -uri U -segment S -device D [-dry-run]
-  tenant-add    -tenant T
-  tenant-remove -tenant T
-  traffic  -src HOST -dst IP -pps N
-  traffic-stop
-  run      [-ms N]
-  stats                                    telemetry snapshot (all metrics)
-  trace    [-plan ID]                      plan execution trace (default: last)
-  report                                   last executed plan's report
+// command is one flexctl subcommand: its own FlagSet (declaring only
+// the flags its request has) plus a builder that turns parsed flags
+// into the wire request.
+type command struct {
+	name    string
+	summary string
+	fs      *flag.FlagSet
+	build   func() (request, error)
+}
+
+func newCommand(name, summary string) *command {
+	return &command{
+		name:    name,
+		summary: summary,
+		fs:      flag.NewFlagSet("flexctl "+name, flag.ExitOnError),
+	}
+}
+
+// splitCSV parses a comma-separated list, trimming blanks.
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseArgsCSV parses the numeric app-argument list.
+func parseArgsCSV(s string) ([]uint64, error) {
+	var args []uint64
+	for _, p := range splitCSV(s) {
+		var v uint64
+		if _, err := fmt.Sscanf(p, "%d", &v); err != nil {
+			return nil, fmt.Errorf("bad -args value %q", p)
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// commands builds the full subcommand table.
+func commands() map[string]*command {
+	cmds := map[string]*command{}
+	add := func(c *command) { cmds[c.name] = c }
+
+	{
+		c := newCommand("status", "controller status")
+		c.build = func() (request, error) { return request{"op": "status"}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("devices", "per-device resources")
+		c.build = func() (request, error) { return request{"op": "devices"}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("deploy", "deploy a builtin app at a URI")
+		uri := c.fs.String("uri", "", "app URI (flexnet://owner/name)")
+		app := c.fs.String("app", "", "builtin app name (syn-defense, heavy-hitter, rate-limiter, firewall, l2, int)")
+		args := c.fs.String("args", "", "comma-separated numeric app args")
+		path := c.fs.String("path", "", "comma-separated device path restricting placement")
+		tenant := c.fs.String("tenant", "", "owning tenant")
+		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
+		c.build = func() (request, error) {
+			req := request{"op": "deploy", "uri": *uri, "app": *app}
+			if a, err := parseArgsCSV(*args); err != nil {
+				return nil, err
+			} else if len(a) > 0 {
+				req["args"] = a
+			}
+			if p := splitCSV(*path); len(p) > 0 {
+				req["path"] = p
+			}
+			if *tenant != "" {
+				req["tenant"] = *tenant
+			}
+			if *dry {
+				req["dry_run"] = true
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("remove", "remove a deployed app")
+		uri := c.fs.String("uri", "", "app URI")
+		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
+		c.build = func() (request, error) {
+			req := request{"op": "remove", "uri": *uri}
+			if *dry {
+				req["dry_run"] = true
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("migrate", "move an app segment to another device")
+		uri := c.fs.String("uri", "", "app URI")
+		segment := c.fs.String("segment", "", "app segment name")
+		device := c.fs.String("device", "", "destination device")
+		dp := c.fs.Bool("dp", false, "use data-plane state migration")
+		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
+		c.build = func() (request, error) {
+			req := request{"op": "migrate", "uri": *uri, "segment": *segment, "device": *device}
+			if *dp {
+				req["data_plane"] = true
+			}
+			if *dry {
+				req["dry_run"] = true
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	for _, dir := range []string{"scale-out", "scale-in"} {
+		dir := dir
+		c := newCommand(dir, "add a replica on a device")
+		if dir == "scale-in" {
+			c.summary = "remove a replica from a device"
+		}
+		uri := c.fs.String("uri", "", "app URI")
+		segment := c.fs.String("segment", "", "app segment name")
+		device := c.fs.String("device", "", "target device")
+		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
+		c.build = func() (request, error) {
+			req := request{"op": dir, "uri": *uri, "segment": *segment, "device": *device}
+			if *dry {
+				req["dry_run"] = true
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("tenant-add", "admit a tenant")
+		tenant := c.fs.String("tenant", "", "tenant name")
+		c.build = func() (request, error) { return request{"op": "tenant-add", "tenant": *tenant}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("tenant-remove", "remove a tenant and its apps")
+		tenant := c.fs.String("tenant", "", "tenant name")
+		c.build = func() (request, error) { return request{"op": "tenant-remove", "tenant": *tenant}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("traffic", "start a CBR traffic source")
+		src := c.fs.String("src", "", "traffic source host")
+		dst := c.fs.String("dst", "", "traffic destination IP")
+		pps := c.fs.Float64("pps", 10000, "packets per second")
+		c.build = func() (request, error) {
+			return request{"op": "traffic", "src_host": *src, "dst_ip": *dst, "pps": *pps}, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("traffic-stop", "stop all traffic sources")
+		c.build = func() (request, error) { return request{"op": "traffic-stop"}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("run", "advance simulated time")
+		ms := c.fs.Int64("ms", 100, "simulated milliseconds to run")
+		c.build = func() (request, error) { return request{"op": "run", "millis": *ms}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("stats", "telemetry snapshot (all metrics)")
+		c.build = func() (request, error) { return request{"op": "stats"}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("trace", "plan execution trace")
+		plan := c.fs.String("plan", "", "plan ID (empty = most recent)")
+		c.build = func() (request, error) {
+			req := request{"op": "trace"}
+			if *plan != "" && *plan != "last" {
+				req["plan"] = *plan
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("report", "last executed plan's report")
+		c.build = func() (request, error) { return request{"op": "report"}, nil }
+		add(c)
+	}
+	return cmds
+}
+
+func usage(cmds map[string]*command) {
+	names := make([]string, 0, len(cmds))
+	for n := range cmds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(os.Stderr, "usage: flexctl [-addr host:port] <command> [flags]\n\ncommands:\n")
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", n, cmds[n].summary)
+	}
+	fmt.Fprintf(os.Stderr, `
+Run "flexctl <command> -h" for that command's flags.
 
 shortcuts: "flexctl -stats" = "flexctl stats";
            "flexctl -trace ID" = "flexctl trace -plan ID" ("last" = most recent)
 
-builtin apps: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int
-
--dry-run validates the operation's change plan and prints its steps and
-cost estimate without mutating the network.
+-dry-run (deploy/remove/migrate/scale-*) validates the operation's
+change plan and prints its steps and cost estimate without mutating
+the network.
 `)
 	os.Exit(2)
 }
 
 func main() {
+	cmds := commands()
 	addr := flag.String("addr", "127.0.0.1:9177", "flexnetd address")
 	statsFlag := flag.Bool("stats", false, "print the telemetry snapshot (shortcut for the stats command)")
 	traceFlag := flag.String("trace", "", "print a plan's execution trace by ID; \"last\" = most recent")
-	flag.Usage = usage
+	flag.Usage = func() { usage(cmds) }
 	flag.Parse()
-	cmd := ""
+
+	name := ""
 	rest := flag.Args()
 	switch {
 	case *statsFlag:
-		cmd = "stats"
+		name = "stats"
 	case *traceFlag != "":
-		cmd = "trace"
+		name = "trace"
+		if *traceFlag != "last" {
+			rest = []string{"-plan", *traceFlag}
+		}
 	case len(rest) >= 1:
-		cmd = rest[0]
+		name = rest[0]
 		rest = rest[1:]
 	default:
-		usage()
+		usage(cmds)
 	}
-
-	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
-	uri := sub.String("uri", "", "app URI (flexnet://owner/name)")
-	app := sub.String("app", "", "builtin app name")
-	argsCSV := sub.String("args", "", "comma-separated numeric app args")
-	pathCSV := sub.String("path", "", "comma-separated device path")
-	segment := sub.String("segment", "", "app segment name")
-	device := sub.String("device", "", "target device")
-	tenant := sub.String("tenant", "", "tenant name")
-	srcHost := sub.String("src", "", "traffic source host")
-	dstIP := sub.String("dst", "", "traffic destination IP")
-	pps := sub.Float64("pps", 10000, "packets per second")
-	ms := sub.Int64("ms", 100, "simulated milliseconds to run")
-	dp := sub.Bool("dp", false, "use data-plane state migration")
-	dry := sub.Bool("dry-run", false, "validate the change plan without executing it")
-	plan := sub.String("plan", "", "plan ID for trace (empty = most recent)")
-	sub.Parse(rest)
-
-	req := map[string]interface{}{"op": cmd}
-	set := func(k string, v interface{}) {
-		switch t := v.(type) {
-		case string:
-			if t != "" {
-				req[k] = t
-			}
-		default:
-			req[k] = v
-		}
+	cmd := cmds[name]
+	if cmd == nil {
+		fmt.Fprintf(os.Stderr, "flexctl: unknown command %q\n\n", name)
+		usage(cmds)
 	}
-	set("uri", *uri)
-	set("app", *app)
-	set("segment", *segment)
-	set("device", *device)
-	set("tenant", *tenant)
-	set("src_host", *srcHost)
-	set("dst_ip", *dstIP)
-	if cmd == "traffic" {
-		req["pps"] = *pps
-	}
-	if cmd == "run" {
-		req["millis"] = *ms
-	}
-	if *dp {
-		req["data_plane"] = true
-	}
-	if *dry {
-		req["dry_run"] = true
-	}
-	if *argsCSV != "" {
-		var args []uint64
-		for _, p := range strings.Split(*argsCSV, ",") {
-			var v uint64
-			if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &v); err != nil {
-				fmt.Fprintf(os.Stderr, "flexctl: bad -args value %q\n", p)
-				os.Exit(1)
-			}
-			args = append(args, v)
-		}
-		req["args"] = args
-	}
-	if *pathCSV != "" {
-		req["path"] = strings.Split(*pathCSV, ",")
-	}
-	if cmd == "trace" {
-		id := *plan
-		if id == "" && *traceFlag != "" && *traceFlag != "last" {
-			id = *traceFlag
-		}
-		set("plan", id)
+	cmd.fs.Parse(rest)
+	req, err := cmd.build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flexctl: %v\n", err)
+		os.Exit(1)
 	}
 
 	conn, err := net.Dial("tcp", *addr)
@@ -177,7 +320,7 @@ func main() {
 		os.Exit(1)
 	}
 	if len(resp.Data) > 0 {
-		switch cmd {
+		switch name {
 		case "stats":
 			if out, ok := renderStats(resp.Data); ok {
 				fmt.Print(out)

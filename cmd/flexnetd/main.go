@@ -25,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,7 +41,10 @@ import (
 
 // Topology is the daemon's network description.
 type Topology struct {
-	Seed     int64 `json:"seed"`
+	Seed int64 `json:"seed"`
+	// Workers sizes the parallel packet worker pool (0 = GOMAXPROCS).
+	// Output is byte-identical at a seed regardless of the count.
+	Workers  int `json:"workers"`
 	Switches []struct {
 		Name string `json:"name"`
 		Arch string `json:"arch"`
@@ -79,7 +83,7 @@ func archByName(s string) (flexnet.Arch, error) {
 }
 
 func buildNetwork(t *Topology) (*flexnet.Network, error) {
-	b := flexnet.New(t.Seed)
+	b := flexnet.New(t.Seed).Workers(t.Workers)
 	for _, sw := range t.Switches {
 		arch, err := archByName(sw.Arch)
 		if err != nil {
@@ -227,68 +231,55 @@ func (s *Server) handle(req *Request) Response {
 			Path:     req.Path,
 			Tenant:   req.Tenant,
 		}
-		if req.DryRun {
-			rep, err := s.net.DryRunDeploy(req.URI, spec)
-			if err != nil {
-				return fail(err)
-			}
-			return planData(rep)
-		}
-		if err := s.net.DeployApp(req.URI, spec); err != nil {
+		rep, err := s.net.Deploy(context.Background(), req.URI, spec,
+			flexnet.DeployOptions{DryRun: req.DryRun})
+		if err != nil {
 			return fail(err)
+		}
+		if req.DryRun {
+			return planData(rep)
 		}
 		return Response{OK: true, Data: map[string]string{"uri": req.URI}}
 	case "remove":
-		if req.DryRun {
-			rep, err := s.net.DryRunRemove(req.URI)
-			if err != nil {
-				return fail(err)
-			}
-			return planData(rep)
-		}
-		if err := s.net.RemoveApp(req.URI); err != nil {
+		rep, err := s.net.Remove(context.Background(), req.URI,
+			flexnet.RemoveOptions{DryRun: req.DryRun})
+		if err != nil {
 			return fail(err)
+		}
+		if req.DryRun {
+			return planData(rep)
 		}
 		return Response{OK: true}
 	case "migrate":
-		if req.DryRun {
-			rep, err := s.net.DryRunMigrate(req.URI, req.Segment, req.Device, req.DataPlane)
-			if err != nil {
-				return fail(err)
-			}
-			return planData(rep)
-		}
-		rep, err := s.net.MigrateApp(req.URI, req.Segment, req.Device, req.DataPlane)
+		rep, planRep, err := s.net.Migrate(context.Background(), flexnet.MigrateRequest{
+			URI: req.URI, Segment: req.Segment, Dst: req.Device,
+			DataPlane: req.DataPlane, DryRun: req.DryRun,
+		})
 		if err != nil {
 			return fail(err)
+		}
+		if req.DryRun {
+			return planData(planRep)
 		}
 		return Response{OK: true, Data: map[string]interface{}{
 			"lost_updates": rep.LostUpdates,
 			"chunks":       rep.ChunksSent,
 			"duration_ms":  (rep.Done - rep.Started).Milliseconds(),
 		}}
-	case "scale-out":
-		if req.DryRun {
-			rep, err := s.net.DryRunScaleOut(req.URI, req.Segment, req.Device)
-			if err != nil {
-				return fail(err)
-			}
-			return planData(rep)
+	case "scale-out", "scale-in":
+		dir := flexnet.ScaleDirOut
+		if req.Op == "scale-in" {
+			dir = flexnet.ScaleDirIn
 		}
-		if err := s.net.ScaleOut(req.URI, req.Segment, req.Device); err != nil {
+		rep, err := s.net.Scale(context.Background(), flexnet.ScaleRequest{
+			URI: req.URI, Segment: req.Segment, Device: req.Device,
+			Direction: dir, DryRun: req.DryRun,
+		})
+		if err != nil {
 			return fail(err)
 		}
-		return Response{OK: true}
-	case "scale-in":
 		if req.DryRun {
-			rep, err := s.net.DryRunScaleIn(req.URI, req.Segment, req.Device)
-			if err != nil {
-				return fail(err)
-			}
 			return planData(rep)
-		}
-		if err := s.net.ScaleIn(req.URI, req.Segment, req.Device); err != nil {
-			return fail(err)
 		}
 		return Response{OK: true}
 	case "tenant-add":
@@ -298,7 +289,7 @@ func (s *Server) handle(req *Request) Response {
 		}
 		return Response{OK: true, Data: map[string]uint64{"vlan": tn.VLAN}}
 	case "tenant-remove":
-		if err := s.net.RemoveTenant(req.Tenant); err != nil {
+		if err := s.net.DeleteTenant(context.Background(), req.Tenant); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
@@ -385,6 +376,7 @@ func (s *Server) serveConn(conn net.Conn) {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9177", "TCP listen address")
 	topoPath := flag.String("topology", "", "topology JSON file (default: built-in 2-switch demo)")
+	workers := flag.Int("workers", 0, "parallel packet workers (0 = GOMAXPROCS; overrides the topology file)")
 	flag.Parse()
 
 	topo := &Topology{Seed: 1}
@@ -400,6 +392,9 @@ func main() {
 		if err := json.Unmarshal([]byte(demoTopology), topo); err != nil {
 			log.Fatalf("flexnetd: demo topology: %v", err)
 		}
+	}
+	if *workers != 0 {
+		topo.Workers = *workers
 	}
 	nw, err := buildNetwork(topo)
 	if err != nil {

@@ -34,6 +34,7 @@
 package flexnet
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -205,6 +206,7 @@ type Builder struct {
 	strategy compiler.Strategy
 	costs    runtime.Costs
 	drpc     map[string]string // device → control IP
+	workers  int
 	err      error
 }
 
@@ -281,6 +283,14 @@ func (b *Builder) ReconfigCosts(c runtime.Costs) *Builder {
 	return b
 }
 
+// Workers sets the worker-pool size for parallel per-device packet
+// execution (0 = GOMAXPROCS, the default). Any count produces
+// byte-identical output at a given seed.
+func (b *Builder) Workers(n int) *Builder {
+	b.workers = n
+	return b
+}
+
 // Build finalizes the topology: dRPC routers come up, the infrastructure
 // routing program is installed on every switch, and the controller takes
 // over.
@@ -299,6 +309,9 @@ func (b *Builder) Build() (*Network, error) {
 	}
 	if err := b.fab.InstallBaseRouting(); err != nil {
 		return nil, err
+	}
+	if b.workers != 0 {
+		b.fab.SetWorkers(b.workers)
 	}
 	eng := runtime.NewEngine(b.fab.Sim, b.costs)
 	ctl := controller.New(b.fab, eng, b.strategy)
@@ -401,65 +414,47 @@ type AppSpec struct {
 
 // DeployApp synchronously deploys an application (advancing simulated
 // time until the deployment commits) and returns the placement error.
+//
+// Deprecated: use Deploy.
 func (n *Network) DeployApp(uri string, spec AppSpec) error {
-	dp := &Datapath{Name: uri, Segments: spec.Programs, SLA: spec.SLA, Owner: spec.Tenant}
-	var err error
-	done := false
-	n.ctl.Deploy(uri, dp, controller.DeployOptions{Path: spec.Path, Tenant: spec.Tenant},
-		func(e error) { err = e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return fmt.Errorf("flexnet: deploy %s did not complete", uri)
-	}
+	_, err := n.Deploy(context.Background(), uri, spec, DeployOptions{})
 	return err
 }
 
 // RemoveApp synchronously removes an application.
+//
+// Deprecated: use Remove.
 func (n *Network) RemoveApp(uri string) error {
-	var err error
-	done := false
-	n.ctl.Remove(uri, func(e error) { err = e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return fmt.Errorf("flexnet: remove %s did not complete", uri)
-	}
+	_, err := n.Remove(context.Background(), uri, RemoveOptions{})
 	return err
 }
 
 // MigrateApp synchronously migrates an app segment to another device
 // using data-plane state migration (or the control-plane baseline).
+//
+// Deprecated: use Migrate, whose MigrateRequest names the dataPlane
+// choice at the call site.
 func (n *Network) MigrateApp(uri, segment, dst string, dataPlane bool) (MigrationReport, error) {
-	var rep MigrationReport
-	done := false
-	n.ctl.Migrate(uri, segment, dst, dataPlane, func(r MigrationReport) { rep = r; done = true })
-	n.waitFor(&done, 60*time.Second)
-	if !done {
-		return rep, fmt.Errorf("flexnet: migration of %s did not complete", uri)
-	}
-	return rep, rep.Err
+	rep, _, err := n.Migrate(context.Background(),
+		MigrateRequest{URI: uri, Segment: segment, Dst: dst, DataPlane: dataPlane})
+	return rep, err
 }
 
 // ScaleOut synchronously adds an app replica on a device.
+//
+// Deprecated: use Scale with ScaleDirOut.
 func (n *Network) ScaleOut(uri, segment, device string) error {
-	var err error
-	done := false
-	n.ctl.ScaleOut(uri, segment, device, func(e error) { err = e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return fmt.Errorf("flexnet: scale-out of %s did not complete", uri)
-	}
+	_, err := n.Scale(context.Background(),
+		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirOut})
 	return err
 }
 
 // ScaleIn synchronously removes an app replica from a device.
+//
+// Deprecated: use Scale with ScaleDirIn.
 func (n *Network) ScaleIn(uri, segment, device string) error {
-	var err error
-	done := false
-	n.ctl.ScaleIn(uri, segment, device, func(e error) { err = e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return fmt.Errorf("flexnet: scale-in of %s did not complete", uri)
-	}
+	_, err := n.Scale(context.Background(),
+		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirIn})
 	return err
 }
 
@@ -467,15 +462,10 @@ func (n *Network) ScaleIn(uri, segment, device string) error {
 func (n *Network) AddTenant(name string) (*Tenant, error) { return n.ctl.AddTenant(name) }
 
 // RemoveTenant synchronously removes a tenant and all its apps.
+//
+// Deprecated: use DeleteTenant.
 func (n *Network) RemoveTenant(name string) error {
-	var err error
-	done := false
-	n.ctl.RemoveTenant(name, func(e error) { err = e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return fmt.Errorf("flexnet: tenant removal did not complete")
-	}
-	return err
+	return n.DeleteTenant(context.Background(), name)
 }
 
 // LastPlanReport returns the report of the most recently executed
@@ -506,58 +496,51 @@ func (n *Network) PlanTrace(id string) TraceSnapshot { return n.fab.Tracer.Trace
 // network: the report lists every step with its estimated cost. The
 // error is non-nil if the plan could not even be built (bad URI,
 // placement failure).
+//
+// Deprecated: use Deploy with DeployOptions{DryRun: true}.
 func (n *Network) DryRunDeploy(uri string, spec AppSpec) (*PlanReport, error) {
-	dp := &Datapath{Name: uri, Segments: spec.Programs, SLA: spec.SLA, Owner: spec.Tenant}
-	cp, _, err := n.ctl.PlanDeploy(uri, dp, controller.DeployOptions{Path: spec.Path, Tenant: spec.Tenant})
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	return n.Deploy(context.Background(), uri, spec, DeployOptions{DryRun: true})
 }
 
 // DryRunRemove validates an app removal without executing it.
+//
+// Deprecated: use Remove with RemoveOptions{DryRun: true}.
 func (n *Network) DryRunRemove(uri string) (*PlanReport, error) {
-	cp, err := n.ctl.PlanRemove(uri)
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	return n.Remove(context.Background(), uri, RemoveOptions{DryRun: true})
 }
 
 // DryRunMigrate validates a migration without executing it.
+//
+// Deprecated: use Migrate with MigrateRequest.DryRun set.
 func (n *Network) DryRunMigrate(uri, segment, dst string, dataPlane bool) (*PlanReport, error) {
-	cp, err := n.ctl.PlanMigrate(uri, segment, dst, dataPlane)
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	_, rep, err := n.Migrate(context.Background(),
+		MigrateRequest{URI: uri, Segment: segment, Dst: dst, DataPlane: dataPlane, DryRun: true})
+	return rep, err
 }
 
 // DryRunScaleOut validates adding a replica without executing it.
+//
+// Deprecated: use Scale with ScaleRequest.DryRun set.
 func (n *Network) DryRunScaleOut(uri, segment, device string) (*PlanReport, error) {
-	cp, err := n.ctl.PlanScaleOut(uri, segment, device)
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	return n.Scale(context.Background(),
+		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirOut, DryRun: true})
 }
 
 // DryRunScaleIn validates removing a replica without executing it.
+//
+// Deprecated: use Scale with ScaleRequest.DryRun set.
 func (n *Network) DryRunScaleIn(uri, segment, device string) (*PlanReport, error) {
-	cp, err := n.ctl.PlanScaleIn(uri, segment, device)
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	return n.Scale(context.Background(),
+		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirIn, DryRun: true})
 }
 
 // DryRunUpdate validates an incremental update without executing it.
+//
+// Deprecated: use Update with UpdateRequest.DryRun set.
 func (n *Network) DryRunUpdate(uri, segment string, d *Delta) (*PlanReport, error) {
-	cp, _, _, err := n.ctl.PlanUpdate(uri, segment, d)
-	if err != nil {
-		return nil, err
-	}
-	return n.ctl.DryRun(cp), nil
+	_, rep, err := n.Update(context.Background(),
+		UpdateRequest{URI: uri, Segment: segment, Delta: d, DryRun: true})
+	return rep, err
 }
 
 // waitFor advances simulation until *done or the budget elapses.
@@ -636,14 +619,10 @@ type DeltaOp = delta.Op
 
 // UpdateApp applies an incremental change to a deployed app segment,
 // live and state-preserving. Returns the touch report.
+//
+// Deprecated: use Update.
 func (n *Network) UpdateApp(uri, segment string, d *Delta) (*delta.Report, error) {
-	var rep *delta.Report
-	var err error
-	done := false
-	n.ctl.UpdateApp(uri, segment, d, func(r *delta.Report, e error) { rep, err = r, e; done = true })
-	n.waitFor(&done, 30*time.Second)
-	if !done {
-		return nil, fmt.Errorf("flexnet: update of %s did not complete", uri)
-	}
+	rep, _, err := n.Update(context.Background(),
+		UpdateRequest{URI: uri, Segment: segment, Delta: d})
 	return rep, err
 }

@@ -12,6 +12,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -221,8 +222,8 @@ func (c *Controller) Tenant(name string) *Tenant { return c.tenants[name] }
 // RemoveTenant removes a tenant and all of its apps, reclaiming their
 // resources (§1.1 "Tenant departures trigger program removal to trim the
 // network and release unused resources"). done fires when all removals
-// committed.
-func (c *Controller) RemoveTenant(name string, done func(error)) {
+// committed. ctx cancellation propagates to each app's removal plan.
+func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(error)) {
 	done = c.instrument("tenant_remove", done)
 	t := c.tenants[name]
 	if t == nil {
@@ -238,7 +239,7 @@ func (c *Controller) RemoveTenant(name string, done func(error)) {
 	}
 	var firstErr error
 	for _, uri := range uris {
-		c.Remove(uri, func(err error) {
+		c.Remove(ctx, uri, func(err error) {
 			if err != nil && firstErr == nil {
 				firstErr = err
 			}
@@ -294,8 +295,9 @@ func (c *Controller) PlanDeploy(uri string, dp *flexbpf.Datapath, opts DeployOpt
 // Deploy compiles and installs an app's datapath under the URI handle.
 // done receives the final error (nil on success) after all devices
 // commit; on any failure the plan is rolled back and the URI released
-// so a corrected deployment can retry.
-func (c *Controller) Deploy(uri string, dp *flexbpf.Datapath, opts DeployOptions, done func(error)) {
+// so a corrected deployment can retry. Cancelling ctx mid-plan rolls
+// the deployment back (see runtime.Executor.ExecuteCtx).
+func (c *Controller) Deploy(ctx context.Context, uri string, dp *flexbpf.Datapath, opts DeployOptions, done func(error)) {
 	done = c.instrument("deploy", done)
 	fail := func(err error) {
 		if done != nil {
@@ -323,7 +325,7 @@ func (c *Controller) Deploy(uri string, dp *flexbpf.Datapath, opts DeployOptions
 		t := c.tenants[opts.Tenant]
 		t.Apps = append(t.Apps, uri)
 	}
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
 			// Rollback restored the devices; release the URI so a
@@ -401,7 +403,7 @@ func (c *Controller) PlanRemove(uri string) (*plan.ChangePlan, error) {
 // Remove uninstalls an app everywhere and releases its resources. On
 // failure the rollback re-places every instance (state intact) and the
 // app stays registered and running.
-func (c *Controller) Remove(uri string, done func(error)) {
+func (c *Controller) Remove(ctx context.Context, uri string, done func(error)) {
 	done = c.instrument("remove", done)
 	cp, err := c.PlanRemove(uri)
 	if err != nil {
@@ -412,7 +414,7 @@ func (c *Controller) Remove(uri string, done func(error)) {
 	}
 	app := c.apps[uri]
 	app.Status = StatusRemoving
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
 			app.Status = StatusRunning
@@ -461,7 +463,7 @@ func (c *Controller) PlanScaleOut(uri, segment, device string) (*plan.ChangePlan
 // ScaleOut installs an additional replica of an app segment on a device
 // (elastic defenses, §1.1: defenses "dynamically scale in and out based
 // on attack traffic volume").
-func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
+func (c *Controller) ScaleOut(ctx context.Context, uri, segment, device string, done func(error)) {
 	done = c.instrument("scale_out", done)
 	fail := func(err error) {
 		if done != nil {
@@ -474,7 +476,7 @@ func (c *Controller) ScaleOut(uri, segment, device string, done func(error)) {
 		return
 	}
 	app := c.apps[uri]
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
 			fail(r.Err)
@@ -513,7 +515,7 @@ func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan,
 }
 
 // ScaleIn removes a replica from a device.
-func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
+func (c *Controller) ScaleIn(ctx context.Context, uri, segment, device string, done func(error)) {
 	done = c.instrument("scale_in", done)
 	fail := func(err error) {
 		if done != nil {
@@ -526,7 +528,7 @@ func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
 		return
 	}
 	app := c.apps[uri]
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
 			fail(r.Err)
@@ -545,10 +547,25 @@ func (c *Controller) ScaleIn(uri, segment, device string, done func(error)) {
 	})
 }
 
+// MigrateRequest names a segment migration. The explicit DataPlane field
+// replaces the bare bool that used to ride the end of Migrate's
+// parameter list, which was unreadable (and therefore error-prone) at
+// call sites: Migrate(..., true) said nothing about what true meant.
+type MigrateRequest struct {
+	// URI and Segment select the app segment; its primary replica moves.
+	URI, Segment string
+	// Dst is the destination device.
+	Dst string
+	// DataPlane selects in-band dRPC state transfer; false uses the
+	// control-plane baseline (export via controller, import at dst).
+	DataPlane bool
+}
+
 // PlanMigrate builds the migration plan for an app segment's primary
 // replica: install the instance at dst (committed epoch-atomically),
 // then move its state and flip traffic as a post-commit step.
-func (c *Controller) PlanMigrate(uri, segment, dst string, useDataPlane bool) (*plan.ChangePlan, error) {
+func (c *Controller) PlanMigrate(req MigrateRequest) (*plan.ChangePlan, error) {
+	uri, segment, dst := req.URI, req.Segment, req.Dst
 	app := c.apps[uri]
 	if app == nil {
 		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
@@ -575,15 +592,15 @@ func (c *Controller) PlanMigrate(uri, segment, dst string, useDataPlane bool) (*
 	}
 	cp := plan.New(fmt.Sprintf("migrate %s/%s %s -> %s", uri, segment, src, dst))
 	cp.Install(dst, instName, prog, c.tenantFilter(app.Tenant), 0)
-	cp.MigrateState(instName, src, dst, useDataPlane)
+	cp.MigrateState(instName, src, dst, req.DataPlane)
 	return cp, nil
 }
 
 // Migrate moves an app segment between devices using data-plane state
-// migration (useDataPlane) or the control-plane baseline. A failure at
-// any point rolls the plan back: the destination install is undone and
-// the source stays authoritative.
-func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done func(migrate.Report)) {
+// migration (req.DataPlane) or the control-plane baseline. A failure at
+// any point — including ctx cancellation — rolls the plan back: the
+// destination install is undone and the source stays authoritative.
+func (c *Controller) Migrate(ctx context.Context, req MigrateRequest, done func(migrate.Report)) {
 	count := c.instrument("migrate", nil)
 	inner := done
 	done = func(r migrate.Report) {
@@ -592,16 +609,17 @@ func (c *Controller) Migrate(uri, segment, dst string, useDataPlane bool, done f
 			inner(r)
 		}
 	}
-	cp, err := c.PlanMigrate(uri, segment, dst, useDataPlane)
+	cp, err := c.PlanMigrate(req)
 	if err != nil {
 		done(migrate.Report{Err: err})
 		return
 	}
+	uri, segment, dst := req.URI, req.Segment, req.Dst
 	app := c.apps[uri]
 	src := app.Replicas[segment][0]
 	instName := instanceName(uri, segment)
 	app.Status = StatusMigrating
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		app.Status = StatusRunning
 		if r.Err != nil {

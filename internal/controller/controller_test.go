@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -46,7 +47,7 @@ func deploy(t *testing.T, f *fabric.Fabric, c *Controller, uri string, dp *flexb
 	t.Helper()
 	var err error
 	doneAt := netsim.Time(0)
-	c.Deploy(uri, dp, opts, func(e error) { err = e; doneAt = f.Sim.Now() })
+	c.Deploy(context.Background(), uri, dp, opts, func(e error) { err = e; doneAt = f.Sim.Now() })
 	f.Sim.RunFor(2 * time.Second)
 	if doneAt == 0 {
 		t.Fatalf("deploy %s never completed", uri)
@@ -90,7 +91,7 @@ func TestDeployAndRemove(t *testing.T) {
 
 	var rmErr error
 	removed := false
-	c.Remove("flexnet://infra/monitor", func(e error) { rmErr = e; removed = true })
+	c.Remove(context.Background(), "flexnet://infra/monitor", func(e error) { rmErr = e; removed = true })
 	f.Sim.RunFor(2 * time.Second)
 	if !removed || rmErr != nil {
 		t.Fatalf("remove: %v (done=%v)", rmErr, removed)
@@ -107,16 +108,16 @@ func TestDeployErrors(t *testing.T) {
 	f, c := testbed(t)
 	dp := &flexbpf.Datapath{Name: "x", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 64, 5)}}
 	var err error
-	c.Deploy("not-a-uri", dp, DeployOptions{}, func(e error) { err = e })
+	c.Deploy(context.Background(), "not-a-uri", dp, DeployOptions{}, func(e error) { err = e })
 	if err == nil {
 		t.Fatal("malformed URI accepted")
 	}
-	c.Deploy("flexnet://t/unknown-tenant", dp, DeployOptions{Tenant: "ghost"}, func(e error) { err = e })
+	c.Deploy(context.Background(), "flexnet://t/unknown-tenant", dp, DeployOptions{Tenant: "ghost"}, func(e error) { err = e })
 	if err == nil {
 		t.Fatal("unknown tenant accepted")
 	}
 	deploy(t, f, c, "flexnet://infra/sd", dp, DeployOptions{})
-	c.Deploy("flexnet://infra/sd", dp.Clone(), DeployOptions{}, func(e error) { err = e })
+	c.Deploy(context.Background(), "flexnet://infra/sd", dp.Clone(), DeployOptions{}, func(e error) { err = e })
 	if err == nil {
 		t.Fatal("duplicate URI accepted")
 	}
@@ -176,7 +177,7 @@ func TestRemoveTenantReclaimsResources(t *testing.T) {
 	}
 	var rmErr error
 	done := false
-	c.RemoveTenant("acme", func(e error) { rmErr = e; done = true })
+	c.RemoveTenant(context.Background(), "acme", func(e error) { rmErr = e; done = true })
 	f.Sim.RunFor(2 * time.Second)
 	if !done || rmErr != nil {
 		t.Fatalf("remove tenant: %v done=%v", rmErr, done)
@@ -195,7 +196,7 @@ func TestScaleOutIn(t *testing.T) {
 	deploy(t, f, c, "flexnet://infra/sd", dp, DeployOptions{Path: []string{"s1"}})
 
 	var err error
-	c.ScaleOut("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	c.ScaleOut(context.Background(), "flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err != nil {
 		t.Fatalf("scale out: %v", err)
@@ -209,14 +210,14 @@ func TestScaleOutIn(t *testing.T) {
 	}
 
 	// Duplicate replica refused.
-	c.ScaleOut("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	c.ScaleOut(context.Background(), "flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err == nil {
 		t.Fatal("duplicate replica accepted")
 	}
 
 	// Scale in back to one.
-	c.ScaleIn("flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
+	c.ScaleIn(context.Background(), "flexnet://infra/sd", "sd", "s2", func(e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err != nil {
 		t.Fatalf("scale in: %v", err)
@@ -225,7 +226,7 @@ func TestScaleOutIn(t *testing.T) {
 		t.Fatal("replica still installed")
 	}
 	// Refuse removing the last replica.
-	c.ScaleIn("flexnet://infra/sd", "sd", "s1", func(e error) { err = e })
+	c.ScaleIn(context.Background(), "flexnet://infra/sd", "sd", "s1", func(e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err == nil || !strings.Contains(err.Error(), "last replica") {
 		t.Fatalf("last replica removed: %v", err)
@@ -244,7 +245,7 @@ func TestControllerMigrate(t *testing.T) {
 	f.Sim.RunFor(50 * time.Millisecond)
 
 	var rep migrateReport
-	c.Migrate("flexnet://infra/mon", "hh", "s2", true, func(r migrate.Report) { rep = migrateReport{r.LostUpdates, r.Err} })
+	c.Migrate(context.Background(), MigrateRequest{URI: "flexnet://infra/mon", Segment: "hh", Dst: "s2", DataPlane: true}, func(r migrate.Report) { rep = migrateReport{r.LostUpdates, r.Err} })
 	f.Sim.RunFor(2 * time.Second)
 	src.Stop()
 	if rep.err != nil {

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"fmt"
 
 	"flexnet/internal/errdefs"
@@ -54,7 +55,7 @@ func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.Chan
 //     back to the old program, state intact.
 //
 // done receives the per-application report and the first error.
-func (c *Controller) UpdateApp(uri, segment string, d *delta.Delta, done func(*delta.Report, error)) {
+func (c *Controller) UpdateApp(ctx context.Context, uri, segment string, d *delta.Delta, done func(*delta.Report, error)) {
 	count := c.instrument("update", nil)
 	inner := done
 	done = func(r *delta.Report, err error) {
@@ -71,7 +72,7 @@ func (c *Controller) UpdateApp(uri, segment string, d *delta.Delta, done func(*d
 		return
 	}
 	app := c.apps[uri]
-	c.exec.Execute(cp, func(r *plan.Report) {
+	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err == nil {
 			// Commit the logical view.

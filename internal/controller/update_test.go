@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestUpdateAppHotPatch(t *testing.T) {
 	}}
 	var rep *delta.Report
 	var err error
-	c.UpdateApp("flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { rep, err = r, e })
+	c.UpdateApp(context.Background(), "flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { rep, err = r, e })
 	f.Sim.RunFor(time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -65,17 +66,17 @@ func TestUpdateAppErrors(t *testing.T) {
 	deploy(t, f, c, "flexnet://infra/d", dp, DeployOptions{Path: []string{"s1"}})
 
 	var err error
-	c.UpdateApp("flexnet://ghost/x", "sd", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
+	c.UpdateApp(context.Background(), "flexnet://ghost/x", "sd", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
 	if err == nil {
 		t.Fatal("update of unknown app succeeded")
 	}
-	c.UpdateApp("flexnet://infra/d", "nope", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
+	c.UpdateApp(context.Background(), "flexnet://infra/d", "nope", &delta.Delta{}, func(r *delta.Report, e error) { err = e })
 	if err == nil {
 		t.Fatal("update of unknown segment succeeded")
 	}
 	// A delta that breaks verification is rejected before touching devices.
 	bad := &delta.Delta{Name: "bad", Ops: []delta.Op{{RemoveMaps: "sd_syn"}}}
-	c.UpdateApp("flexnet://infra/d", "sd", bad, func(r *delta.Report, e error) { err = e })
+	c.UpdateApp(context.Background(), "flexnet://infra/d", "sd", bad, func(r *delta.Report, e error) { err = e })
 	if err == nil || !strings.Contains(err.Error(), "verify") {
 		t.Fatalf("unverifiable delta accepted: %v", err)
 	}
@@ -90,7 +91,7 @@ func TestUpdateAppAcrossReplicas(t *testing.T) {
 	dp := &flexbpf.Datapath{Name: "d", Segments: []*flexbpf.Program{apps.SYNDefense("sd", 256, 5)}}
 	deploy(t, f, c, "flexnet://infra/d", dp, DeployOptions{Path: []string{"s1"}})
 	var err error
-	c.ScaleOut("flexnet://infra/d", "sd", "s2", func(e error) { err = e })
+	c.ScaleOut(context.Background(), "flexnet://infra/d", "sd", "s2", func(e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestUpdateAppAcrossReplicas(t *testing.T) {
 		{ResizeTables: "nonexistent*"},
 	}}
 	// Resize with no match errors (both replicas untouched).
-	c.UpdateApp("flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { err = e })
+	c.UpdateApp(context.Background(), "flexnet://infra/d", "sd", grow, func(r *delta.Report, e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err == nil {
 		t.Fatal("no-match delta accepted")
@@ -109,7 +110,7 @@ func TestUpdateAppAcrossReplicas(t *testing.T) {
 		{RemoveMaps: "sd_syn"},
 		{AddMap: &flexbpf.MapSpec{Name: "sd_syn", Kind: flexbpf.MapLRU, MaxEntries: 2048, ValueBits: 32}},
 	}}
-	c.UpdateApp("flexnet://infra/d", "sd", ok, func(r *delta.Report, e error) { err = e })
+	c.UpdateApp(context.Background(), "flexnet://infra/d", "sd", ok, func(r *delta.Report, e error) { err = e })
 	f.Sim.RunFor(time.Second)
 	if err != nil {
 		t.Fatal(err)

@@ -992,6 +992,15 @@ var fidMetaIngress = packet.InternField("meta.ingress")
 // concurrently with reconfiguration: the packet uses the configuration
 // snapshot current at entry.
 func (d *Device) Process(pkt *packet.Packet) ProcStats {
+	return d.ProcessCtx(pkt, nil)
+}
+
+// ProcessCtx is Process with an explicit execution context. The sharded
+// fabric engine passes one reusable ExecContext per worker so that
+// concurrent devices never share scratch state; ectx == nil falls back
+// to each program instance's private context (the single-threaded
+// fast path Process uses).
+func (d *Device) ProcessCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) ProcStats {
 	if d.draining.Load() || d.down.Load() {
 		d.bump(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
 		d.met.dropped.Inc()
@@ -1015,7 +1024,7 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 		if !inst.accepts(pkt) {
 			continue
 		}
-		res, err := inst.run(pkt)
+		res, err := inst.runCtx(pkt, ectx)
 		st.Instrs += res.Instrs
 		st.Lookups += res.Lookups
 		st.Programs = append(st.Programs, inst.prog.Name)

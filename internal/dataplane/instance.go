@@ -130,8 +130,19 @@ func (pi *ProgramInstance) accepts(pkt *packet.Packet) bool {
 }
 
 func (pi *ProgramInstance) run(pkt *packet.Packet) (flexbpf.ExecResult, error) {
+	return pi.runCtx(pkt, nil)
+}
+
+// runCtx executes the instance with the caller's ExecContext. A nil ectx
+// uses the instance's private context; the sharded fabric engine instead
+// passes one context per worker, keeping the scratch registers and key
+// buffer cache-warm across every device a worker executes.
+func (pi *ProgramInstance) runCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) (flexbpf.ExecResult, error) {
 	if pi.linked != nil {
-		return pi.linked.Run(pkt, pi, pi.ectx)
+		if ectx == nil {
+			ectx = pi.ectx
+		}
+		return pi.linked.Run(pkt, pi, ectx)
 	}
 	return pi.interp.Run(pi.prog, pkt, pi)
 }

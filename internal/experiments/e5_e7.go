@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -304,7 +305,7 @@ func E7TenantChurn(seed int64) *Table {
 				dp := &flexbpf.Datapath{Name: uri, Segments: []*flexbpf.Program{
 					apps.SYNDefense("sd_"+name, 512, 5),
 				}}
-				ctl.Deploy(uri, dp, controller.DeployOptions{Tenant: name, Path: []string{"sw"}}, func(err error) {
+				ctl.Deploy(context.Background(), uri, dp, controller.DeployOptions{Tenant: name, Path: []string{"sw"}}, func(err error) {
 					if err != nil {
 						failures++
 						return
@@ -315,7 +316,7 @@ func E7TenantChurn(seed int64) *Table {
 					f.Sim.After(life, func() {
 						delete(liveTenants, name)
 						if reclaim {
-							ctl.RemoveTenant(name, func(error) {})
+							ctl.RemoveTenant(context.Background(), name, func(error) {})
 						}
 						// Static policy: tenant gone but program stays.
 					})

@@ -67,12 +67,31 @@ type Fabric struct {
 	Punted func(dev string, pkt *packet.Packet)
 	// recircLimit bounds recirculation loops.
 	recircLimit int
+
+	// Shard-local telemetry. Each device and host owns one shard of the
+	// simulator's parallel engine; its compute phases count events into
+	// shardBufs[shard] without any synchronization, and after every batch
+	// mergeShardStats folds the buffers into registry counters in fixed
+	// device order (shard registration order), so snapshots are
+	// byte-identical for any worker count.
+	shardOwners   []string
+	shardBufs     []shardBuf
+	shardCounters []*telemetry.Counter
+	batches       *telemetry.Counter
+	batchEvents   *telemetry.Counter
+}
+
+// shardBuf is one shard's batch-local event count, padded to a cache
+// line so neighboring shards never false-share under the worker pool.
+type shardBuf struct {
+	events uint64
+	_      [56]byte
 }
 
 // New creates an empty fabric on a seeded simulator.
 func New(seed int64) *Fabric {
 	sim := netsim.New(seed)
-	return &Fabric{
+	f := &Fabric{
 		Sim:         sim,
 		Net:         netsim.NewNetwork(sim),
 		Metrics:     telemetry.NewRegistry(),
@@ -82,6 +101,55 @@ func New(seed int64) *Fabric {
 		routers:     map[string]*drpc.Router{},
 		routerIPs:   map[string]uint32{},
 		recircLimit: 4,
+	}
+	f.batches = f.Metrics.Counter("fabric.batches")
+	f.batchEvents = f.Metrics.Counter("fabric.batch.events")
+	sim.OnBatchEnd(f.mergeShardStats)
+	if defaultWorkers != 0 {
+		f.SetWorkers(defaultWorkers)
+	}
+	return f
+}
+
+// defaultWorkers, when non-zero, sizes the worker pool of every Fabric
+// created afterwards. It backs the -workers flag on binaries (flexbench)
+// that build many fabrics internally.
+var defaultWorkers int
+
+// SetDefaultWorkers sets the worker-pool size new fabrics start with
+// (0 restores the GOMAXPROCS default). Not safe for concurrent use;
+// intended for process start-up.
+func SetDefaultWorkers(n int) { defaultWorkers = n }
+
+// SetWorkers sets the sharded engine's worker pool size (n <= 0 selects
+// GOMAXPROCS) and returns the effective count. The worker count affects
+// wall-clock speed only: simulation output is byte-identical for any
+// value.
+func (f *Fabric) SetWorkers(n int) int { return f.Sim.SetWorkers(n) }
+
+// registerShard reserves a parallel-engine shard for owner and its
+// telemetry buffer/counter. Registration order is topology build order,
+// which is the fixed order mergeShardStats folds buffers in.
+func (f *Fabric) registerShard(owner string) int {
+	id := f.Sim.NewShard()
+	f.shardOwners = append(f.shardOwners, owner)
+	f.shardBufs = append(f.shardBufs, shardBuf{})
+	f.shardCounters = append(f.shardCounters, f.Metrics.Counter("fabric.shard."+owner+".events"))
+	return id
+}
+
+// mergeShardStats runs on the event loop after each batch's apply phase
+// and merges every shard's buffered counts into the registry in fixed
+// device order. Batch composition is independent of the worker count, so
+// the merged counters are too.
+func (f *Fabric) mergeShardStats() {
+	f.batches.Inc()
+	for i := range f.shardBufs {
+		if n := f.shardBufs[i].events; n != 0 {
+			f.shardBufs[i].events = 0
+			f.batchEvents.Add(n)
+			f.shardCounters[i].Add(n)
+		}
 	}
 }
 
@@ -107,45 +175,80 @@ func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
 	d.SetMetrics(f.Metrics)
 	node := f.Net.AddNode(cfg.Name)
 	f.devices[cfg.Name] = d
-	node.SetHandler(func(pkt *packet.Packet, inPort int) {
-		f.runDevice(d, node, pkt, inPort, 0)
+	shard := f.registerShard(cfg.Name)
+	node.SetBatchHandler(shard, func(w *netsim.Worker, pkt *packet.Packet, inPort int) func() {
+		return f.deviceCompute(w, d, node, shard, pkt, inPort, 0)
 	})
 	return d
 }
 
-func (f *Fabric) runDevice(d *dataplane.Device, node *netsim.Node, pkt *packet.Packet, inPort, recirc int) {
+// workerECtx returns the worker's reusable FlexBPF execution context,
+// creating it on first use. One context per worker keeps scratch
+// registers and the key buffer cache-warm across every device that
+// worker executes, with no sharing between concurrent workers.
+func workerECtx(w *netsim.Worker) *flexbpf.ExecContext {
+	if ec, ok := w.Scratch.(*flexbpf.ExecContext); ok {
+		return ec
+	}
+	ec := flexbpf.NewExecContext()
+	w.Scratch = ec
+	return ec
+}
+
+// deviceCompute is the compute phase of a packet's visit to a device: it
+// runs the program chain against shard-owned state (the device) and
+// returns an apply closure carrying the shared side effects — event
+// scheduling, fabric counters, controller punts, dRPC delivery — which
+// the engine runs on the event loop in schedule order.
+func (f *Fabric) deviceCompute(w *netsim.Worker, d *dataplane.Device, node *netsim.Node, shard int, pkt *packet.Packet, inPort, recirc int) func() {
+	f.shardBufs[shard].events++
 	// dRPC packets addressed to this device's control IP terminate here.
+	// Delivery can touch shared state (state push writes stores, replies
+	// transmit), so it is an apply-phase action.
 	if inPort >= 0 && pkt.Has("drpc") {
 		if r := f.routers[d.Name()]; r != nil && uint32(pkt.Field("ipv4.dst")) == r.IP {
-			r.Deliver(pkt)
-			return
+			return func() { r.Deliver(pkt) }
 		}
 	}
 	pkt.IngressPort = inPort
-	st := d.Process(pkt)
+	st := d.ProcessCtx(pkt, workerECtx(w))
 	switch st.Verdict {
 	case packet.VerdictForward:
-		// Processing latency delays the send.
-		f.Sim.After(netsim.Time(st.LatencyNs), func() {
-			node.Send(pkt, pkt.EgressPort)
-		})
+		// Processing latency delays the send; the transmit itself is a
+		// two-phase event on this device's shard.
+		at := f.Sim.Now() + netsim.Time(st.LatencyNs)
+		return func() { f.scheduleSend(node, shard, pkt, at) }
 	case packet.VerdictRecirculate:
 		if recirc >= f.recircLimit {
-			f.ContinueDrops++
-			return
+			return func() { f.ContinueDrops++ }
 		}
-		f.Sim.After(netsim.Time(st.LatencyNs), func() {
-			f.runDevice(d, node, pkt, inPort, recirc+1)
-		})
+		at := f.Sim.Now() + netsim.Time(st.LatencyNs)
+		next := recirc + 1
+		return func() {
+			f.Sim.AtShard(at, shard, func(w *netsim.Worker) func() {
+				return f.deviceCompute(w, d, node, shard, pkt, inPort, next)
+			})
+		}
 	case packet.VerdictToController:
-		if f.Punted != nil {
-			f.Punted(d.Name(), pkt)
+		if p := f.Punted; p != nil {
+			return func() { p(d.Name(), pkt) }
 		}
 	case packet.VerdictContinue:
-		f.ContinueDrops++
+		return func() { f.ContinueDrops++ }
 	case packet.VerdictDrop:
 		// Dropped by policy; counted by the device.
 	}
+	return nil
+}
+
+// scheduleSend schedules the egress transmit as a two-phase event on the
+// sending device's shard: the compute phase does the per-direction queue
+// math, the apply publishes counters and schedules delivery.
+func (f *Fabric) scheduleSend(node *netsim.Node, shard int, pkt *packet.Packet, at netsim.Time) {
+	f.Sim.AtShard(at, shard, func(_ *netsim.Worker) func() {
+		f.shardBufs[shard].events++
+		return node.SendPrepare(pkt, pkt.EgressPort)
+	})
 }
 
 // AddHost attaches a host with the given IP to a new node.
@@ -153,10 +256,17 @@ func (f *Fabric) AddHost(name string, ip uint32) *Host {
 	node := f.Net.AddNode(name)
 	h := &Host{Name: name, IP: ip, Node: node, fab: f}
 	f.hosts[name] = h
-	node.SetHandler(func(pkt *packet.Packet, inPort int) {
-		h.Received++
-		if h.Recv != nil {
-			h.Recv(pkt)
+	shard := f.registerShard(name)
+	// Host delivery is all shared side effects (Recv callbacks feed
+	// transports, sinks, experiment logic), so the compute phase only
+	// counts the event and everything else happens at apply.
+	node.SetBatchHandler(shard, func(_ *netsim.Worker, pkt *packet.Packet, inPort int) func() {
+		f.shardBufs[shard].events++
+		return func() {
+			h.Received++
+			if h.Recv != nil {
+				h.Recv(pkt)
+			}
 		}
 	})
 	return h

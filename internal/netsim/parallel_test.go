@@ -1,0 +1,163 @@
+package netsim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// runShardScript schedules a fixed mix of two-phase and ordinary events
+// and returns the observable execution trace: compute order per shard,
+// apply order, and batch boundaries. The trace must be identical for
+// every worker count.
+func runShardScript(t *testing.T, workers int) []string {
+	t.Helper()
+	s := New(1)
+	s.SetWorkers(workers)
+	shards := make([]int, 4)
+	for i := range shards {
+		shards[i] = s.NewShard()
+	}
+	var trace []string
+	s.OnBatchEnd(func() { trace = append(trace, "batch-end") })
+
+	at := 10 * time.Millisecond
+	// Four shards, two events each, all at the same instant: computes of
+	// one shard are ordered, applies are in schedule order.
+	for round := 0; round < 2; round++ {
+		for i, sh := range shards {
+			i, round := i, round
+			s.AtShard(at, sh, func(w *Worker) func() {
+				// Per-worker scratch must persist across batches.
+				n, _ := w.Scratch.(int)
+				w.Scratch = n + 1
+				return func() { trace = append(trace, fmt.Sprintf("apply-%d.%d", i, round)) }
+			})
+		}
+	}
+	// An ordinary event scheduled after the first batch's events but at
+	// the same instant splits the run: it must observe all eight applies.
+	s.At(at, func() { trace = append(trace, fmt.Sprintf("plain@%d", len(trace))) })
+	// A second wave after the ordinary event forms its own batch.
+	s.AtShard(at, shards[0], func(w *Worker) func() {
+		return func() { trace = append(trace, "late") }
+	})
+	s.Run()
+	return trace
+}
+
+func TestShardBatchOrderingIdenticalAcrossWorkerCounts(t *testing.T) {
+	want := runShardScript(t, 1)
+	// The first batch holds the eight two-phase events (the ordinary
+	// event terminates collection), then the ordinary event runs having
+	// seen every apply, then the late two-phase event batches alone.
+	wantTrace := []string{
+		"apply-0.0", "apply-1.0", "apply-2.0", "apply-3.0",
+		"apply-0.1", "apply-1.1", "apply-2.1", "apply-3.1",
+		"batch-end",
+		"plain@9",
+		"late", "batch-end",
+	}
+	if !reflect.DeepEqual(want, wantTrace) {
+		t.Fatalf("serial trace = %q, want %q", want, wantTrace)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got := runShardScript(t, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d trace = %q, want %q", workers, got, want)
+		}
+	}
+}
+
+func TestShardComputeSerializedWithinShard(t *testing.T) {
+	s := New(1)
+	s.SetWorkers(8)
+	sh := s.NewShard()
+	other := make([]int, 7)
+	for i := range other {
+		other[i] = s.NewShard()
+	}
+	// 100 events on one shard interleaved with noise on others: the
+	// shard's computes must run in schedule order even under the pool.
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.AtShard(time.Millisecond, sh, func(w *Worker) func() {
+			order = append(order, i) // shard-local state, no lock needed
+			return nil
+		})
+		s.AtShard(time.Millisecond, other[i%len(other)], func(w *Worker) func() {
+			return nil
+		})
+	}
+	s.Run()
+	if len(order) != 100 {
+		t.Fatalf("ran %d computes, want 100", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("compute order[%d] = %d; shard order not preserved", i, v)
+		}
+	}
+}
+
+func TestAtShardValidation(t *testing.T) {
+	s := New(1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("unreserved shard", func() {
+		s.AtShard(0, 0, func(w *Worker) func() { return nil })
+	})
+	sh := s.NewShard()
+	mustPanic("nil compute", func() { s.AtShard(0, sh, nil) })
+	s.At(time.Millisecond, func() {
+		mustPanic("past", func() {
+			s.AtShard(0, sh, func(w *Worker) func() { return nil })
+		})
+		s.Stop()
+	})
+	s.Run()
+}
+
+func TestCancelledShardEventSkipped(t *testing.T) {
+	s := New(1)
+	sh := s.NewShard()
+	ran := 0
+	e := s.AtShard(time.Millisecond, sh, func(w *Worker) func() {
+		ran++
+		return nil
+	})
+	s.AtShard(time.Millisecond, sh, func(w *Worker) func() {
+		ran += 10
+		return nil
+	})
+	e.Cancel()
+	s.Run()
+	if ran != 10 {
+		t.Fatalf("ran = %d, want 10 (cancelled compute must not fire)", ran)
+	}
+	if s.Processed != 1 {
+		t.Fatalf("Processed = %d, want 1", s.Processed)
+	}
+}
+
+func TestSetWorkersDefaults(t *testing.T) {
+	s := New(1)
+	if s.Workers() < 1 {
+		t.Fatalf("default workers = %d, want >= 1", s.Workers())
+	}
+	if got := s.SetWorkers(8); got != 8 || s.Workers() != 8 {
+		t.Fatalf("SetWorkers(8) = %d (Workers %d), want 8", got, s.Workers())
+	}
+	if got := s.SetWorkers(0); got < 1 {
+		t.Fatalf("SetWorkers(0) = %d, want GOMAXPROCS >= 1", got)
+	}
+}

@@ -24,13 +24,17 @@ import (
 // (nanoseconds) measured from the start of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback in the simulation.
+// Event is a scheduled callback in the simulation. Ordinary events
+// carry Fn; two-phase events (see AtShard) carry compute and a shard.
 type Event struct {
 	At   Time
 	Fn   func()
 	seq  uint64
 	idx  int
 	dead bool
+
+	shard   int32
+	compute Compute
 }
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired
@@ -75,13 +79,28 @@ type Sim struct {
 	rng     *rand.Rand
 	stopped bool
 
+	// Sharded parallel engine state (see parallel.go). workers is the
+	// pool size; nextShard the shard-ID allocator; the remaining fields
+	// are reusable batch buffers and the per-batch merge hook.
+	workers     int
+	nextShard   int
+	workerSlots []*Worker
+	batch       []*Event
+	groups      []shardGroup
+	groupOf     []int32
+	applies     []func()
+	onBatchEnd  func()
+
 	// Processed counts events executed so far.
 	Processed uint64
 }
 
-// New creates a simulator whose random source is seeded with seed.
+// New creates a simulator whose random source is seeded with seed. The
+// batch worker pool defaults to GOMAXPROCS; see SetWorkers.
 func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+	s := &Sim{rng: rand.New(rand.NewSource(seed))}
+	s.SetWorkers(0)
+	return s
 }
 
 // Now returns the current simulation time.
@@ -165,8 +184,13 @@ func (s *Sim) step() {
 		panic("netsim: time went backwards")
 	}
 	s.now = e.At
-	s.Processed++
-	e.Fn()
+	if e.compute == nil {
+		s.Processed++
+		e.Fn()
+		return
+	}
+	s.collectBatch(e)
+	s.runBatch()
 }
 
 // Every schedules fn to run at the given period until the returned Ticker

@@ -12,6 +12,13 @@ import (
 // and may call Node.Send to emit packets onward.
 type Handler func(pkt *packet.Packet, inPort int)
 
+// BatchHandler is the two-phase form of Handler used by nodes that
+// participate in the sharded parallel engine. It runs as the compute
+// phase of the arrival event — confined to the node's shard, possibly on
+// a worker goroutine — and returns the apply closure (possibly nil) that
+// performs the arrival's shared side effects on the event loop.
+type BatchHandler func(w *Worker, pkt *packet.Packet, inPort int) (apply func())
+
 // Node is a point in the topology: a switch, NIC, or host. Packet
 // behaviour is supplied by its Handler; the topology layer only moves
 // packets across links.
@@ -20,6 +27,8 @@ type Node struct {
 	net     *Network
 	ports   []*portEnd
 	handler Handler
+	batch   BatchHandler
+	shard   int
 }
 
 // portEnd is one side of a link attachment.
@@ -31,6 +40,18 @@ type portEnd struct {
 // SetHandler installs the node's packet handler.
 func (n *Node) SetHandler(h Handler) { n.handler = h }
 
+// SetBatchHandler installs a two-phase packet handler and binds the node
+// to the given shard (reserved via Sim.NewShard). Arrivals at this node
+// become two-phase events: deliveries at the same instant batch together
+// and the handler's compute phases run on the worker pool.
+func (n *Node) SetBatchHandler(shard int, h BatchHandler) {
+	n.shard = shard
+	n.batch = h
+}
+
+// Shard returns the shard bound by SetBatchHandler (0 if none).
+func (n *Node) Shard() int { return n.shard }
+
 // Ports returns the number of connected ports.
 func (n *Node) Ports() int { return len(n.ports) }
 
@@ -38,11 +59,22 @@ func (n *Node) Ports() int { return len(n.ports) }
 // counts as a drop. The packet is delivered to the neighbor after
 // serialization + propagation delay, subject to the link queue.
 func (n *Node) Send(pkt *packet.Packet, port int) {
-	if port < 0 || port >= len(n.ports) {
-		n.net.Drops++
-		return
+	if apply := n.SendPrepare(pkt, port); apply != nil {
+		apply()
 	}
-	n.ports[port].send(n.net.sim, pkt)
+}
+
+// SendPrepare is the two-phase form of Send: it runs the transmit-side
+// computation (queue math, ECN marking — state owned by this node's
+// shard) immediately and returns an apply closure that publishes shared
+// drop/delivery counters and schedules the delivery. The apply must run
+// on the event loop; callers inside a shard compute return it (directly
+// or wrapped) as their own apply.
+func (n *Node) SendPrepare(pkt *packet.Packet, port int) func() {
+	if port < 0 || port >= len(n.ports) {
+		return func() { n.net.Drops++ }
+	}
+	return n.ports[port].sendPrepare(n.net.sim, pkt)
 }
 
 // PortToward returns the local port number connected to the named
@@ -83,12 +115,17 @@ func (pe *portEnd) dir() *linkDir {
 	return &pe.link.dirs[pe.side]
 }
 
-func (pe *portEnd) send(s *Sim, pkt *packet.Packet) {
+// sendPrepare computes the transmit phase: queue-occupancy math and ECN
+// marking touch only this direction's transmitter state and the packet
+// itself, both owned by the sending node's shard. Counter publication
+// and delivery scheduling are deferred to the returned apply.
+func (pe *portEnd) sendPrepare(s *Sim, pkt *packet.Packet) func() {
 	l := pe.link
 	if l.Down {
-		l.Drops++
-		l.net.Drops++
-		return
+		return func() {
+			l.Drops++
+			l.net.Drops++
+		}
 	}
 	d := pe.dir()
 	now := s.Now()
@@ -99,9 +136,10 @@ func (pe *portEnd) send(s *Sim, pkt *packet.Packet) {
 	// queue bound is expressed in bytes awaiting transmission.
 	queuedBytes := int(float64(d.nextFree-now) / 1e9 * float64(l.BandwidthBps) / 8.0)
 	if l.QueueBytes > 0 && queuedBytes+pkt.Len() > l.QueueBytes {
-		l.Drops++
-		l.net.Drops++
-		return
+		return func() {
+			l.Drops++
+			l.net.Drops++
+		}
 	}
 	if l.ECNThresholdBytes > 0 && queuedBytes > l.ECNThresholdBytes && pkt.Has("ipv4") {
 		pkt.SetField("ipv4.ecn", 3)
@@ -115,9 +153,38 @@ func (pe *portEnd) send(s *Sim, pkt *packet.Packet) {
 	arrive := depart + l.Delay
 	peer := pe.peerNode()
 	inPort := pe.peerPort()
-	l.Delivered++
 	if qd := depart - now - ser; qd > d.maxQueueDelay {
 		d.maxQueueDelay = qd
+	}
+	return func() {
+		l.Delivered++
+		deliver(s, l, peer, pkt, inPort, arrive)
+	}
+}
+
+// deliver schedules the arrival at peer. Nodes with a batch handler
+// receive two-phase events on their shard; the link-down check happens
+// in the compute phase (Down only changes in ordinary events, which
+// never overlap a batch) while the drop/delivery counters move to the
+// apply phase.
+func deliver(s *Sim, l *Link, peer *Node, pkt *packet.Packet, inPort int, arrive Time) {
+	if peer.batch != nil {
+		s.AtShard(arrive, peer.shard, func(w *Worker) func() {
+			if l.Down {
+				return func() {
+					l.Drops++
+					l.net.Drops++
+				}
+			}
+			apply := peer.batch(w, pkt, inPort)
+			return func() {
+				l.net.Delivered++
+				if apply != nil {
+					apply()
+				}
+			}
+		})
+		return
 	}
 	s.At(arrive, func() {
 		if l.Down {

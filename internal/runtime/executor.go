@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 
 	"flexnet/internal/dataplane"
@@ -73,6 +74,7 @@ func (x *Executor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 }
 
 type queuedPlan struct {
+	ctx  context.Context
 	p    *plan.ChangePlan
 	done func(*plan.Report)
 }
@@ -289,7 +291,21 @@ func (x *Executor) validateStep(s plan.Step, added func(dev, inst string) bool, 
 // Plans are serialized in submission order; validation happens when the
 // plan reaches the head of the queue.
 func (x *Executor) Execute(p *plan.ChangePlan, done func(*plan.Report)) {
-	x.queue = append(x.queue, queuedPlan{p: p, done: done})
+	x.ExecuteCtx(context.Background(), p, done)
+}
+
+// ExecuteCtx is Execute with a cancellation context. Cancellation is
+// observed at phase boundaries of the simulated pipeline: a plan whose
+// context is cancelled before commit aborts its staged changes, and one
+// cancelled between commit and its post steps reverts the activated
+// devices — either way the report carries ctx.Err() (wrapping
+// context.Canceled) and the network is back in its pre-plan
+// configuration. A nil ctx means no cancellation.
+func (x *Executor) ExecuteCtx(ctx context.Context, p *plan.ChangePlan, done func(*plan.Report)) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	x.queue = append(x.queue, queuedPlan{ctx: ctx, p: p, done: done})
 	x.kick()
 }
 
@@ -300,7 +316,7 @@ func (x *Executor) kick() {
 	x.busy = true
 	q := x.queue[0]
 	x.queue = x.queue[1:]
-	x.run(q.p, func(r *plan.Report) {
+	x.run(q.ctx, q.p, func(r *plan.Report) {
 		x.Reports = append(x.Reports, r)
 		x.busy = false
 		if q.done != nil {
@@ -310,7 +326,7 @@ func (x *Executor) kick() {
 	})
 }
 
-func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
+func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.Report)) {
 	trace := x.tracer.StartTrace(p.Label)
 	x.met.executed.Inc()
 	vspan := trace.StartSpan("validate", "")
@@ -337,6 +353,9 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 		x.met.execNs.Observe(int64(rep.Actual))
 		trace.Finish(outcome.String())
 		done(rep)
+	}
+	if rep.Err == nil && ctx.Err() != nil {
+		rep.Err = fmt.Errorf("plan %q cancelled before execution: %w", p.Label, ctx.Err())
 	}
 	if rep.Err != nil {
 		finish(plan.PhaseValidate, plan.OutcomeFailed, rep.Err)
@@ -383,6 +402,9 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 		s := p.Steps[idx]
 		psp := trace.StartSpan("post:"+s.Op.String(), s.Device)
 		onDone := func(err error) {
+			if err == nil {
+				err = ctx.Err() // cancellation between post steps rolls back
+			}
 			psp.Fail(err)
 			if err != nil {
 				rep.Steps[idx].Status = plan.StepFailed
@@ -402,6 +424,10 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 			rep.Steps[idx].Status = plan.StepCommitted
 			runPost(i + 1)
 		}
+		if err := ctx.Err(); err != nil {
+			onDone(err)
+			return
+		}
 		switch s.Op {
 		case plan.OpMigrateState:
 			x.mover.MoveState(s.Instance, s.Src, s.Device, s.UseDataPlane, onDone)
@@ -417,6 +443,12 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 	// the rest before any simulated time passes, so packets only ever see
 	// all-old or all-new.
 	commit := func(prepErr error) {
+		if prepErr == nil {
+			// Cancellation observed at the commit instant: nothing has
+			// been activated yet, so aborting the staged changes is a
+			// complete rollback.
+			prepErr = ctx.Err()
+		}
 		if prepErr != nil {
 			for _, pc := range prepared {
 				if pc != nil {
@@ -473,7 +505,11 @@ func (x *Executor) run(p *plan.ChangePlan, done func(*plan.Report)) {
 		psp := trace.StartSpan("prepare", g.dev.Name())
 		pstart := x.eng.sim.Now()
 		x.eng.sim.After(g.lat, func() {
-			pc, err := x.prepareGroup(p, g)
+			var pc *dataplane.PreparedChange
+			err := ctx.Err() // cancelled mid-prepare: stage nothing
+			if err == nil {
+				pc, err = x.prepareGroup(p, g)
+			}
 			x.met.prepareNs.Observe(int64(x.eng.sim.Now() - pstart))
 			psp.Fail(err)
 			if err != nil {

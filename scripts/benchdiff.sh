@@ -35,3 +35,18 @@ if ! diff -u "$BASELINE" "$CURRENT"; then
     exit 1
 fi
 echo "benchdiff: OK — output matches $BASELINE byte-for-byte."
+
+# The parallel engine's contract: the worker-pool size changes wall
+# clock only, never output. Re-run on an 8-worker pool and require the
+# same bytes.
+echo "benchdiff: running flexbench (seed 1, 8 workers)..."
+go run ./cmd/flexbench -seed 1 -workers 8 -o "$CURRENT" > /dev/null
+
+if ! diff -u "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — flexbench output depends on the worker count." >&2
+    echo "The sharded engine must be deterministic for any -workers value;" >&2
+    echo "this is a bug in the batch/merge ordering, not a baseline drift." >&2
+    exit 1
+fi
+echo "benchdiff: OK — 8-worker output matches $BASELINE byte-for-byte."
