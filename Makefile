@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-parallel benchdiff cover profile
+.PHONY: all build test race vet fmt check bench bench-parallel benchdiff checkdocs expdiff docs cover profile
 
 all: build
 
@@ -21,7 +21,7 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build test race
+check: fmt vet build test race docs
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/flexbpf ./internal/telemetry
@@ -41,6 +41,18 @@ profile: build
 # it drifted from the checked-in BENCH_BASELINE.md (CI gate).
 benchdiff:
 	./scripts/benchdiff.sh
+
+# checkdocs fails unless every package carries a godoc package comment
+# and every internal package's comment cites its DESIGN.md section.
+checkdocs:
+	./scripts/checkdocs.sh
+
+# expdiff fails if EXPERIMENTS.md's measured section drifted from
+# flexbench's deterministic output (CI gate, like benchdiff).
+expdiff:
+	./scripts/expdiff.sh
+
+docs: checkdocs expdiff
 
 # cover writes a coverage profile and prints the per-function summary;
 # the last line is the total, which CI surfaces in the job log.

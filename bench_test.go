@@ -1,6 +1,6 @@
 package flexnet
 
-// The benchmark harness regenerates every experiment table (E1–E14, see
+// The benchmark harness regenerates every experiment table (E1–E15, see
 // DESIGN.md §3 for the experiment index) plus micro-benchmarks of the
 // core data path. Run:
 //
@@ -74,6 +74,9 @@ func BenchmarkE13Energy(b *testing.B) { benchTable(b, experiments.E13Energy) }
 
 // BenchmarkE14DRPC regenerates E14 (dRPC vs controller ops).
 func BenchmarkE14DRPC(b *testing.B) { benchTable(b, experiments.E14DRPC) }
+
+// BenchmarkE15FaultRecovery regenerates E15 (MTTR vs crash rate).
+func BenchmarkE15FaultRecovery(b *testing.B) { benchTable(b, experiments.E15FaultRecovery) }
 
 // --- Micro-benchmarks of the core data path. ---
 

@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"sort"
@@ -226,6 +227,42 @@ func commands() map[string]*command {
 	{
 		c := newCommand("report", "last executed plan's report")
 		c.build = func() (request, error) { return request{"op": "report"}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("faults", "inject a JSON fault schedule")
+		file := c.fs.String("file", "", "path to a fault schedule ({\"seed\": N, \"events\": [...]}; \"-\" = stdin)")
+		c.build = func() (request, error) {
+			if *file == "" {
+				return nil, fmt.Errorf("faults needs -file (see README \"Operations runbook\")")
+			}
+			var data []byte
+			var err error
+			if *file == "-" {
+				data, err = io.ReadAll(os.Stdin)
+			} else {
+				data, err = os.ReadFile(*file)
+			}
+			if err != nil {
+				return nil, err
+			}
+			var sched json.RawMessage
+			if err := json.Unmarshal(data, &sched); err != nil {
+				return nil, fmt.Errorf("bad schedule JSON: %w", err)
+			}
+			return request{"op": "faults", "faults": sched}, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand("heal", "start the controller's self-healing loop")
+		ms := c.fs.Int64("ms", 5, "reconciliation scan period (simulated milliseconds)")
+		c.build = func() (request, error) { return request{"op": "heal", "millis": *ms}, nil }
+		add(c)
+	}
+	{
+		c := newCommand("heal-status", "recoveries, pending crashes, intent drift")
+		c.build = func() (request, error) { return request{"op": "heal-status"}, nil }
 		add(c)
 	}
 	return cmds

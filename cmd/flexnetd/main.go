@@ -126,6 +126,9 @@ type Request struct {
 	// DryRun validates the operation's change plan and returns its steps
 	// and cost estimate without mutating the network.
 	DryRun bool `json:"dry_run,omitempty"`
+	// Faults carries a fault schedule for the "faults" op (seed +
+	// events; see internal/faults for the event format).
+	Faults *flexnet.FaultSchedule `json:"faults,omitempty"`
 }
 
 // Response is one API reply.
@@ -141,6 +144,11 @@ type Server struct {
 	net     *flexnet.Network
 	sources map[string]*flexnet.Source
 	nextSrc int
+	// plane and healer are created on first use by the "faults" and
+	// "heal" ops; a daemon that never injects faults behaves (and
+	// exports telemetry) exactly as before.
+	plane  *flexnet.FaultPlane
+	healer *flexnet.Healer
 }
 
 // builtinApp instantiates one of the library apps by name.
@@ -188,6 +196,9 @@ func planData(rep *flexnet.PlanReport) Response {
 		"outcome":      rep.Outcome.String(),
 		"estimated_ms": float64(rep.Estimated.Microseconds()) / 1000.0,
 		"steps":        steps,
+	}
+	if len(rep.Degraded) > 0 {
+		data["degraded"] = rep.Degraded
 	}
 	if rep.ID != "" {
 		data["id"] = rep.ID
@@ -345,6 +356,45 @@ func (s *Server) handle(req *Request) Response {
 			return fail(fmt.Errorf("no plans executed yet"))
 		}
 		return planData(rep)
+	case "faults":
+		if req.Faults == nil || len(req.Faults.Events) == 0 {
+			return fail(fmt.Errorf("faults op needs a schedule (\"faults\": {\"seed\": N, \"events\": [...]})"))
+		}
+		if s.plane == nil {
+			s.plane = s.net.NewFaultPlane(req.Faults.Seed)
+		}
+		if err := s.plane.Apply(req.Faults); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]int{"scheduled": len(req.Faults.Events)}}
+	case "heal":
+		if s.healer != nil {
+			return fail(fmt.Errorf("healer already running"))
+		}
+		ms := req.Millis
+		if ms <= 0 {
+			ms = 5
+		}
+		s.healer = s.net.StartSelfHealing(time.Duration(ms) * time.Millisecond)
+		return Response{OK: true, Data: map[string]int64{"period_ms": ms}}
+	case "heal-status":
+		if s.healer == nil {
+			return fail(fmt.Errorf("healer not running (use the heal op first)"))
+		}
+		drift := s.net.IntentDrift()
+		if drift == nil {
+			drift = []string{}
+		}
+		pending := s.healer.Pending()
+		if pending == nil {
+			pending = []string{}
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"recovered":    s.healer.Recovered(),
+			"pending":      pending,
+			"intent_drift": drift,
+			"mttr_ns":      s.healer.MTTRs,
+		}}
 	default:
 		return fail(fmt.Errorf("unknown op %q", req.Op))
 	}

@@ -3,6 +3,8 @@
 // (§1.1), all written in FlexBPF against the fungible-datapath
 // abstraction so the compiler can place them on any capable device and
 // the runtime can inject, migrate, scale, and retire them live.
+//
+// DESIGN.md §2 (S13) inventories the library; the apps double as workloads throughout the §3 experiments.
 package apps
 
 import (

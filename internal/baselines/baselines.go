@@ -20,6 +20,8 @@
 //
 //   - Static recompile: the plain compile-time baseline (drain → reflash
 //     → redeploy) lives in internal/runtime.ApplyCompileTime.
+//
+// DESIGN.md §3 (E4) measures these baselines against runtime deployment.
 package baselines
 
 import (

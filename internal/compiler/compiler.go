@@ -18,6 +18,8 @@
 //
 // The compiler is pure: it plans against Target views and never touches
 // devices; the controller applies plans through the runtime engine.
+//
+// DESIGN.md §2 (S7) and §4 record the placement model and its design decisions; §3 (E8, E9, E10, E13) lists the compiler experiments.
 package compiler
 
 import (

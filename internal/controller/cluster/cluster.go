@@ -9,6 +9,8 @@
 // drawn from the simulation, so every failover scenario replays exactly.
 // Controller commands (app deploys, migrations, tenant admissions) are
 // the replicated state machine's operations.
+//
+// DESIGN.md §10 specifies the failure model this participates in; §3 (E12) measures failover.
 package cluster
 
 import (
@@ -109,6 +111,9 @@ func New(sim *netsim.Sim, n int, apply func(node int, idx int, cmd Command)) *Cl
 
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.nodes) }
 
 // Leader returns the current leader's id, or -1 if none (or if multiple
 // claim leadership in the same term — a bug).

@@ -9,6 +9,8 @@
 // admitted with a VLAN allocation; their extension programs are isolated
 // by VLAN filters; departures trigger program removal and resource
 // reclamation.
+//
+// DESIGN.md §2 (S9) inventories the controller; operations execute as §5 change plans, and §10.3 specifies the self-healing loop (heal.go).
 package controller
 
 import (
@@ -387,6 +389,10 @@ func (c *Controller) PlanRemove(uri string) (*plan.ChangePlan, error) {
 		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
 	cp := plan.New("remove " + uri)
+	// A removal's intent survives a dead replica — the crashed device
+	// already lost the instance — so the plan may skip down devices and
+	// report OutcomeDegraded instead of aborting (DESIGN.md §10).
+	cp.AllowDegraded = true
 	segs := make([]string, 0, len(app.Replicas))
 	for seg := range app.Replicas {
 		segs = append(segs, seg)
@@ -510,6 +516,9 @@ func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan,
 		return nil, fmt.Errorf("controller: refusing to remove the last replica of %q/%q", uri, segment)
 	}
 	cp := plan.New(fmt.Sprintf("scale-in %s/%s on %s", uri, segment, device))
+	// Like removal, retiring a replica on a dead device is already done
+	// as far as the network is concerned; degrade instead of aborting.
+	cp.AllowDegraded = true
 	cp.Remove(device, instanceName(uri, segment))
 	return cp, nil
 }

@@ -1,0 +1,76 @@
+package controller
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"flexnet/internal/apps"
+	"flexnet/internal/flexbpf"
+	"flexnet/internal/netsim"
+	"flexnet/internal/plan"
+)
+
+// Removing an app while one of its replicas' devices is down must not
+// wedge: the plan commits on the survivors, skips the dead device, and
+// reports OutcomeDegraded with the skipped steps named.
+func TestRemoveDegradedWithDeviceDown(t *testing.T) {
+	f, ctl := testbed(t)
+	uri := "flexnet://t/syn"
+	dp := &flexbpf.Datapath{Name: uri, Segments: []*flexbpf.Program{apps.SYNDefense("syn", 1024, 10)}}
+	deploy(t, f, ctl, uri, dp, DeployOptions{Path: []string{"s1"}})
+
+	var err error
+	done := netsim.Time(0)
+	ctl.ScaleOut(context.Background(), uri, "syn", "s2", func(e error) { err = e; done = f.Sim.Now() })
+	f.Sim.RunFor(2 * time.Second)
+	if done == 0 || err != nil {
+		t.Fatalf("scale-out: done=%v err=%v", done, err)
+	}
+
+	f.Device("s2").Crash() // stays down: remove must degrade around it
+
+	done = 0
+	ctl.Remove(context.Background(), uri, func(e error) { err = e; done = f.Sim.Now() })
+	f.Sim.RunFor(2 * time.Second)
+	if done == 0 {
+		t.Fatal("remove never completed")
+	}
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	rep := ctl.LastReport()
+	if rep.Outcome != plan.OutcomeDegraded {
+		t.Fatalf("outcome = %v, want degraded", rep.Outcome)
+	}
+	if len(rep.Degraded) == 0 {
+		t.Fatal("no degraded detail recorded")
+	}
+	if f.Device("s1").Instance(uri+"#syn") != nil {
+		t.Fatal("instance survives on healthy device")
+	}
+	if ctl.App(uri) != nil {
+		t.Fatal("app still registered after degraded remove")
+	}
+}
+
+// A fully healthy remove must stay a plain success — degraded mode only
+// engages when a device is actually down.
+func TestRemoveHealthyNotDegraded(t *testing.T) {
+	f, ctl := testbed(t)
+	uri := "flexnet://t/syn"
+	dp := &flexbpf.Datapath{Name: uri, Segments: []*flexbpf.Program{apps.SYNDefense("syn", 1024, 10)}}
+	deploy(t, f, ctl, uri, dp, DeployOptions{Path: []string{"s1"}})
+
+	var err error
+	done := netsim.Time(0)
+	ctl.Remove(context.Background(), uri, func(e error) { err = e; done = f.Sim.Now() })
+	f.Sim.RunFor(2 * time.Second)
+	if done == 0 || err != nil {
+		t.Fatalf("remove: done=%v err=%v", done, err)
+	}
+	rep := ctl.LastReport()
+	if rep.Outcome != plan.OutcomeSucceeded || len(rep.Degraded) != 0 {
+		t.Fatalf("outcome = %v degraded=%v, want clean success", rep.Outcome, rep.Degraded)
+	}
+}

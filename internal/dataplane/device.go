@@ -18,6 +18,8 @@
 // program first, then tenant extensions). A packet is processed by the
 // chain snapshot taken at its arrival — one packet never observes a mix
 // of two device configurations.
+//
+// DESIGN.md §2 (S3) inventories the architecture models and §1 the substitution argument; crash semantics are DESIGN.md §10.1.
 package dataplane
 
 import (
@@ -279,6 +281,11 @@ type Device struct {
 	order      []string // instance order (install order, infra first)
 	draining   atomic.Bool
 	down       atomic.Bool
+	// downAt records the simulated time of the last Crash, and downGen
+	// counts crashes; the controller's healer compares generations to
+	// detect restarts it has not yet reconciled (DESIGN.md §10).
+	downAt  atomic.Uint64
+	downGen atomic.Uint64
 	// fault, when set, can fail control-plane operations by phase
 	// (test-only fault injection; see SetFaultInjector). Guarded by mu.
 	fault FaultInjector
@@ -664,6 +671,42 @@ func (d *Device) SetDown(v bool) { d.down.Store(v) }
 
 // Down reports whether the device is down.
 func (d *Device) Down() bool { return d.down.Load() }
+
+// Crash fail-stops the device with loss of all installed state: every
+// placement is released and the config reverts to an empty parse-only
+// pipeline, as if the switch power-cycled. Unlike SetDown (which models
+// a transient management-path outage with configuration intact), a
+// crashed device restarts empty and must be reconciled by the
+// controller's healer (DESIGN.md §10). Crash bumps the device's crash
+// generation and records the simulated crash time for MTTR accounting.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.down.Store(true)
+	d.downAt.Store(d.now())
+	d.downGen.Add(1)
+	for _, pl := range d.placements {
+		d.model.release(pl)
+	}
+	d.placements = map[string]placement{}
+	d.order = nil
+	d.commit(&config{parser: packet.StandardParseGraph()})
+}
+
+// Restart brings a crashed (or SetDown) device back up. After a Crash
+// the device comes back with no programs and no table state; recovery
+// is the controller's job, not the device's.
+func (d *Device) Restart() { d.down.Store(false) }
+
+// LastDownAt returns the simulated time of the most recent Crash
+// (0 if the device never crashed).
+func (d *Device) LastDownAt() uint64 { return d.downAt.Load() }
+
+// DownGen returns the crash generation: the number of Crash calls so
+// far. Reconciliation loops remember the last generation they healed
+// and act when it advances, which stays correct across crashes they
+// never directly observed.
+func (d *Device) DownGen() uint64 { return d.downGen.Load() }
 
 // FaultOp names a control-plane phase for fault injection.
 type FaultOp string

@@ -7,6 +7,8 @@
 // PoF flow instruction sets, Spectrum stateful tables), so migration
 // between devices and encodings must go through a canonical form.
 // "Program migration carries its state in this logical representation."
+//
+// DESIGN.md §2 (S4) inventories the object set; §10.4 defines what happens to this state when its device crashes.
 package state
 
 import (

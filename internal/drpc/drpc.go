@@ -5,10 +5,13 @@
 // carried in a dedicated header (packet.ProtoDRPC) and travel through
 // the same simulated network as data traffic, so their cost and loss
 // behaviour is the network's.
+//
+// Reliable delivery — CallOpt retries, at-most-once completion — is specified in DESIGN.md §10.2.
 package drpc
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 
 	"flexnet/internal/packet"
@@ -99,12 +102,27 @@ type Router struct {
 	send     Transport
 	seq      *uint64
 
+	// Simulated clock, wired by SetScheduler. Both nil until the fabric
+	// enables dRPC; CallOpt and delay verdicts need them.
+	now   func() uint64
+	after func(delayNs uint64, fn func())
+	// jrng supplies deterministic retry jitter (lazily seeded from IP).
+	jrng *rand.Rand
+	// icept, when set, inspects every transmitted packet (fault plane).
+	icept Interceptor
+
 	// Stats.
 	CallsSent     uint64
 	CallsServed   uint64
 	RepliesSeen   uint64
 	UnknownCalls  uint64
 	OrphanReplies uint64
+	// Retry/fault-path stats (see retry.go).
+	Retries    uint64
+	Timeouts   uint64
+	Dropped    uint64
+	Delayed    uint64
+	Duplicated uint64
 }
 
 // NewRouter creates a router addressed by ip, sending through transport.
@@ -180,7 +198,7 @@ func (r *Router) Call(dst uint32, service, method uint64, args [3]uint64, cb fun
 	r.CallsSent++
 	r.mu.Unlock()
 	m := Message{Service: service, Method: method, CallID: id, Args: args}
-	r.send(r.newPacket(dst, m))
+	r.transmit(r.newPacket(dst, m))
 }
 
 // Notify sends a one-way message (no reply expected).
@@ -189,7 +207,7 @@ func (r *Router) Notify(dst uint32, service, method uint64, args [3]uint64) {
 	r.CallsSent++
 	r.mu.Unlock()
 	m := Message{Service: service, Method: method, Args: args}
-	r.send(r.newPacket(dst, m))
+	r.transmit(r.newPacket(dst, m))
 }
 
 // Deliver processes an arriving dRPC packet addressed to this router.
@@ -223,7 +241,7 @@ func (r *Router) Deliver(p *packet.Packet) bool {
 		r.mu.Unlock()
 		if m.CallID != 0 {
 			reply := Message{Service: m.Service, Method: m.Method, Flags: FlagReply | FlagError, CallID: m.CallID}
-			r.send(r.newPacket(from, reply))
+			r.transmit(r.newPacket(from, reply))
 		}
 		return true
 	}
@@ -235,7 +253,7 @@ func (r *Router) Deliver(p *packet.Packet) bool {
 		resp.Service = m.Service
 		resp.CallID = m.CallID
 		resp.Flags |= FlagReply
-		r.send(r.newPacket(from, *resp))
+		r.transmit(r.newPacket(from, *resp))
 	}
 	return true
 }

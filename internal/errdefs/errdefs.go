@@ -6,6 +6,8 @@
 // It lives in its own leaf package (rather than in flexnet proper)
 // because internal packages cannot import the public facade without a
 // cycle.
+//
+// DESIGN.md §2 maps the layers these errors cross.
 package errdefs
 
 import "errors"

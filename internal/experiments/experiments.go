@@ -4,7 +4,7 @@
 // there are no tables or figures to replicate number-for-number.
 // Instead, every *claim* and *use case* in the paper is turned into a
 // measurable experiment with the baselines the paper argues against.
-// DESIGN.md carries the experiment index (E1..E14 with paper sections);
+// DESIGN.md carries the experiment index (E1..E15 with paper sections);
 // EXPERIMENTS.md records claim-vs-measured for each.
 //
 // All experiments are deterministic: same seed, same numbers.
@@ -103,5 +103,6 @@ func All(seed int64) []*Table {
 		E12FaultTolerance(seed),
 		E13Energy(seed),
 		E14DRPC(seed),
+		E15FaultRecovery(seed),
 	}
 }

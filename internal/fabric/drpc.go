@@ -32,9 +32,18 @@ func (f *Fabric) EnableDRPC(devName string, ip uint32) (*drpc.Router, error) {
 			return f.deviceCompute(w, d, node, shard, p, -1, 0)
 		})
 	})
+	r.SetScheduler(f.simNow, f.simAfter)
 	f.routers[devName] = r
 	f.routerIPs[devName] = ip
 	return r, nil
+}
+
+// simNow/simAfter adapt the simulator clock for drpc.Router.SetScheduler
+// (per-attempt timeouts, retry backoff, delayed-delivery verdicts).
+func (f *Fabric) simNow() uint64 { return uint64(f.Sim.Now()) }
+
+func (f *Fabric) simAfter(delayNs uint64, fn func()) {
+	f.Sim.After(netsim.Time(delayNs), func() { fn() })
 }
 
 // EnableHostDRPC attaches a dRPC router to a host (controller endpoint).
@@ -50,6 +59,7 @@ func (f *Fabric) EnableHostDRPC(hostName string) (*drpc.Router, error) {
 			h.Node.Send(p, 0)
 		})
 	})
+	r.SetScheduler(f.simNow, f.simAfter)
 	prev := h.Recv
 	h.Recv = func(p *packet.Packet) {
 		if p.Has("drpc") && r.Deliver(p) {

@@ -6,6 +6,8 @@
 // the paper describes (§3 scenario: "The network provider maintains an
 // 'infrastructure' program, which implements basic functions for the
 // network").
+//
+// DESIGN.md §2 (S16) places the fabric in the stack; §10.3 explains how routing behaves around crashed and restarted devices.
 package fabric
 
 import (
@@ -399,8 +401,20 @@ func (f *Fabric) RefreshRoutes() error {
 		}
 	}
 	for dev, d := range f.devices {
+		if d.Down() {
+			// A crashed device has lost its tables anyway; the healer's
+			// reconciliation plan rewrites them once it is back up.
+			continue
+		}
 		inst := d.Instance(InfraProgramName)
 		if inst == nil {
+			if d.DownGen() > 0 {
+				// Restarted after a crash but not yet reconciled: it has
+				// no tables to write and cannot forward anyway. Route
+				// around it; its own reconciliation plan ends with a
+				// RouteUpdate that brings it back into the mesh.
+				continue
+			}
 			return fmt.Errorf("fabric: device %s has no routing program", dev)
 		}
 		table := inst.Table(RouteTableName)

@@ -1,0 +1,93 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GenSpec parameterizes Generate: which elements may fail and the mean
+// inter-arrival gap per fault class (Poisson arrivals; 0 disables the
+// class). All times are simulated nanoseconds.
+type GenSpec struct {
+	// Devices eligible for crashes.
+	Devices []string
+	// Links eligible for link-down events, as "a-b" targets.
+	Links []string
+	// Routers eligible for dRPC message faults ("*" works too).
+	Routers []string
+
+	// HorizonNs bounds event injection times to [0, HorizonNs).
+	HorizonNs uint64
+
+	// CrashMeanGapNs is the mean gap between device crashes.
+	CrashMeanGapNs uint64
+	// CrashDownNs is how long a crashed device stays down.
+	CrashDownNs uint64
+
+	// LinkMeanGapNs is the mean gap between link failures.
+	LinkMeanGapNs uint64
+	// LinkDownNs is how long a failed link stays down.
+	LinkDownNs uint64
+
+	// MsgMeanGapNs is the mean gap between dRPC drop windows.
+	MsgMeanGapNs uint64
+	// MsgWindowNs is each drop window's length.
+	MsgWindowNs uint64
+	// MsgDropProb is the per-packet drop probability inside a window.
+	MsgDropProb float64
+}
+
+// Generate builds a reproducible random chaos schedule: Poisson
+// arrivals per fault class over the horizon, targets drawn uniformly,
+// all from one seeded source. The same (seed, spec) always yields the
+// same schedule; the returned Schedule carries the seed so Apply's coin
+// flips are pinned too. Events are sorted by injection time.
+func Generate(seed int64, sp GenSpec) *Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := &Schedule{Seed: seed}
+
+	poisson := func(meanGap uint64, emit func(at uint64)) {
+		if meanGap == 0 {
+			return
+		}
+		at := uint64(rng.ExpFloat64() * float64(meanGap))
+		for at < sp.HorizonNs {
+			emit(at)
+			at += uint64(rng.ExpFloat64() * float64(meanGap))
+		}
+	}
+
+	if len(sp.Devices) > 0 {
+		poisson(sp.CrashMeanGapNs, func(at uint64) {
+			s.Events = append(s.Events, Event{
+				At:         at,
+				Kind:       KindDeviceCrash,
+				Target:     sp.Devices[rng.Intn(len(sp.Devices))],
+				DurationNs: sp.CrashDownNs,
+			})
+		})
+	}
+	if len(sp.Links) > 0 {
+		poisson(sp.LinkMeanGapNs, func(at uint64) {
+			s.Events = append(s.Events, Event{
+				At:         at,
+				Kind:       KindLinkDown,
+				Target:     sp.Links[rng.Intn(len(sp.Links))],
+				DurationNs: sp.LinkDownNs,
+			})
+		})
+	}
+	if len(sp.Routers) > 0 {
+		poisson(sp.MsgMeanGapNs, func(at uint64) {
+			s.Events = append(s.Events, Event{
+				At:         at,
+				Kind:       KindDRPCDrop,
+				Target:     sp.Routers[rng.Intn(len(sp.Routers))],
+				DurationNs: sp.MsgWindowNs,
+				Prob:       sp.MsgDropProb,
+			})
+		})
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	return s
+}

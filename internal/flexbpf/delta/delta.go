@@ -12,6 +12,8 @@
 // where needed": the result is a fresh verified program, and the
 // application reports exactly which elements were touched so the
 // runtime can plan a minimally intrusive reconfiguration.
+//
+// DESIGN.md §2 (S6) inventories the DSL; applied deltas flow through the §5 change pipeline.
 package delta
 
 import (

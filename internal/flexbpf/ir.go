@@ -18,6 +18,8 @@
 // every program certifies bounded per-packet execution (§3.1
 // "analyzable to certify bounded execution"). The Verifier enforces this
 // together with register initialization and reference integrity.
+//
+// DESIGN.md §2 (S5) and §4 record the language design and its decisions.
 package flexbpf
 
 import (

@@ -19,6 +19,8 @@
 //     over its management channel (a latency proportional to state
 //     size), installs it at the destination, then flips traffic. Every
 //     update that hits the source after the snapshot is lost.
+//
+// DESIGN.md §2 (S12) inventories the migrators; §3 (E11) measures them; §10.4 defines migration's place in the failure model.
 package migrate
 
 import (

@@ -10,6 +10,8 @@
 // simulation, and events with equal timestamps are ordered by a
 // monotonically increasing sequence number, so a simulation with the same
 // seed and inputs replays bit-for-bit.
+//
+// DESIGN.md §9 documents the parallel execution model and the determinism argument.
 package netsim
 
 import (

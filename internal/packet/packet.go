@@ -17,6 +17,8 @@
 // is a bounds-checked array load, exactly as a compiled datapath would
 // address a PHV slot. The string-keyed accessors remain for control-plane
 // and test convenience.
+//
+// DESIGN.md §2 (S2) inventories the layer set; §7 documents the install-time linking fast path built on these views.
 package packet
 
 import (

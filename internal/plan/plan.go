@@ -20,6 +20,8 @@
 // the executor supplies the device lookup, state mover, and route
 // updater, so controller, runtime, and migrate all speak one vocabulary
 // without import cycles.
+//
+// DESIGN.md §5 documents the pipeline end to end; §10.4 defines when a plan may commit degraded.
 package plan
 
 import (
@@ -111,6 +113,15 @@ type ChangePlan struct {
 	// swap) commit together at one simulated instant; post-commit steps
 	// (migrate-state, route-update) run sequentially afterwards.
 	Steps []Step
+	// AllowDegraded lets the plan proceed when a step's device is down:
+	// the step is skipped (StepSkipped, with the reason recorded in
+	// Report.Degraded) and the rest of the plan continues, finishing
+	// with OutcomeDegraded instead of failing outright. Only ops whose
+	// intent survives partial application should set this — removals and
+	// scale-ins, where the dead device's state is already gone, and not
+	// deploys, where a silently missing replica would corrupt intent.
+	// See DESIGN.md §10.
+	AllowDegraded bool
 }
 
 // New starts an empty plan.
@@ -205,6 +216,10 @@ const (
 	// OutcomeRolledBack: a failure after activation was undone; the
 	// network was restored to its pre-plan state.
 	OutcomeRolledBack
+	// OutcomeDegraded: the plan committed, but one or more steps were
+	// skipped because their device was down and the plan opted in with
+	// AllowDegraded. Report.Degraded lists what was skipped and why.
+	OutcomeDegraded
 )
 
 func (o Outcome) String() string {
@@ -217,6 +232,8 @@ func (o Outcome) String() string {
 		return "failed"
 	case OutcomeRolledBack:
 		return "rolled-back"
+	case OutcomeDegraded:
+		return "degraded"
 	default:
 		return fmt.Sprintf("outcome(%d)", uint8(o))
 	}
@@ -283,6 +300,9 @@ type Report struct {
 	// RolledBack reports whether any staged or committed work had to be
 	// undone.
 	RolledBack bool
+	// Degraded lists, for OutcomeDegraded plans, the steps that were
+	// skipped because their device was down ("skipped <step>: <cause>").
+	Degraded []string
 	// Err is the first error (nil on success).
 	Err error
 }
@@ -304,6 +324,9 @@ func (r *Report) Format() string {
 			fmt.Fprintf(&b, " — %v", sr.Err)
 		}
 		b.WriteByte('\n')
+	}
+	for _, d := range r.Degraded {
+		fmt.Fprintf(&b, "  degraded: %s\n", d)
 	}
 	if r.Err != nil {
 		fmt.Fprintf(&b, "  error: %v\n", r.Err)

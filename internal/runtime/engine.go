@@ -17,6 +17,8 @@
 //     consistent manner" — commits are epoch-atomic per device, and
 //     network-wide updates commit all devices at one simulated instant
 //     (or in reverse-path order) for per-packet consistency.
+//
+// DESIGN.md §2 (S8) places the engine in the stack; every change reaches it through the §5 pipeline.
 package runtime
 
 import (

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"flexnet/internal/dataplane"
@@ -45,6 +46,10 @@ type Executor struct {
 	// each post-commit step.
 	tracer *telemetry.Tracer
 	met    execMetrics
+	// reg is kept for lazily-created instruments ("plan.degraded"): a
+	// counter that only exists once a degraded plan actually happens, so
+	// fault-free runs export an unchanged snapshot.
+	reg *telemetry.Registry
 }
 
 // execMetrics are the executor's instruments; nil handles are no-ops.
@@ -63,6 +68,7 @@ type execMetrics struct {
 // queryable trace per plan ID.
 func (x *Executor) SetTelemetry(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	x.tracer = tr
+	x.reg = reg
 	x.met = execMetrics{
 		executed:   reg.Counter("plan.executed"),
 		succeeded:  reg.Counter("plan.succeeded"),
@@ -97,10 +103,15 @@ type group struct {
 
 // split partitions a plan into per-device structural groups (in
 // first-appearance device order) and post-commit step indices (in plan
-// order). Call only after Validate: unknown devices are skipped here.
-func (x *Executor) split(p *plan.ChangePlan) (groups []*group, post []int) {
+// order). Step indices in skip (degraded-mode skips from Validate) are
+// excluded; pass nil to include everything. Call only after Validate:
+// unknown devices are skipped here.
+func (x *Executor) split(p *plan.ChangePlan, skip map[int]bool) (groups []*group, post []int) {
 	byDev := map[string]*group{}
 	for i, s := range p.Steps {
+		if skip[i] {
+			continue
+		}
 		switch s.Op {
 		case plan.OpMigrateState, plan.OpRouteUpdate:
 			post = append(post, i)
@@ -156,7 +167,7 @@ func (x *Executor) estimateGroup(p *plan.ChangePlan, g *group) netsim.Time {
 // estimate prices the whole plan: prepare proceeds on all devices in
 // parallel (cost = the slowest device), then post steps run in sequence.
 func (x *Executor) estimate(p *plan.ChangePlan) netsim.Time {
-	groups, post := x.split(p)
+	groups, post := x.split(p, nil)
 	var total netsim.Time
 	for _, g := range groups {
 		if g.lat > total {
@@ -203,6 +214,13 @@ func (x *Executor) Validate(p *plan.ChangePlan) *plan.Report {
 		err := x.validateStep(s, added, noteAdd)
 		rep.Steps[i] = plan.StepReport{Step: s, Status: plan.StepValidated, Err: err}
 		if err != nil {
+			if p.AllowDegraded && isDownErr(err) {
+				// Degraded mode: the device is dead, its state with it.
+				// Skip the step, record why, and let the rest proceed.
+				rep.Steps[i].Status = plan.StepSkipped
+				rep.Degraded = append(rep.Degraded, fmt.Sprintf("skipped %s: %v", s, err))
+				continue
+			}
 			rep.Steps[i].Status = plan.StepFailed
 			if rep.Err == nil {
 				rep.Err = fmt.Errorf("plan %q step %d (%s): %w", p.Label, i+1, s, err)
@@ -215,6 +233,10 @@ func (x *Executor) Validate(p *plan.ChangePlan) *plan.Report {
 	}
 	return rep
 }
+
+// isDownErr reports whether err means "the device is down" — the one
+// failure class degraded-mode plans may skip past (DESIGN.md §10).
+func isDownErr(err error) bool { return errors.Is(err, errdefs.ErrDeviceDown) }
 
 func (x *Executor) validateStep(s plan.Step, added func(dev, inst string) bool, noteAdd func(dev, inst string)) error {
 	if s.Op == plan.OpRouteUpdate {
@@ -337,6 +359,9 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 	}
 	started := x.eng.sim.Now()
 	finish := func(phase plan.Phase, outcome plan.Outcome, err error) {
+		if outcome == plan.OutcomeSucceeded && len(rep.Degraded) > 0 {
+			outcome = plan.OutcomeDegraded
+		}
 		rep.Phase, rep.Outcome = phase, outcome
 		if rep.Err == nil {
 			rep.Err = err
@@ -345,6 +370,14 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 		switch outcome {
 		case plan.OutcomeSucceeded:
 			x.met.succeeded.Inc()
+		case plan.OutcomeDegraded:
+			// The plan did commit; count it as a success plus a degraded
+			// marker. The counter is created lazily so fault-free
+			// snapshots stay byte-identical.
+			x.met.succeeded.Inc()
+			if x.reg != nil {
+				x.reg.Counter("plan.degraded").Inc()
+			}
 		case plan.OutcomeRolledBack:
 			x.met.rolledBack.Inc()
 		default:
@@ -361,7 +394,16 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 		finish(plan.PhaseValidate, plan.OutcomeFailed, rep.Err)
 		return
 	}
-	groups, post := x.split(p)
+	// Degraded-mode skips decided at validate time are excluded from the
+	// execution groups; their StepSkipped status and Report.Degraded
+	// entries are already recorded.
+	skipped := map[int]bool{}
+	for i := range rep.Steps {
+		if rep.Steps[i].Status == plan.StepSkipped {
+			skipped[i] = true
+		}
+	}
+	groups, post := x.split(p, skipped)
 	prepared := make([]*dataplane.PreparedChange, len(groups))
 	var activated []*dataplane.PreparedChange
 
@@ -412,8 +454,10 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 				for j := 0; j < i; j++ {
 					rep.Steps[post[j]].Status = plan.StepRolledBack
 				}
-				for _, g := range groups {
-					setStatus(g.steps, plan.StepRolledBack)
+				for gi, g := range groups {
+					if prepared[gi] != nil {
+						setStatus(g.steps, plan.StepRolledBack)
+					}
 				}
 				if rbErr := rollback(); rbErr != nil {
 					err = fmt.Errorf("%w (rollback incomplete: %v)", err, rbErr)
@@ -462,6 +506,10 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 		csp := trace.StartSpan("commit", "")
 		for gi, g := range groups {
 			pc := prepared[gi]
+			if pc == nil {
+				// Degraded skip decided during prepare: nothing staged.
+				continue
+			}
 			carries, err := x.captureCarries(p, g)
 			if err == nil {
 				if err = pc.Activate(); err == nil {
@@ -477,7 +525,9 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 					}
 				}
 				for j := 0; j < gi; j++ {
-					setStatus(groups[j].steps, plan.StepRolledBack)
+					if prepared[j] != nil {
+						setStatus(groups[j].steps, plan.StepRolledBack)
+					}
 				}
 				csp.Fail(err)
 				if rbErr := rollback(); rbErr != nil {
@@ -512,7 +562,17 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 			}
 			x.met.prepareNs.Observe(int64(x.eng.sim.Now() - pstart))
 			psp.Fail(err)
-			if err != nil {
+			switch {
+			case err != nil && p.AllowDegraded && isDownErr(err):
+				// The device died between validate and prepare. Same rule
+				// as a validate-time skip: drop this group, continue; the
+				// commit loop steps over the nil prepared entry.
+				setStatus(g.steps, plan.StepSkipped)
+				for _, i := range g.steps {
+					rep.Steps[i].Err = err
+					rep.Degraded = append(rep.Degraded, fmt.Sprintf("skipped %s: %v", p.Steps[i], err))
+				}
+			case err != nil:
 				setStatus(g.steps, plan.StepFailed)
 				for _, i := range g.steps {
 					rep.Steps[i].Err = err
@@ -520,7 +580,7 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 				if prepErr == nil {
 					prepErr = err
 				}
-			} else {
+			default:
 				prepared[gi] = pc
 				setStatus(g.steps, plan.StepPrepared)
 			}

@@ -6,7 +6,7 @@
 // The paper's control loop — detect, recompile, reconfigure at runtime —
 // only works if the network can observe itself: reaction times,
 // reconfiguration latencies, and per-device occupancy are exactly what
-// the E1–E14 experiments measure. This package makes those signals a
+// the E1–E15 experiments measure. This package makes those signals a
 // first-class subsystem instead of ad-hoc counters in tests.
 //
 // Determinism: all instrument values derive from the simulated clock and
@@ -19,6 +19,8 @@
 // *Histogram, *Trace, or *Span is a no-op, so instrumented code runs
 // unchanged when no registry or tracer is configured (e.g. devices built
 // directly in micro-benchmarks).
+//
+// DESIGN.md §6 documents the instrument set, naming conventions, and the determinism gate.
 package telemetry
 
 import (

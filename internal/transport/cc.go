@@ -10,6 +10,8 @@
 // The congestion-control algorithm is a pluggable policy object that can
 // be swapped while the flow runs (SwapCC) — the transport-level analogue
 // of runtime reprogramming a device.
+//
+// DESIGN.md §2 (S14) inventories the transport; §3 (E6) measures the live CC swap.
 package transport
 
 import (

@@ -1,0 +1,61 @@
+#!/bin/sh
+# checkdocs.sh — gate the godoc surface.
+#
+# Every package must carry a package doc comment (a // block adjacent to
+# the package clause in some non-test file), and every internal package's
+# doc comment must point the reader at DESIGN.md — the design document is
+# the spine of this repo, and a package that doesn't say which section
+# explains it forces readers to reverse-engineer the mapping. CI fails on
+# either omission.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+root=$(pwd)
+fail=0
+
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    rel=${dir#"$root"/}
+    [ "$rel" = "$root" ] && rel=.
+
+    # Concatenate every file's doc comment — the // block immediately
+    # above the package clause (no blank line between them — that is
+    # what godoc shows). Multiple files may carry doc paragraphs; the
+    # DESIGN.md citation only has to appear in one of them.
+    doc=""
+    for f in "$dir"/*.go; do
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        d=$(awk '
+            /^package / { if (inc) for (i = 1; i <= n; i++) print buf[i]; exit }
+            /^\/\//     { if (!inc) { inc = 1; n = 0 } buf[++n] = $0; next }
+                        { inc = 0; n = 0 }
+        ' "$f")
+        if [ -n "$d" ]; then
+            doc="$doc$d
+"
+        fi
+    done
+
+    if [ -z "$doc" ]; then
+        echo "checkdocs: FAIL — package $rel has no doc comment adjacent to its package clause" >&2
+        fail=1
+        continue
+    fi
+
+    case "$rel" in
+    internal/*)
+        if ! printf '%s\n' "$doc" | grep -q 'DESIGN\.md'; then
+            echo "checkdocs: FAIL — $rel's doc comment does not reference DESIGN.md" >&2
+            fail=1
+        fi
+        ;;
+    esac
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: add a '// Package <name> ...' comment (internal packages: cite the DESIGN.md section)." >&2
+    exit 1
+fi
+echo "checkdocs: OK — every package documented; internal packages cite DESIGN.md."

@@ -1,0 +1,47 @@
+#!/bin/sh
+# expdiff.sh — keep EXPERIMENTS.md's measured section honest.
+#
+# Everything from "## E1 —" to the end of EXPERIMENTS.md is generated:
+# it must be byte-identical to the tables flexbench prints at seed 1
+# (the file's hand-written half — summary table, interpretation notes —
+# is above that line and never generated). Any diff means the code's
+# measured behaviour moved while the document stood still. CI fails on
+# drift; refresh deliberately with:
+#
+#   go run ./cmd/flexbench -seed 1 -o /tmp/full.md
+#   awk '/^## E1 /{on=1} /^## Telemetry summary/{on=0} on' /tmp/full.md \
+#       > measured.md   # then splice over EXPERIMENTS.md's measured section
+#
+# and commit alongside the change that caused it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DOC=EXPERIMENTS.md
+FULL=$(mktemp /tmp/expdiff-full.XXXXXX.md)
+GEN=$(mktemp /tmp/expdiff-gen.XXXXXX.md)
+CHECKED=$(mktemp /tmp/expdiff-doc.XXXXXX.md)
+trap 'rm -f "$FULL" "$GEN" "$CHECKED"' EXIT
+
+echo "expdiff: running flexbench (seed 1)..."
+go run ./cmd/flexbench -seed 1 -o "$FULL" > /dev/null
+
+# Generated side: the experiment tables, without the run header above
+# them or the telemetry summary below (those live in BENCH_BASELINE.md).
+awk '/^## E1 /{on=1} /^## Telemetry summary/{on=0} on' "$FULL" > "$GEN"
+
+# Checked-in side: EXPERIMENTS.md from the first measured table to EOF.
+awk '/^## E1 /{on=1} on' "$DOC" > "$CHECKED"
+
+if [ ! -s "$GEN" ] || [ ! -s "$CHECKED" ]; then
+    echo "expdiff: FAIL — could not locate the measured section ('## E1 —' marker) on both sides." >&2
+    exit 1
+fi
+
+if ! diff -u "$CHECKED" "$GEN"; then
+    echo "" >&2
+    echo "expdiff: FAIL — $DOC's measured section drifted from flexbench's output." >&2
+    echo "If the behaviour change is intentional, regenerate the section (see header of this script)." >&2
+    exit 1
+fi
+echo "expdiff: OK — $DOC measured section matches flexbench output byte-for-byte."
