@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-parallel benchdiff checkdocs expdiff docs cover profile
+.PHONY: all build test race vet fmt check bench bench-parallel benchdiff checkdocs expdiff docs cover profile scale
 
 all: build
 
@@ -36,6 +36,12 @@ bench-parallel:
 profile: build
 	$(GO) run ./cmd/flexbench -cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
 	@echo "wrote cpu.pprof mem.pprof"
+
+# scale smoke-tests the incremental routing engine on a k=8 fat-tree:
+# fail/restore a deterministic sample of links and verify every
+# converged state is byte-identical to a full recompute (CI gate).
+scale:
+	$(GO) run ./cmd/flexbench -topo fat-tree:k=8 -seed 1
 
 # benchdiff regenerates the deterministic flexbench output and fails if
 # it drifted from the checked-in BENCH_BASELINE.md (CI gate).

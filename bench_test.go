@@ -78,6 +78,9 @@ func BenchmarkE14DRPC(b *testing.B) { benchTable(b, experiments.E14DRPC) }
 // BenchmarkE15FaultRecovery regenerates E15 (MTTR vs crash rate).
 func BenchmarkE15FaultRecovery(b *testing.B) { benchTable(b, experiments.E15FaultRecovery) }
 
+// BenchmarkE16ScaleOut regenerates E16 (incremental routing at scale).
+func BenchmarkE16ScaleOut(b *testing.B) { benchTable(b, experiments.E16ScaleOut) }
+
 // --- Micro-benchmarks of the core data path. ---
 
 func benchDevice(b *testing.B, arch dataplane.Arch) {

@@ -44,7 +44,11 @@ type Topology struct {
 	Seed int64 `json:"seed"`
 	// Workers sizes the parallel packet worker pool (0 = GOMAXPROCS).
 	// Output is byte-identical at a seed regardless of the count.
-	Workers  int `json:"workers"`
+	Workers int `json:"workers"`
+	// Topo is a compact generated-topology spec ("fat-tree:k=8",
+	// "spine-leaf:spines=4,leaves=8,hosts=10") expanded before the
+	// explicit members below; the -topo flag overrides it.
+	Topo     string `json:"topo"`
 	Switches []struct {
 		Name string `json:"name"`
 		Arch string `json:"arch"`
@@ -84,6 +88,9 @@ func archByName(s string) (flexnet.Arch, error) {
 
 func buildNetwork(t *Topology) (*flexnet.Network, error) {
 	b := flexnet.New(t.Seed).Workers(t.Workers)
+	if t.Topo != "" {
+		b.Topo(t.Topo)
+	}
 	for _, sw := range t.Switches {
 		arch, err := archByName(sw.Arch)
 		if err != nil {
@@ -426,6 +433,7 @@ func (s *Server) serveConn(conn net.Conn) {
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9177", "TCP listen address")
 	topoPath := flag.String("topology", "", "topology JSON file (default: built-in 2-switch demo)")
+	topoSpec := flag.String("topo", "", "generated topology spec (e.g. fat-tree:k=8; overrides the topology file's members)")
 	workers := flag.Int("workers", 0, "parallel packet workers (0 = GOMAXPROCS; overrides the topology file)")
 	flag.Parse()
 
@@ -446,6 +454,12 @@ func main() {
 	if *workers != 0 {
 		topo.Workers = *workers
 	}
+	if *topoSpec != "" {
+		// A generated fabric replaces the file's (or demo's) members
+		// wholesale; seed and workers still apply.
+		topo.Topo = *topoSpec
+		topo.Switches, topo.Hosts, topo.Links, topo.DRPC = nil, nil, nil, nil
+	}
 	nw, err := buildNetwork(topo)
 	if err != nil {
 		log.Fatalf("flexnetd: build network: %v", err)
@@ -456,7 +470,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("flexnetd: listen: %v", err)
 	}
-	log.Printf("flexnetd: serving %d devices on %s", len(topo.Switches), l.Addr())
+	log.Printf("flexnetd: serving %d devices on %s", len(nw.Fabric().Devices()), l.Addr())
 	for {
 		conn, err := l.Accept()
 		if err != nil {

@@ -263,6 +263,24 @@ func (b *Builder) LinkCfg(a, c string, p netsim.LinkParams) *Builder {
 	return b
 }
 
+// Topo populates the network from a compact generated-topology spec —
+// "fat-tree:k=8" or "spine-leaf:spines=4,leaves=8,hosts=10" (see
+// fabric.ParseTopo for the grammar). It composes with Switch, Host and
+// Link, so a generated fabric can be decorated with extra members as
+// long as names do not collide.
+func (b *Builder) Topo(spec string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	ts, err := fabric.ParseTopo(spec)
+	if err != nil {
+		b.err = err
+		return b
+	}
+	b.err = ts.Build(b.fab)
+	return b
+}
+
 // DRPC enables data-plane RPC on a device at the given control IP.
 func (b *Builder) DRPC(device, ip string) *Builder {
 	if b.err == nil {
@@ -602,7 +620,7 @@ func (n *Network) SetLinkDown(a, b string, down bool) error {
 	if l == nil {
 		return fmt.Errorf("flexnet: no link %s—%s", a, b)
 	}
-	l.Down = down
+	l.SetDown(down)
 	return nil
 }
 

@@ -176,7 +176,7 @@ func E12FaultTolerance(seed int64) *Table {
 		// The primary egress (sA—h2) dies; the controller detects the
 		// failure and reroutes through the replica switch sB.
 		failAt := f.Sim.Now()
-		f.Net.LinkBetween("sA", "h2").Down = true
+		f.Net.LinkBetween("sA", "h2").SetDown(true)
 		detect := 50 * time.Millisecond // failure-detection interval
 		var recoveredAt netsim.Time
 		f.Sim.After(detect, func() {

@@ -104,5 +104,6 @@ func All(seed int64) []*Table {
 		E13Energy(seed),
 		E14DRPC(seed),
 		E15FaultRecovery(seed),
+		E16ScaleOut(seed),
 	}
 }

@@ -7,7 +7,7 @@
 // 'infrastructure' program, which implements basic functions for the
 // network").
 //
-// DESIGN.md §2 (S16) places the fabric in the stack; §10.3 explains how routing behaves around crashed and restarted devices.
+// DESIGN.md §2 (S16) places the fabric in the stack; §10.3 explains how routing behaves around crashed and restarted devices; §11 covers the incremental routing engine.
 package fabric
 
 import (
@@ -19,6 +19,7 @@ import (
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/netsim"
 	"flexnet/internal/packet"
+	"flexnet/internal/routing"
 	"flexnet/internal/telemetry"
 )
 
@@ -56,11 +57,30 @@ type Fabric struct {
 
 	devices map[string]*dataplane.Device
 	hosts   map[string]*Host
+	// devNames/hostNames cache the sorted name lists; membership only
+	// grows, so they are maintained by sorted insertion on Add.
+	devNames  []string
+	hostNames []string
 	// routers are per-device dRPC endpoints; routerIPs their control IPs.
 	routers   map[string]*drpc.Router
 	routerIPs map[string]uint32
 	// seq issues unique packet IDs for all sources on this fabric.
 	seq uint64
+
+	// routing is the incremental route engine (DESIGN.md §11). It
+	// mirrors the topology via the netsim event stream (linkID maps
+	// links to mirror indices) and holds per-destination route state;
+	// applied tracks, per device, the table instance the desired routes
+	// were last written to — a pointer mismatch (crash + reinstall,
+	// program swap) forces a full resync of that device.
+	routing        *routing.Engine
+	linkID         map[*netsim.Link]int
+	applied        map[string]*flexbpf.TableInstance
+	lastRouteStats routing.Stats
+	routeConverges *telemetry.Counter
+	routeDests     *telemetry.Counter
+	routeEntries   *telemetry.Counter
+	routeWrites    *telemetry.Counter
 
 	// ContinueDrops counts packets that no program claimed (fell off the
 	// end of the chain with VerdictContinue).
@@ -103,9 +123,17 @@ func New(seed int64) *Fabric {
 		routers:     map[string]*drpc.Router{},
 		routerIPs:   map[string]uint32{},
 		recircLimit: 4,
+		routing:     routing.New(),
+		linkID:      map[*netsim.Link]int{},
+		applied:     map[string]*flexbpf.TableInstance{},
 	}
 	f.batches = f.Metrics.Counter("fabric.batches")
 	f.batchEvents = f.Metrics.Counter("fabric.batch.events")
+	f.routeConverges = f.Metrics.Counter("fabric.routes.converges")
+	f.routeDests = f.Metrics.Counter("fabric.routes.recomputed_dests")
+	f.routeEntries = f.Metrics.Counter("fabric.routes.recomputed_entries")
+	f.routeWrites = f.Metrics.Counter("fabric.routes.delta_writes")
+	f.Net.Subscribe(f.onTopoEvent)
 	sim.OnBatchEnd(f.mergeShardStats)
 	if defaultWorkers != 0 {
 		f.SetWorkers(defaultWorkers)
@@ -176,7 +204,9 @@ func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
 	d.SetClock(func() uint64 { return uint64(f.Sim.Now()) })
 	d.SetMetrics(f.Metrics)
 	node := f.Net.AddNode(cfg.Name)
+	f.routing.MarkDevice(cfg.Name)
 	f.devices[cfg.Name] = d
+	f.devNames = sortedInsert(f.devNames, cfg.Name)
 	shard := f.registerShard(cfg.Name)
 	node.SetBatchHandler(shard, func(w *netsim.Worker, pkt *packet.Packet, inPort int) func() {
 		return f.deviceCompute(w, d, node, shard, pkt, inPort, 0)
@@ -253,11 +283,47 @@ func (f *Fabric) scheduleSend(node *netsim.Node, shard int, pkt *packet.Packet, 
 	})
 }
 
+// onTopoEvent mirrors topology changes into the routing engine. Node
+// and link adds keep the dense mirror aligned (port numbering matches
+// because every Connect fires exactly one event, in order); up/down
+// transitions mark affected destinations dirty for the next converge.
+func (f *Fabric) onTopoEvent(ev netsim.TopoEvent) {
+	switch ev.Kind {
+	case netsim.TopoNodeAdded:
+		f.routing.AddNode(ev.Node.Name)
+	case netsim.TopoLinkAdded:
+		a, b := ev.Link.Ends()
+		f.linkID[ev.Link] = f.routing.AddLink(a, b)
+	case netsim.TopoLinkUp:
+		f.routing.SetLinkState(f.linkID[ev.Link], true)
+	case netsim.TopoLinkDown, netsim.TopoLinkRemoved:
+		f.routing.SetLinkState(f.linkID[ev.Link], false)
+	}
+}
+
+// sortedInsert inserts v into sorted slice s, keeping it sorted.
+func sortedInsert(s []string, v string) []string {
+	i := sort.SearchStrings(s, v)
+	s = append(s, "")
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
 // AddHost attaches a host with the given IP to a new node.
 func (f *Fabric) AddHost(name string, ip uint32) *Host {
+	return f.addHost(name, ip, -1)
+}
+
+// addHost is AddHost with an explicit routing shard: destinations with
+// the same shard (a pod, for generated fabrics) recompute as one unit
+// of parallel work; -1 gives the destination its own group.
+func (f *Fabric) addHost(name string, ip uint32, routeShard int) *Host {
 	node := f.Net.AddNode(name)
+	f.routing.AddDest(name, ip, name, "", routeShard)
 	h := &Host{Name: name, IP: ip, Node: node, fab: f}
 	f.hosts[name] = h
+	f.hostNames = sortedInsert(f.hostNames, name)
 	shard := f.registerShard(name)
 	// Host delivery is all shared side effects (Recv callbacks feed
 	// transports, sinks, experiment logic), so the compute phase only
@@ -286,25 +352,14 @@ func (f *Fabric) Device(name string) *dataplane.Device { return f.devices[name] 
 // Host returns the named host, or nil.
 func (f *Fabric) Host(name string) *Host { return f.hosts[name] }
 
-// Devices returns device names in sorted order.
-func (f *Fabric) Devices() []string {
-	out := make([]string, 0, len(f.devices))
-	for n := range f.devices {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// Devices returns device names in sorted order. The returned slice is
+// the fabric's cached copy (membership only grows, so it is maintained
+// incrementally rather than re-sorted per call): callers must treat it
+// as read-only.
+func (f *Fabric) Devices() []string { return f.devNames }
 
-// Hosts returns host names in sorted order.
-func (f *Fabric) Hosts() []string {
-	out := make([]string, 0, len(f.hosts))
-	for n := range f.hosts {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// Hosts returns host names in sorted order. Read-only, like Devices.
+func (f *Fabric) Hosts() []string { return f.hostNames }
 
 // Send injects a packet from a host into the fabric (via the host's
 // first port).
@@ -324,9 +379,17 @@ func (h *Host) NewSource(spec netsim.FlowSpec) *netsim.Source {
 	})
 }
 
-// InfraRoutingProgram builds the base routing program: an LPM table on
-// ipv4.dst whose entries forward out a port, plus a TTL decrement.
+// InfraRoutingProgram builds the base routing program with the default
+// 1024-entry route table, enough for every hand-built topology.
 func InfraRoutingProgram() *flexbpf.Program {
+	return InfraRoutingProgramSized(1024)
+}
+
+// InfraRoutingProgramSized builds the base routing program: an LPM
+// table on ipv4.dst whose entries forward out a port, plus a TTL
+// decrement. size caps the route table; generated fabrics (fat-tree
+// k=16 routes >1k hosts) need more than the 1024 default.
+func InfraRoutingProgramSized(size int) *flexbpf.Program {
 	fwd := flexbpf.NewAsm().
 		LdField(0, "ipv4.ttl").
 		JGtImm(0, 0, "alive").
@@ -347,7 +410,7 @@ func InfraRoutingProgram() *flexbpf.Program {
 			Keys:          []flexbpf.TableKey{{Field: "ipv4.dst", Kind: flexbpf.MatchLPM, Bits: 32}},
 			Actions:       []string{"route", "unroutable"},
 			DefaultAction: "unroutable",
-			Size:          1024,
+			Size:          size,
 		}).
 		Apply(RouteTableName).
 		MustBuild()
@@ -355,14 +418,21 @@ func InfraRoutingProgram() *flexbpf.Program {
 
 // InstallBaseRouting installs the infrastructure routing program on every
 // switch and populates routes to every host via shortest paths. It must
-// be called after the topology is built.
+// be called after the topology is built. The route table is sized to
+// the destination count (minimum 1024, then next power of two).
 func (f *Fabric) InstallBaseRouting() error {
+	size := 1024
+	if n := len(f.hosts) + len(f.routerIPs); n > size {
+		for size < n {
+			size <<= 1
+		}
+	}
 	for name, d := range f.devices {
 		if d.Instance(InfraProgramName) == nil {
 			// Each device gets its own program instance: table instances
 			// bind to their spec copy. Routing runs last in the chain so
 			// extensions see traffic first.
-			if err := d.InstallProgramOpt(InfraRoutingProgram(), dataplane.InstallOptions{Priority: dataplane.PriorityInfra}); err != nil {
+			if err := d.InstallProgramOpt(InfraRoutingProgramSized(size), dataplane.InstallOptions{Priority: dataplane.PriorityInfra}); err != nil {
 				return fmt.Errorf("fabric: install routing on %s: %w", name, err)
 			}
 		}
@@ -370,40 +440,81 @@ func (f *Fabric) InstallBaseRouting() error {
 	return f.RefreshRoutes()
 }
 
-// RefreshRoutes recomputes shortest-path routes for all hosts and
-// rewrites every switch's routing table entries.
+// RefreshRoutes converges the incremental routing engine and publishes
+// per-device route tables. Only destinations dirtied by topology events
+// since the last refresh are recomputed, and only devices whose routes
+// changed (or whose table instance was replaced, e.g. by crash-and-heal
+// reinstall) are rewritten. Each rewrite is a single atomic table-state
+// publish (flexbpf.TableInstance.ReplaceAll): in-flight lookups see
+// either the old table or the new one, never an empty window.
 func (f *Fabric) RefreshRoutes() error {
-	type route struct {
-		ip   uint32
-		port int
+	return f.refreshRoutes(nil)
+}
+
+// RefreshRoutesTouched is RefreshRoutes scoped to a change plan's
+// touched devices: routing deltas still reach every affected device,
+// but the full-fleet scan for replaced table instances is limited to
+// devs. The runtime executor uses this for plan-scoped RouteUpdate
+// steps (plan.ScopedRouteUpdater).
+func (f *Fabric) RefreshRoutesTouched(devs []string) error {
+	if len(devs) == 0 {
+		return f.refreshRoutes(nil)
 	}
-	routesPerDevice := map[string][]route{}
-	for _, hn := range f.Hosts() {
-		h := f.hosts[hn]
-		next := f.Net.ShortestPaths(hn)
-		for dev := range f.devices {
-			if port, ok := next[dev]; ok {
-				routesPerDevice[dev] = append(routesPerDevice[dev], route{h.IP, port})
-			}
+	scope := append([]string(nil), devs...)
+	sort.Strings(scope)
+	return f.refreshRoutes(scope)
+}
+
+// RefreshRoutesFull recomputes every destination from scratch and
+// rewrites every device, ignoring the engine's dirtiness tracking. The
+// equivalence tests use it as the ground-truth baseline; it is also the
+// escape hatch if route state is ever suspected stale.
+func (f *Fabric) RefreshRoutesFull() error {
+	f.routing.MarkAllDirty()
+	return f.refreshRoutes(nil)
+}
+
+// syncLinkStates reconciles the engine's link states with the ground
+// truth before a converge. Link failures injected via SetDown arrive as
+// events, but legacy code (and tests) still write Link.Down directly;
+// reading the authoritative flags here preserves the old semantics that
+// route computation sees link state as of refresh time.
+func (f *Fabric) syncLinkStates() {
+	for _, l := range f.Net.Links() {
+		if id, ok := f.linkID[l]; ok {
+			f.routing.SetLinkState(id, !l.Down && !l.Removed)
 		}
 	}
-	// Device control IPs (dRPC endpoints) are routable too. The owning
-	// device needs no route to itself: delivery happens at ingress.
-	for target, ip := range f.routerIPs {
-		next := f.Net.ShortestPaths(target)
-		for dev := range f.devices {
-			if dev == target {
-				continue
-			}
-			if port, ok := next[dev]; ok {
-				routesPerDevice[dev] = append(routesPerDevice[dev], route{ip, port})
-			}
-		}
+}
+
+// refreshRoutes converges the engine and applies table deltas. scope
+// (sorted, nil = all devices) bounds only the resync scan; devices the
+// engine touched are always rewritten.
+func (f *Fabric) refreshRoutes(scope []string) error {
+	f.syncLinkStates()
+	stats := f.routing.Converge(f.Sim.Workers())
+	f.lastRouteStats = stats
+	f.routeConverges.Add(1)
+	f.routeDests.Add(uint64(stats.RecomputedDests))
+	f.routeEntries.Add(uint64(stats.RecomputedRoutes))
+	f.routeWrites.Add(uint64(stats.DeltaWrites))
+
+	touched := f.routing.DrainTouched()
+	scan := f.devNames
+	if scope != nil {
+		scan = scope
 	}
-	for dev, d := range f.devices {
+	for _, dev := range mergeSorted(touched, scan) {
+		d := f.devices[dev]
+		if d == nil {
+			continue
+		}
 		if d.Down() {
 			// A crashed device has lost its tables anyway; the healer's
 			// reconciliation plan rewrites them once it is back up.
+			// Forget what we applied so the reinstalled instance gets a
+			// full snapshot.
+			delete(f.applied, dev)
 			continue
 		}
 		inst := d.Instance(InfraProgramName)
@@ -413,22 +524,68 @@ func (f *Fabric) RefreshRoutes() error {
 				// no tables to write and cannot forward anyway. Route
 				// around it; its own reconciliation plan ends with a
 				// RouteUpdate that brings it back into the mesh.
+				delete(f.applied, dev)
 				continue
 			}
-			return fmt.Errorf("fabric: device %s has no routing program", dev)
+			return f.routeError(fmt.Errorf("fabric: device %s has no routing program", dev))
 		}
 		table := inst.Table(RouteTableName)
-		table.Clear()
-		rs := routesPerDevice[dev]
-		sort.Slice(rs, func(i, j int) bool { return rs[i].ip < rs[j].ip })
-		for _, r := range rs {
-			e := flexbpf.LPMEntry("route", []uint64{uint64(r.port)}, uint64(r.ip), 32)
-			if err := table.Insert(e); err != nil {
-				return fmt.Errorf("fabric: route insert on %s: %w", dev, err)
-			}
+		if f.applied[dev] == table && !contains(touched, dev) {
+			continue // routes unchanged and same instance: nothing to write
 		}
+		rs := f.routing.RoutesFor(dev)
+		entries := make([]*flexbpf.TableEntry, len(rs))
+		for i, r := range rs {
+			entries[i] = flexbpf.LPMEntry("route", []uint64{uint64(r.Port)}, uint64(r.IP), 32)
+		}
+		if err := table.ReplaceAll(entries); err != nil {
+			return f.routeError(fmt.Errorf("fabric: route update on %s: %w", dev, err))
+		}
+		f.applied[dev] = table
 	}
 	return nil
+}
+
+// routeError drops the applied-state cache so the next refresh rewrites
+// every device: a partial apply must not leave a device marked current.
+func (f *Fabric) routeError(err error) error {
+	f.applied = map[string]*flexbpf.TableInstance{}
+	return err
+}
+
+// RouteStats returns the routing engine's work counters for the most
+// recent refresh (experiment E16 reads these).
+func (f *Fabric) RouteStats() routing.Stats { return f.lastRouteStats }
+
+// TotalRoutes returns the number of route entries currently held by the
+// routing engine across all devices.
+func (f *Fabric) TotalRoutes() int { return f.routing.TotalRoutes() }
+
+// mergeSorted merges two sorted string slices, deduplicating.
+func mergeSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func contains(sorted []string, v string) bool {
+	i := sort.SearchStrings(sorted, v)
+	return i < len(sorted) && sorted[i] == v
 }
 
 // TotalDrops sums packet drops across links, devices, and unclaimed

@@ -284,13 +284,13 @@ func (p *Plane) fire(e Event) {
 	case KindPartition:
 		links := p.incidentLinks(e.Target)
 		for _, l := range links {
-			l.Down = true
+			l.SetDown(true)
 		}
 		p.refreshRoutes()
 		if e.DurationNs > 0 {
 			p.fab.Sim.After(netsim.Time(e.DurationNs), func() {
 				for _, l := range links {
-					l.Down = false
+					l.SetDown(false)
 				}
 				p.refreshRoutes()
 			})
@@ -321,7 +321,7 @@ func (p *Plane) fire(e Event) {
 
 // setLink fails/restores a link and reroutes around the change.
 func (p *Plane) setLink(l *netsim.Link, down bool) {
-	l.Down = down
+	l.SetDown(down)
 	p.refreshRoutes()
 }
 

@@ -305,6 +305,56 @@ func (ti *TableInstance) Insert(e *TableEntry) error {
 	return nil
 }
 
+// ReplaceAll atomically replaces the table's entire contents with the
+// given entries, validated exactly as Insert validates them. The new
+// state is published with a single atomic store, so concurrent lookups
+// see either the complete old contents or the complete new contents —
+// never an empty or partially-written table. This is the commit point
+// bulk rewrites (the fabric's routing refresh) use instead of
+// Clear-then-Insert, which exposed an empty-table window and cost a
+// copy-on-write clone per entry. Entry order follows the usual match
+// order (priority desc, prefix desc, then given order).
+func (ti *TableInstance) ReplaceAll(entries []*TableEntry) error {
+	if ti.Spec.Size > 0 && len(entries) > ti.Spec.Size {
+		return fmt.Errorf("flexbpf: table %s full (%d entries, %d offered)",
+			ti.Spec.Name, ti.Spec.Size, len(entries))
+	}
+	for _, e := range entries {
+		if len(e.Match) != len(ti.Spec.Keys) {
+			return fmt.Errorf("flexbpf: table %s: entry has %d match components, spec has %d keys",
+				ti.Spec.Name, len(e.Match), len(ti.Spec.Keys))
+		}
+		if e.Action != "" && len(ti.Spec.Actions) > 0 && !ti.Spec.HasAction(e.Action) {
+			return fmt.Errorf("flexbpf: table %s: action %q not permitted", ti.Spec.Name, e.Action)
+		}
+	}
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	next := &tableState{entries: make([]TableEntry, len(entries))}
+	for i, e := range entries {
+		next.entries[i] = *e
+		if ti.resolve != nil {
+			next.entries[i].actIdx = ti.resolve(e.Action) + 1
+		}
+	}
+	if ti.Spec.allExact() {
+		if len(next.entries) > 0 {
+			ix := newExactIndex(len(next.entries) + 1)
+			for pos := range next.entries {
+				if ix.find(next.entries, entryKeyWords(&next.entries[pos])) >= 0 {
+					return fmt.Errorf("flexbpf: table %s: duplicate exact entry", ti.Spec.Name)
+				}
+				ix.insert(next.entries, pos)
+			}
+			next.exact = ix
+		}
+	} else {
+		sortEntries(next.entries)
+	}
+	ti.state.Store(next)
+	return nil
+}
+
 // sortEntries orders entries: priority desc, then total LPM prefix desc,
 // then insertion-stable.
 func sortEntries(entries []TableEntry) {

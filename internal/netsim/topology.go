@@ -216,7 +216,14 @@ type Link struct {
 	// switch-side half of DCTCP-style congestion control.
 	ECNThresholdBytes int
 	// Down simulates link/device failure: all traffic is dropped.
+	// Prefer SetDown, which notifies topology subscribers; writing the
+	// field directly still fails traffic but defers subscriber
+	// notification to the next routing refresh.
 	Down bool
+	// Removed marks a link administratively removed from the topology:
+	// permanently down and excluded from LinkBetween lookups. Set via
+	// Network.RemoveLink.
+	Removed bool
 
 	dirs [2]linkDir
 
@@ -233,6 +240,22 @@ type linkDir struct {
 
 // Ends returns the connected node names.
 func (l *Link) Ends() (string, string) { return l.a.Name, l.b.Name }
+
+// SetDown fails (true) or restores (false) the link and notifies
+// topology subscribers on every transition. It is the preferred way to
+// change link state: subscribers (the fabric's routing engine) use the
+// events to mark exactly the affected route state dirty.
+func (l *Link) SetDown(down bool) {
+	if l.Down == down {
+		return
+	}
+	l.Down = down
+	kind := TopoLinkUp
+	if down {
+		kind = TopoLinkDown
+	}
+	l.net.emit(TopoEvent{Kind: kind, Link: l})
+}
 
 // MaxQueueDelay returns the worst queueing delay observed per direction.
 func (l *Link) MaxQueueDelay() (ab, ba Time) {
@@ -251,15 +274,74 @@ func DefaultLink() LinkParams {
 	return LinkParams{BandwidthBps: 10_000_000_000, Delay: 2 * time.Microsecond, QueueBytes: 512 << 10}
 }
 
+// TopoEventKind classifies a topology-change event.
+type TopoEventKind uint8
+
+// Topology-change event kinds. Node removal has no substrate support
+// (ports are positional), so a device leaving service is modelled by
+// removing or downing its links.
+const (
+	// TopoNodeAdded: a node joined the topology (Event.Node).
+	TopoNodeAdded TopoEventKind = iota
+	// TopoLinkAdded: a link was connected (Event.Link).
+	TopoLinkAdded
+	// TopoLinkUp: a down link was restored.
+	TopoLinkUp
+	// TopoLinkDown: a link failed.
+	TopoLinkDown
+	// TopoLinkRemoved: a link was administratively removed (permanent).
+	TopoLinkRemoved
+)
+
+func (k TopoEventKind) String() string {
+	switch k {
+	case TopoNodeAdded:
+		return "node-added"
+	case TopoLinkAdded:
+		return "link-added"
+	case TopoLinkUp:
+		return "link-up"
+	case TopoLinkDown:
+		return "link-down"
+	case TopoLinkRemoved:
+		return "link-removed"
+	default:
+		return fmt.Sprintf("topo-event(%d)", uint8(k))
+	}
+}
+
+// TopoEvent is one topology change, delivered synchronously to
+// subscribers at the point of mutation (AddNode, Connect, SetDown,
+// RemoveLink). Node is set for node events, Link for link events.
+type TopoEvent struct {
+	Kind TopoEventKind
+	Node *Node
+	Link *Link
+}
+
 // Network is a topology of nodes and links bound to a simulator.
 type Network struct {
 	sim   *Sim
 	nodes map[string]*Node
 	links []*Link
+	subs  []func(TopoEvent)
 
 	// Delivered and Drops aggregate across all links.
 	Delivered uint64
 	Drops     uint64
+}
+
+// Subscribe registers fn to receive every subsequent topology-change
+// event. Delivery is synchronous and in subscription order; fn must not
+// mutate the topology.
+func (nw *Network) Subscribe(fn func(TopoEvent)) {
+	nw.subs = append(nw.subs, fn)
+}
+
+func (nw *Network) emit(ev TopoEvent) {
+	for _, fn := range nw.subs {
+		fn(ev)
+	}
 }
 
 // NewNetwork creates an empty topology on sim.
@@ -278,6 +360,7 @@ func (nw *Network) AddNode(name string) *Node {
 	}
 	n := &Node{Name: name, net: nw}
 	nw.nodes[name] = n
+	nw.emit(TopoEvent{Kind: TopoNodeAdded, Node: n})
 	return n
 }
 
@@ -305,15 +388,34 @@ func (nw *Network) Connect(a, b string, p LinkParams) (*Link, int, int) {
 	na.ports = append(na.ports, &portEnd{link: l, side: 0})
 	nb.ports = append(nb.ports, &portEnd{link: l, side: 1})
 	nw.links = append(nw.links, l)
+	nw.emit(TopoEvent{Kind: TopoLinkAdded, Link: l})
 	return l, l.aPort, l.bPort
+}
+
+// RemoveLink administratively removes a link: it is marked down and
+// removed, excluded from LinkBetween, and subscribers are notified with
+// TopoLinkRemoved. The link object stays in place (ports are positional)
+// but never carries traffic again. Removing an already-removed link is a
+// no-op.
+func (nw *Network) RemoveLink(l *Link) {
+	if l == nil || l.Removed {
+		return
+	}
+	l.Removed = true
+	l.Down = true
+	nw.emit(TopoEvent{Kind: TopoLinkRemoved, Link: l})
 }
 
 // Links returns all links.
 func (nw *Network) Links() []*Link { return nw.links }
 
-// LinkBetween returns the first link between two nodes, or nil.
+// LinkBetween returns the first non-removed link between two nodes, or
+// nil.
 func (nw *Network) LinkBetween(a, b string) *Link {
 	for _, l := range nw.links {
+		if l.Removed {
+			continue
+		}
 		x, y := l.Ends()
 		if (x == a && y == b) || (x == b && y == a) {
 			return l

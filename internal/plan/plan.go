@@ -352,3 +352,13 @@ type StateMover interface {
 type RouteUpdater interface {
 	RefreshRoutes() error
 }
+
+// ScopedRouteUpdater is an optional extension of RouteUpdater: updaters
+// that track per-destination route state (DESIGN.md §11) can scope the
+// route refresh to the devices a plan touched instead of re-scanning
+// the whole fleet. The executor uses it when the plan names at least
+// one device; topology-driven route deltas still propagate everywhere.
+type ScopedRouteUpdater interface {
+	RouteUpdater
+	RefreshRoutesTouched(devices []string) error
+}

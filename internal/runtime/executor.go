@@ -477,6 +477,15 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 			x.mover.MoveState(s.Instance, s.Src, s.Device, s.UseDataPlane, onDone)
 		case plan.OpRouteUpdate:
 			x.eng.sim.After(x.eng.EstimateOps(0, 0, 0, 0), func() {
+				// A scoped updater limits the refresh to the devices this
+				// plan touched; topology-driven deltas still reach every
+				// affected device (plan.ScopedRouteUpdater).
+				if sru, ok := x.routes.(plan.ScopedRouteUpdater); ok {
+					if devs := p.Devices(); len(devs) > 0 {
+						onDone(sru.RefreshRoutesTouched(devs))
+						return
+					}
+				}
 				onDone(x.routes.RefreshRoutes())
 			})
 		}
