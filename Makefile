@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt check bench bench-parallel benchdiff checkdocs expdiff docs cover profile scale
+.PHONY: all build test race vet fmt lint check bench bench-parallel bench-steady benchdiff checkdocs expdiff docs cover profile scale
 
 all: build
 
@@ -21,7 +21,12 @@ fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-check: fmt vet build test race docs
+# lint runs staticcheck at a zero-findings baseline (falls back to
+# go vet + gofmt where staticcheck is not installed; see scripts/lint.sh).
+lint:
+	./scripts/lint.sh
+
+check: fmt vet lint build test race docs
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/flexbpf ./internal/telemetry
@@ -30,6 +35,12 @@ bench:
 # worker-pool sizes (compare pkts/s between the workers=N sub-benchmarks).
 bench-parallel:
 	$(GO) test -bench 'BenchmarkFabricParallel' -benchmem -benchtime 5x -run '^$$' .
+
+# bench-steady measures the fast-path layers on the steady-state
+# pipeline workload: serial vs batched vs batched+flow-cache (the
+# before/after table in BENCH_PR7.md comes from this target).
+bench-steady:
+	$(GO) test -bench 'BenchmarkSteadyStatePipeline' -benchmem -benchtime 10x -run '^$$' .
 
 # profile runs the experiment suite under the CPU and heap profilers;
 # inspect with `go tool pprof cpu.pprof`.

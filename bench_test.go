@@ -81,6 +81,9 @@ func BenchmarkE15FaultRecovery(b *testing.B) { benchTable(b, experiments.E15Faul
 // BenchmarkE16ScaleOut regenerates E16 (incremental routing at scale).
 func BenchmarkE16ScaleOut(b *testing.B) { benchTable(b, experiments.E16ScaleOut) }
 
+// BenchmarkE17FastPath regenerates E17 (batched execution + flow cache).
+func BenchmarkE17FastPath(b *testing.B) { benchTable(b, experiments.E17FastPath) }
+
 // --- Micro-benchmarks of the core data path. ---
 
 func benchDevice(b *testing.B, arch dataplane.Arch) {
@@ -293,6 +296,99 @@ func BenchmarkFabricParallel(b *testing.B) {
 			benchFabricParallel(b, workers)
 		})
 	}
+}
+
+// steadyClassifier builds a stateless, cacheable classification program:
+// straight-line field loads plus `rounds` hash/ALU mixing rounds, with
+// no per-flow state, time, or randomness. Its CacheProfile is cacheable,
+// so the megaflow flow cache (DESIGN.md §12) can replay its entire
+// effect — verdict, field writes, and Instrs/Lookups accounting — from
+// one exact-match lookup.
+func steadyClassifier(name string, rounds int) *Program {
+	a := flexbpf.NewAsm().
+		LdField(1, "ipv4.src").
+		LdField(2, "ipv4.dst").
+		LdField(3, "tcp.sport").
+		LdField(4, "tcp.dport").
+		Mov(5, 1)
+	for i := 0; i < rounds; i++ {
+		a.Hash(5, 5).
+			Xor(5, 2).
+			Add(5, 3).
+			ShlImm(5, 1).
+			Or(5, 4)
+	}
+	a.StField("meta.mark", 5).Ret()
+	return NewProgram(name).Headers("eth", "ipv4", "tcp").Do(a.MustBuild()).MustBuild()
+}
+
+// benchSteadyState drives a steady 16-flow TCP load through one DRMT
+// switch running base routing plus a four-stage stateless classifier
+// pipeline (~2000 instructions per packet), and reports aggregate
+// throughput. One ingress host (and link) per flow
+// keeps the flows' CBR arrivals on identical timestamps, so the switch's
+// shard group — the unit batching amortizes over — spans all 16 flows.
+// All sub-benchmarks use one worker: the speedup measured here is the
+// fast path itself (batching + cache replay), not parallelism.
+func benchSteadyState(b *testing.B, batching, cache bool) {
+	b.Helper()
+	const flows = 16
+	bld := New(1).Workers(1).Batching(batching).FlowCache(cache)
+	bld.Switch("sw", DRMT).Host("dst", "10.0.255.2").Link("sw", "dst")
+	for i := 0; i < flows; i++ {
+		h := fmt.Sprintf("h%d", i)
+		bld.Host(h, fmt.Sprintf("10.0.%d.1", i)).Link(h, "sw")
+	}
+	n, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := n.DeployApp(fmt.Sprintf("flexnet://bench/steady%d", i), AppSpec{
+			Programs: []*Program{steadyClassifier(fmt.Sprintf("cls%d", i), 96)},
+			Path:     []string{"sw"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < flows; i++ {
+		src, err := n.NewSource(fmt.Sprintf("h%d", i), FlowSpec{
+			Dst: MustParseIP("10.0.255.2"), Proto: 6,
+			SrcPort: uint16(5000 + i), DstPort: 80, PacketLen: 100,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src.StartCBR(100000)
+	}
+	n.RunFor(time.Millisecond) // warm-up: fill the pipeline and the cache
+	processed := func() uint64 {
+		return n.Metrics().CounterValue("dev.sw.packets_processed")
+	}
+	start := processed()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.RunFor(5 * time.Millisecond)
+	}
+	b.StopTimer()
+	total := processed() - start
+	if total == 0 {
+		b.Fatal("no packets processed")
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "pkts/s")
+}
+
+// BenchmarkSteadyStatePipeline measures the fast-path layers on the
+// steady-state pipeline workload: serial is the pre-PR baseline (no
+// batching, no cache), batch adds batched execution, and batch+cache
+// adds the megaflow flow cache. Simulation output is byte-identical
+// across all three (scripts/benchdiff.sh proves it); only wall clock
+// moves. BENCH_PR7.md records the measured before/after table.
+func BenchmarkSteadyStatePipeline(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchSteadyState(b, false, false) })
+	b.Run("batch", func(b *testing.B) { benchSteadyState(b, true, false) })
+	b.Run("batch+cache", func(b *testing.B) { benchSteadyState(b, true, true) })
 }
 
 // BenchmarkVerifier measures FlexBPF verification of a mid-size program.

@@ -129,3 +129,97 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatal("worker count changed chaos telemetry")
 	}
 }
+
+// cacheChaosSoak is the flow-cache variant of the soak: same fault
+// pressure, but the transit switch s2 carries only the cacheable base
+// routing pipeline, so live traffic is served from the megaflow cache
+// between crashes while s1's stateful SYN defense exercises the
+// uncacheable bypass. Returns the telemetry snapshot.
+func cacheChaosSoak(t *testing.T, seed int64, cache bool, horizon time.Duration) string {
+	t.Helper()
+	bld := New(seed).FlowCache(cache).
+		Switch("s1", DRMT).
+		Switch("s2", DRMT).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "s1").
+		Link("s1", "s2").
+		Link("s2", "h2")
+	nw := bld.MustBuild()
+	if err := nw.DeployApp("flexnet://chaos/syn", AppSpec{
+		Programs: []*Program{SYNDefense("syn", 1024, 10)},
+		Path:     []string{"s1"},
+	}); err != nil {
+		t.Fatalf("deploy syn: %v", err)
+	}
+	healer := nw.StartSelfHealing(time.Millisecond)
+	plane := nw.NewFaultPlane(seed + 77)
+	sched := faults.Generate(seed+13, faults.GenSpec{
+		Devices:        []string{"s1", "s2"},
+		Links:          []string{"s1-s2"},
+		HorizonNs:      uint64(horizon),
+		CrashMeanGapNs: uint64(400 * time.Millisecond),
+		CrashDownNs:    uint64(10 * time.Millisecond),
+		LinkMeanGapNs:  uint64(700 * time.Millisecond),
+		LinkDownNs:     uint64(20 * time.Millisecond),
+	})
+	if err := plane.Apply(sched); err != nil {
+		t.Fatalf("apply schedule: %v", err)
+	}
+	src, err := nw.NewSource("h1", FlowSpec{
+		Dst: MustParseIP("10.0.0.2"), Proto: 17,
+		SrcPort: 1000, DstPort: 2000, PacketLen: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.StartCBR(50000)
+	nw.RunFor(horizon + time.Second)
+	src.Stop()
+
+	if pending := healer.Pending(); len(pending) != 0 {
+		t.Fatalf("devices still pending reconciliation: %v", pending)
+	}
+	if drift := nw.IntentDrift(); len(drift) != 0 {
+		t.Fatalf("committed intent lost: %v", drift)
+	}
+	if cache {
+		if hits := nw.Metrics().CounterValue("flowcache.s2.hits"); hits == 0 {
+			t.Fatal("soak never exercised the flow cache on s2")
+		}
+		if stale := nw.Metrics().CounterValue("flowcache.s2.stale_served"); stale != 0 {
+			t.Fatalf("cache served %d stale-epoch packets", stale)
+		}
+		if inv := nw.Metrics().CounterValue("flowcache.s2.invalidations"); inv == 0 {
+			t.Fatal("crashes committed no cache invalidations")
+		}
+	}
+	return nw.Stats().Format()
+}
+
+// stripFlowCacheLines removes the flowcache.* instrument lines — the
+// only output the cache is allowed to add.
+func stripFlowCacheLines(snap string) string {
+	lines := strings.Split(snap, "\n")
+	out := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "flowcache.") {
+			continue
+		}
+		out = append(out, l)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestChaosSoakFlowCache: under the full fault schedule, enabling the
+// flow cache must not change a single byte of non-flowcache telemetry —
+// crashes, recoveries, per-device packet counters, drops — and must
+// never serve a stale-epoch packet (ISSUE 7 acceptance).
+func TestChaosSoakFlowCache(t *testing.T) {
+	horizon := chaosSeconds()
+	off := cacheChaosSoak(t, 1, false, horizon)
+	on := cacheChaosSoak(t, 1, true, horizon)
+	if off != stripFlowCacheLines(on) {
+		t.Fatal("flow cache changed non-flowcache chaos telemetry")
+	}
+}

@@ -39,8 +39,12 @@ func main() {
 	topo := flag.String("topo", "", "run a routing scale smoke on this generated topology (e.g. fat-tree:k=8) instead of the suite")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	batch := flag.Bool("batch", true, "batched switch execution (never changes output, only speed)")
+	flowcache := flag.Bool("flowcache", false, "enable the megaflow flow cache; adds flowcache.* telemetry, all other output is byte-identical")
 	flag.Parse()
 	fabric.SetDefaultWorkers(*workers)
+	fabric.SetDefaultBatching(*batch)
+	fabric.SetDefaultFlowCache(*flowcache)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -130,6 +134,7 @@ func main() {
 		{"E14", experiments.E14DRPC},
 		{"E15", experiments.E15FaultRecovery},
 		{"E16", experiments.E16ScaleOut},
+		{"E17", experiments.E17FastPath},
 	}
 
 	var rendered []string

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"flexnet"
+	"flexnet/internal/fabric"
 )
 
 // Topology is the daemon's network description.
@@ -435,7 +436,11 @@ func main() {
 	topoPath := flag.String("topology", "", "topology JSON file (default: built-in 2-switch demo)")
 	topoSpec := flag.String("topo", "", "generated topology spec (e.g. fat-tree:k=8; overrides the topology file's members)")
 	workers := flag.Int("workers", 0, "parallel packet workers (0 = GOMAXPROCS; overrides the topology file)")
+	batch := flag.Bool("batch", true, "batched switch execution (never changes output, only speed)")
+	flowcache := flag.Bool("flowcache", false, "enable the megaflow flow cache; adds flowcache.* telemetry, all other output is byte-identical")
 	flag.Parse()
+	fabric.SetDefaultBatching(*batch)
+	fabric.SetDefaultFlowCache(*flowcache)
 
 	topo := &Topology{Seed: 1}
 	if *topoPath != "" {

@@ -281,6 +281,27 @@ func (b *Builder) Topo(spec string) *Builder {
 	return b
 }
 
+// FlowCache toggles the per-switch megaflow flow cache for switches
+// added after the call (so it should precede Switch/Topo). Processing
+// output and dev.* telemetry are identical with the cache on or off;
+// cache activity appears under separate flowcache.* instruments.
+func (b *Builder) FlowCache(v bool) *Builder {
+	if b.err == nil {
+		b.fab.SetFlowCache(v)
+	}
+	return b
+}
+
+// Batching toggles batched switch execution (on by default) for switches
+// added after the call. Batching never changes simulation output, only
+// wall-clock speed.
+func (b *Builder) Batching(v bool) *Builder {
+	if b.err == nil {
+		b.fab.SetBatching(v)
+	}
+	return b
+}
+
 // DRPC enables data-plane RPC on a device at the given control IP.
 func (b *Builder) DRPC(device, ip string) *Builder {
 	if b.err == nil {

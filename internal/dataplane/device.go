@@ -31,6 +31,7 @@ import (
 
 	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
+	"flexnet/internal/flowcache"
 	"flexnet/internal/packet"
 	"flexnet/internal/telemetry"
 )
@@ -237,6 +238,9 @@ type config struct {
 	epoch     uint64
 	parser    *packet.ParseGraph
 	instances []*ProgramInstance
+	// fp caches the flow-cache static analysis for this configuration
+	// (see fastpath.go); computed lazily, immutable once stored.
+	fp atomic.Pointer[fastpathInfo]
 }
 
 // ProcStats describes one packet's processing outcome on a device.
@@ -304,6 +308,16 @@ type Device struct {
 	// met holds pre-resolved telemetry handles (nil handles are inert),
 	// so the per-packet path pays only atomic bumps, never map lookups.
 	met deviceMetrics
+
+	// fcache is the megaflow flow cache (nil = disabled); fcMet its
+	// instruments. Both are wired at build time (EnableFlowCache), before
+	// traffic, and read lock-free on the packet path. See fastpath.go.
+	fcache *flowcache.Cache
+	fcMet  fcMetrics
+
+	// batch holds batch-mode execution state, owned by the device's
+	// serialized shard group (see BeginBatch/EndBatch in fastpath.go).
+	batch deviceBatch
 }
 
 // deviceMetrics are the device's live telemetry instruments. All handles
@@ -439,9 +453,17 @@ func (d *Device) snapshot() *config { return d.current.Load().(*config) }
 func (d *Device) Epoch() uint64 { return d.snapshot().epoch }
 
 // commit publishes a new configuration with epoch+1. Caller holds d.mu.
+// Every commit wholesale-invalidates the flow cache: the cache rides the
+// same epoch-atomic boundary as the configuration swap, so a hitless
+// swap stays hitless — no packet arriving after the commit can replay a
+// pre-commit outcome (DESIGN.md §12).
 func (d *Device) commit(next *config) {
 	next.epoch = d.snapshot().epoch + 1
 	d.current.Store(next)
+	if d.fcache != nil {
+		d.fcache.Invalidate(next.epoch)
+		d.fcMet.invalidations.Inc()
+	}
 	d.met.epochFlips.Inc()
 	d.met.epoch.Set(int64(next.epoch))
 	d.exportOccupancyLocked()
@@ -1045,20 +1067,43 @@ func (d *Device) Process(pkt *packet.Packet) ProcStats {
 // fast path Process uses).
 func (d *Device) ProcessCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) ProcStats {
 	if d.draining.Load() || d.down.Load() {
-		d.bump(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
-		d.met.dropped.Inc()
+		d.countDrop(func(c *Counters) { c.DrainDrops++; c.Dropped++ })
 		return ProcStats{Verdict: packet.VerdictDrop}
 	}
-	cfg := d.snapshot()
+	// In batch mode (between the shard hooks) the configuration snapshot
+	// is pinned once per batch and table lookups share the BatchState;
+	// both are observably identical to per-packet loads because mutations
+	// happen only on the event loop, which never runs mid-batch.
+	var cfg *config
+	var bs *flexbpf.BatchState
+	if d.batch.active {
+		if d.batch.cfg == nil {
+			d.batch.cfg = d.snapshot()
+		}
+		cfg = d.batch.cfg
+		bs = &d.batch.bs
+	} else {
+		cfg = d.snapshot()
+	}
 	pkt.Epoch = cfg.epoch
 	// Expose intrinsic metadata to programs (P4 standard-metadata style).
 	pkt.SetFieldByID(fidMetaIngress, uint64(pkt.IngressPort))
 	st := ProcStats{Verdict: packet.VerdictContinue, Epoch: cfg.epoch}
 
+	// Flow cache: replay a recorded outcome when the packet matches a
+	// cached flow's full validation set (fastpath.go).
+	var rec *flowRecord
+	if d.fcache != nil {
+		var hit bool
+		if rec, hit = d.tryFlowCache(pkt, cfg, &st); hit {
+			d.accountProcessed(&st)
+			return st
+		}
+	}
+
 	// Parse: determine which headers this configuration understands.
 	if err := cfg.parser.CheckFields(pkt); err != nil {
-		d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
-		d.met.dropped.Inc()
+		d.countDrop(func(c *Counters) { c.Errors++; c.Dropped++ })
 		st.Verdict = packet.VerdictDrop
 		return st
 	}
@@ -1067,13 +1112,12 @@ func (d *Device) ProcessCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) ProcS
 		if !inst.accepts(pkt) {
 			continue
 		}
-		res, err := inst.runCtx(pkt, ectx)
+		res, err := inst.runCtxBS(pkt, ectx, bs)
 		st.Instrs += res.Instrs
 		st.Lookups += res.Lookups
 		st.Programs = append(st.Programs, inst.prog.Name)
 		if err != nil {
-			d.bump(func(c *Counters) { c.Errors++; c.Dropped++ })
-			d.met.dropped.Inc()
+			d.countDrop(func(c *Counters) { c.Errors++; c.Dropped++ })
 			st.Verdict = packet.VerdictDrop
 			return st
 		}
@@ -1083,31 +1127,10 @@ func (d *Device) ProcessCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) ProcS
 		}
 	}
 
-	st.LatencyNs = d.cfg.Perf.BaseLatencyNs +
-		d.cfg.Perf.PerInstrNs*uint64(st.Instrs) +
-		d.cfg.Perf.PerLookupNs*uint64(st.Lookups)
-
-	d.met.packets.Inc()
-	d.met.lookups.Add(uint64(st.Lookups))
-	d.met.latency.Observe(int64(st.LatencyNs))
-	if st.Verdict == packet.VerdictDrop {
-		d.met.dropped.Inc()
+	if rec != nil {
+		d.recordFlow(rec, pkt, cfg, &st)
 	}
-
-	d.processed.Add(1)
-	d.bump(func(c *Counters) {
-		c.Processed++
-		switch st.Verdict {
-		case packet.VerdictDrop:
-			c.Dropped++
-		case packet.VerdictForward:
-			c.Forwarded++
-		case packet.VerdictToController:
-			c.Punted++
-		case packet.VerdictRecirculate:
-			c.Recircs++
-		}
-	})
+	d.accountProcessed(&st)
 	return st
 }
 

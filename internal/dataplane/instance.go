@@ -138,11 +138,19 @@ func (pi *ProgramInstance) run(pkt *packet.Packet) (flexbpf.ExecResult, error) {
 // passes one context per worker, keeping the scratch registers and key
 // buffer cache-warm across every device a worker executes.
 func (pi *ProgramInstance) runCtx(pkt *packet.Packet, ectx *flexbpf.ExecContext) (flexbpf.ExecResult, error) {
+	return pi.runCtxBS(pkt, ectx, nil)
+}
+
+// runCtxBS is runCtx with an optional batch state: non-nil bs routes
+// table applies through batch-cached snapshots with deferred statistics
+// (see flexbpf.BatchState). The tree-interpreter fallback ignores bs —
+// unlinked programs never run in batch-cacheable configurations.
+func (pi *ProgramInstance) runCtxBS(pkt *packet.Packet, ectx *flexbpf.ExecContext, bs *flexbpf.BatchState) (flexbpf.ExecResult, error) {
 	if pi.linked != nil {
 		if ectx == nil {
 			ectx = pi.ectx
 		}
-		return pi.linked.Run(pkt, pi, ectx)
+		return pi.linked.RunWith(pkt, pi, ectx, bs)
 	}
 	return pi.interp.Run(pi.prog, pkt, pi)
 }

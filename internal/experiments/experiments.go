@@ -105,5 +105,6 @@ func All(seed int64) []*Table {
 		E14DRPC(seed),
 		E15FaultRecovery(seed),
 		E16ScaleOut(seed),
+		E17FastPath(seed),
 	}
 }

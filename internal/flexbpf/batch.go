@@ -1,0 +1,111 @@
+package flexbpf
+
+import "flexnet/internal/packet"
+
+// This file implements batched execution: amortizing per-packet fixed
+// costs (table snapshot loads, hit/miss statistic flushes) across a
+// batch of packets that are processed back-to-back on one device, with
+// no configuration or table mutation in between. The sharded simulator
+// engine guarantees exactly that window — table and config writes happen
+// only on the event loop, never during a shard's compute run — so a
+// batch-cached snapshot is observably identical to re-loading it per
+// packet. See DESIGN.md §12.
+
+// BatchState caches per-table copy-on-write snapshots and buffers
+// hit/miss tallies for the duration of one execution batch. It is owned
+// by a single goroutine (the worker running the device's shard group);
+// Flush must be called at batch end to publish the buffered statistics
+// and release the snapshots. The zero value is ready to use.
+type BatchState struct {
+	tabs []batchTab
+}
+
+// batchTab is one table's batch-cached snapshot plus local tallies.
+type batchTab struct {
+	ti           *TableInstance
+	st           *tableState
+	hits, misses uint64
+}
+
+// lookup matches keys against ti's batch-cached snapshot, loading it on
+// first use. Matching and result are identical to TableInstance.
+// LookupEntry; only the statistics flush is deferred.
+func (bs *BatchState) lookup(ti *TableInstance, keys []uint64) (*TableEntry, bool) {
+	var bt *batchTab
+	for i := range bs.tabs {
+		if bs.tabs[i].ti == ti {
+			bt = &bs.tabs[i]
+			break
+		}
+	}
+	if bt == nil {
+		bs.tabs = append(bs.tabs, batchTab{ti: ti, st: ti.load()})
+		bt = &bs.tabs[len(bs.tabs)-1]
+	}
+	e, ok := ti.lookupIn(bt.st, keys)
+	if ok {
+		bt.hits++
+	} else {
+		bt.misses++
+	}
+	return e, ok
+}
+
+// Flush publishes the buffered hit/miss tallies to their tables and
+// drops the cached snapshots. After Flush the BatchState is ready for
+// the next batch.
+func (bs *BatchState) Flush() {
+	for i := range bs.tabs {
+		bt := &bs.tabs[i]
+		if bt.hits != 0 {
+			bt.ti.hits.Add(bt.hits)
+		}
+		if bt.misses != 0 {
+			bt.ti.misses.Add(bt.misses)
+		}
+		bs.tabs[i] = batchTab{}
+	}
+	bs.tabs = bs.tabs[:0]
+}
+
+// RunWith is Run with an optional BatchState: when bs is non-nil, table
+// applies match against batch-cached snapshots and buffer their hit/miss
+// statistics in bs instead of flushing them per lookup. Verdicts,
+// packet effects, and Instrs/Lookups counts are identical to Run.
+func (lp *LinkedProgram) RunWith(pkt *packet.Packet, env LinkedEnv, ctx *ExecContext, bs *BatchState) (ExecResult, error) {
+	res := ExecResult{Verdict: packet.VerdictContinue}
+	err := lp.exec(lp.code, nil, pkt, env, ctx, bs, &res)
+	return res, err
+}
+
+// RunBatch executes the linked program over a slice of packets in strict
+// slice order, sharing one BatchState across the whole run so table
+// snapshots are loaded once and statistics flushed once. ctxs supplies
+// the execution contexts: either one context reused for every packet, or
+// one per packet. out must have len(pkts) slots; out[i] receives packet
+// i's result. Because packets run in order against the same environment,
+// the observable effects (packet mutations, map/counter state, verdicts,
+// Instrs/Lookups) are exactly those of len(pkts) sequential Run calls.
+// Execution stops at the first program error, which is returned.
+func (lp *LinkedProgram) RunBatch(pkts []*packet.Packet, env LinkedEnv, ctxs []*ExecContext, out []ExecResult) error {
+	if len(out) < len(pkts) {
+		panic("flexbpf: RunBatch result slice shorter than packet slice")
+	}
+	if len(ctxs) == 0 {
+		panic("flexbpf: RunBatch needs at least one ExecContext")
+	}
+	var bs BatchState
+	defer bs.Flush()
+	for i, pkt := range pkts {
+		ctx := ctxs[0]
+		if len(ctxs) > i {
+			ctx = ctxs[i]
+		}
+		res, err := lp.RunWith(pkt, env, ctx, &bs)
+		out[i] = res
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

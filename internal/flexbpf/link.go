@@ -58,6 +58,18 @@ const (
 	lopMapInc
 	// lopMapIncR is lopMapInc with a register addend (Add rd,rt).
 	lopMapIncR
+	// lopLdJImm = LdField rd,fid ; JxxImm rd,val — load-and-branch, the
+	// guard idiom opening most actions (TTL check, flag tests). rs carries
+	// the source compare opcode; imm packs fid<<32|value. It is a jump:
+	// fuseBlock rewrites its offset and isJump must report it.
+	lopLdJImm
+	// lopAluSt = AddImm/SubImm rd,val ; StField fid,rd — modify a register
+	// and write it back to the PHV (the TTL decrement). rs carries the
+	// source ALU opcode; off the immediate; imm the field ID.
+	lopAluSt
+	// lopLdParamFwd = LdParam rd,idx ; Forward rd — the terminal
+	// "forward out the table-selected port" pair of every routing action.
+	lopLdParamFwd
 )
 
 // regMask lets the execution loop index the register frame without a
@@ -405,7 +417,8 @@ func fuseBlock(code []linstr) []linstr {
 func isJump(op Op) bool {
 	switch op {
 	case OpJmp, OpJEq, OpJNe, OpJLt, OpJGe, OpJGt, OpJLe,
-		OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm, OpJGtImm, OpJLeImm:
+		OpJEqImm, OpJNeImm, OpJLtImm, OpJGeImm, OpJGtImm, OpJLeImm,
+		lopLdJImm:
 		return true
 	}
 	return false
@@ -435,6 +448,28 @@ func matchFusion(code []linstr, i int, isTarget []bool) (linstr, int) {
 		}
 		if b.op == OpStField && b.rs == a.rd {
 			return linstr{op: lopFldCp, rd: a.rd, off: int32(b.imm), imm: a.imm}, 2
+		}
+		// Load-and-branch: the compared register must be the one just
+		// loaded, and both field ID and compare value must fit the packed
+		// imm encoding (fid<<32|value). The absorbed jump sat at i+1, so
+		// the stored offset is b.off+1 relative to the fused position;
+		// fuseBlock's rewrite (olds[k]+1+off) then lands on the original
+		// target.
+		if b.op >= OpJEqImm && b.op <= OpJLeImm && b.rs == a.rd &&
+			b.imm < 1<<32 && a.imm < 1<<31 {
+			return linstr{op: lopLdJImm, rd: a.rd, rs: Reg(b.op), off: b.off + 1, imm: a.imm<<32 | b.imm}, 2
+		}
+	}
+	if i+1 < len(code) && !isTarget[i+1] && (a.op == OpAddImm || a.op == OpSubImm) && a.imm <= 1<<31-1 {
+		b := code[i+1]
+		if b.op == OpStField && b.rs == a.rd {
+			return linstr{op: lopAluSt, rd: a.rd, rs: Reg(a.op), off: int32(a.imm), imm: b.imm}, 2
+		}
+	}
+	if i+1 < len(code) && !isTarget[i+1] && a.op == OpLdParam {
+		b := code[i+1]
+		if b.op == OpForward && b.rs == a.rd {
+			return linstr{op: lopLdParamFwd, rd: a.rd, imm: a.imm}, 2
 		}
 	}
 	return linstr{}, 0
@@ -534,12 +569,10 @@ func (lk *linker) tableIndex(name string) (int, error) {
 // packet/state effects as Interp.Run on the source program; ctx provides
 // the reusable scratch that makes the steady-state path allocation-free.
 func (lp *LinkedProgram) Run(pkt *packet.Packet, env LinkedEnv, ctx *ExecContext) (ExecResult, error) {
-	res := ExecResult{Verdict: packet.VerdictContinue}
-	err := lp.exec(lp.code, nil, pkt, env, ctx, &res)
-	return res, err
+	return lp.RunWith(pkt, env, ctx, nil)
 }
 
-func (lp *LinkedProgram) exec(code []linstr, params []uint64, pkt *packet.Packet, env LinkedEnv, ctx *ExecContext, res *ExecResult) error {
+func (lp *LinkedProgram) exec(code []linstr, params []uint64, pkt *packet.Packet, env LinkedEnv, ctx *ExecContext, bs *BatchState, res *ExecResult) error {
 	// No register prologue: every lowered block (inline Do and action
 	// body alike) begins with lopZero, so stale scratch from a previous
 	// frame is never observable.
@@ -604,6 +637,48 @@ func (lp *LinkedProgram) exec(code []linstr, params []uint64, pkt *packet.Packet
 				regs[ins.rd&regMask] = v
 				_ = env.MapStoreSlot(int(ins.imm), k, v)
 				continue
+			case lopLdJImm:
+				if instrs >= MaxInstrs*4 {
+					res.Instrs = instrs
+					return &execError{lp.prog.Name, pc - 1, "instruction budget exhausted (unverified program?)"}
+				}
+				instrs += 2
+				v := pkt.FieldByID(packet.FieldID(ins.imm >> 32))
+				regs[ins.rd&regMask] = v
+				if cmpImm(Op(ins.rs), v, ins.imm&(1<<32-1)) {
+					pc += int(ins.off)
+				}
+				continue
+			case lopAluSt:
+				if instrs >= MaxInstrs*4 {
+					res.Instrs = instrs
+					return &execError{lp.prog.Name, pc - 1, "instruction budget exhausted (unverified program?)"}
+				}
+				instrs += 2
+				v := regs[ins.rd&regMask]
+				if Op(ins.rs) == OpAddImm {
+					v += uint64(ins.off)
+				} else {
+					v -= uint64(ins.off)
+				}
+				regs[ins.rd&regMask] = v
+				pkt.SetFieldByID(packet.FieldID(ins.imm), v)
+				continue
+			case lopLdParamFwd:
+				if instrs >= MaxInstrs*4 {
+					res.Instrs = instrs
+					return &execError{lp.prog.Name, pc - 1, "instruction budget exhausted (unverified program?)"}
+				}
+				instrs += 2
+				var v uint64
+				if int(ins.imm) < len(params) {
+					v = params[ins.imm]
+				}
+				regs[ins.rd&regMask] = v
+				pkt.EgressPort = int(v)
+				res.Instrs = instrs
+				res.Verdict = packet.VerdictForward
+				return nil
 			}
 			// lopApply
 			t := &lp.tables[ins.imm]
@@ -614,7 +689,13 @@ func (lp *LinkedProgram) exec(code []linstr, params []uint64, pkt *packet.Packet
 			ctx.keys = keys
 			res.Instrs = instrs
 			res.Lookups++
-			e, hit := t.ti.LookupEntry(keys)
+			var e *TableEntry
+			var hit bool
+			if bs != nil {
+				e, hit = bs.lookup(t.ti, keys)
+			} else {
+				e, hit = t.ti.LookupEntry(keys)
+			}
 			var idx int32
 			var aparams []uint64
 			if hit {
@@ -637,7 +718,7 @@ func (lp *LinkedProgram) exec(code []linstr, params []uint64, pkt *packet.Packet
 				idx = t.missIdx - 1
 				aparams = t.missParams
 			}
-			if err := lp.exec(lp.actions[idx].code, aparams, pkt, env, ctx, res); err != nil {
+			if err := lp.exec(lp.actions[idx].code, aparams, pkt, env, ctx, bs, res); err != nil {
 				return err
 			}
 			instrs = res.Instrs

@@ -91,6 +91,13 @@ type TableInstance struct {
 
 	mu    sync.Mutex // serializes writers
 	state atomic.Pointer[tableState]
+	// gen counts state publications. Every path that stores a new
+	// tableState bumps it, so a consumer that captured (instance, gen) can
+	// later detect that the contents might have changed — the flow cache
+	// validates entries against it, which is what makes bulk rewrites that
+	// do not bump the device epoch (RefreshRoutes' ReplaceAll) safe to run
+	// under a populated cache.
+	gen atomic.Uint64
 	// hits and misses count lookups for telemetry.
 	hits, misses atomic.Uint64
 	// resolve maps an action name to its linked action index (-1 if
@@ -112,6 +119,18 @@ func (ti *TableInstance) load() *tableState {
 	return emptyTableState
 }
 
+// publish installs a new state snapshot and bumps the generation.
+// Callers hold ti.mu (or, at construction, have exclusive access).
+func (ti *TableInstance) publish(next *tableState) {
+	ti.state.Store(next)
+	ti.gen.Add(1)
+}
+
+// Generation returns the table's state-publication counter. It advances
+// on every content change (Insert, Delete, Clear, ReplaceAll, resolver
+// annotation); equal generations imply identical published contents.
+func (ti *TableInstance) Generation() uint64 { return ti.gen.Load() }
+
 // SetActionResolver installs the linked action-index resolver and
 // annotates entries. It must be called before the instance serves
 // traffic (the install path links programs before the config swap).
@@ -128,7 +147,7 @@ func (ti *TableInstance) SetActionResolver(fn func(string) int32) {
 	for i := range next.entries {
 		next.entries[i].actIdx = fn(next.entries[i].Action) + 1
 	}
-	ti.state.Store(next)
+	ti.publish(next)
 }
 
 func (t *TableSpec) allExact() bool {
@@ -301,7 +320,7 @@ func (ti *TableInstance) Insert(e *TableEntry) error {
 	} else {
 		sortEntries(next.entries)
 	}
-	ti.state.Store(next)
+	ti.publish(next)
 	return nil
 }
 
@@ -351,7 +370,7 @@ func (ti *TableInstance) ReplaceAll(entries []*TableEntry) error {
 	} else {
 		sortEntries(next.entries)
 	}
-	ti.state.Store(next)
+	ti.publish(next)
 	return nil
 }
 
@@ -392,7 +411,7 @@ func (ti *TableInstance) Delete(match []MatchValue) error {
 				// tombstones; removals are control-plane rare, so rebuild.
 				next.exact = buildExactIndex(next.entries)
 			}
-			ti.state.Store(next)
+			ti.publish(next)
 			return nil
 		}
 	}
@@ -415,7 +434,7 @@ func matchEqual(a, b []MatchValue) bool {
 func (ti *TableInstance) Clear() {
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
-	ti.state.Store(emptyTableState)
+	ti.publish(emptyTableState)
 }
 
 // Entries returns a snapshot copy of the installed entries in match
@@ -457,13 +476,25 @@ func (ti *TableInstance) Lookup(keys []uint64) (action string, params []uint64, 
 // pointer references an immutable snapshot and must be treated as
 // read-only.
 func (ti *TableInstance) LookupEntry(keys []uint64) (*TableEntry, bool) {
-	st := ti.load()
+	e, ok := ti.lookupIn(ti.load(), keys)
+	if ok {
+		ti.hits.Add(1)
+	} else {
+		ti.misses.Add(1)
+	}
+	return e, ok
+}
+
+// lookupIn is LookupEntry's matching over an explicit state snapshot,
+// without statistics updates. Batched execution (BatchState) loads a
+// table's snapshot once per batch, matches against it here for every
+// packet, and flushes aggregated hit/miss counts at batch end — totals
+// are identical to per-packet LookupEntry calls.
+func (ti *TableInstance) lookupIn(st *tableState, keys []uint64) (*TableEntry, bool) {
 	if st.exact != nil {
 		if pos := st.exact.find(st.entries, keys); pos >= 0 {
-			ti.hits.Add(1)
 			return &st.entries[pos], true
 		}
-		ti.misses.Add(1)
 		return nil, false
 	}
 	specKeys := ti.Spec.Keys
@@ -482,11 +513,9 @@ func (ti *TableInstance) LookupEntry(keys []uint64) (*TableEntry, bool) {
 			}
 		}
 		if ok {
-			ti.hits.Add(1)
 			return e, true
 		}
 	}
-	ti.misses.Add(1)
 	return nil, false
 }
 

@@ -92,6 +92,8 @@ type Sim struct {
 	groupOf     []int32
 	applies     []func()
 	onBatchEnd  func()
+	shardBegin  []func(*Worker)
+	shardEnd    []func(*Worker)
 
 	// Processed counts events executed so far.
 	Processed uint64

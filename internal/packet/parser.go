@@ -315,6 +315,26 @@ func (g *ParseGraph) CheckFields(p *Packet) error {
 	return nil
 }
 
+// SelectFields returns the distinct select-field names used by the
+// graph's states, sorted. The parser's control flow — and therefore
+// CheckFields' outcome — is a function of a packet's header list plus
+// exactly these field values, which is what lets the flow cache
+// validate parser behavior per follower packet (DESIGN.md §12).
+func (g *ParseGraph) SelectFields() []string {
+	seen := make(map[string]struct{}, len(g.states))
+	for _, st := range g.states {
+		if st.SelectField != "" {
+			seen[st.SelectField] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for f := range seen {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // StandardParseGraph builds the default infrastructure parser:
 // eth → (vlan) → ipv4 → tcp/udp/drpc, with an optional flexepoch shim
 // between eth and the rest.

@@ -50,3 +50,75 @@ if ! diff -u "$BASELINE" "$CURRENT"; then
     exit 1
 fi
 echo "benchdiff: OK — 8-worker output matches $BASELINE byte-for-byte."
+
+# The flow cache's contract (DESIGN.md §12): enabling -flowcache may
+# only ADD flowcache.* instrument lines to the telemetry summary; every
+# experiment table, dev.* counter, and histogram must stay byte-
+# identical. Re-run with the cache on, strip the flowcache.* lines
+# (they are indented under the telemetry summary), and require the
+# remainder to match the baseline exactly.
+echo "benchdiff: running flexbench (seed 1, flow cache on)..."
+go run ./cmd/flexbench -seed 1 -flowcache -o "$CURRENT" > /dev/null
+
+FILTERED=$(mktemp /tmp/flexbench.XXXXXX.md)
+trap 'rm -f "$CURRENT" "$FILTERED"' EXIT
+grep -v '^[[:space:]]*flowcache\.' "$CURRENT" > "$FILTERED"
+
+if ! diff -u "$BASELINE" "$FILTERED"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — the flow cache changed non-flowcache output." >&2
+    echo "Cache replay must reproduce verdicts, packet state, and the" >&2
+    echo "Instrs/Lookups accounting exactly; this is a cache soundness" >&2
+    echo "bug, not a baseline drift." >&2
+    exit 1
+fi
+echo "benchdiff: OK — flow-cache output matches $BASELINE modulo flowcache.* lines."
+
+# Perf-drift gate on the cached run's effectiveness: the E17 table's
+# "pkts delivered" and "hit %" columns (cache-on rows) must stay within
+# ±10% of the checked-in baseline. Byte-identity above makes equality
+# the expected case; this gate states the tolerance explicitly so a
+# deliberate baseline refresh that silently craters the hit rate still
+# fails CI.
+echo "benchdiff: checking E17 delivered/hit-rate drift (±10%)..."
+if ! awk -F'|' '
+    function trim(s) { gsub(/^[ \t]+|[ \t]+$/, "", s); return s }
+    FNR == 1 { nf++; inE17 = 0 }
+    /^## E17/ { inE17 = 1; next }
+    /^Finding/ { inE17 = 0 }
+    inE17 && NF >= 9 && trim($2) == "on" {
+        flows = trim($3)
+        pk[nf ":" flows] = trim($4) + 0
+        hit[nf ":" flows] = trim($6) + 0
+        seen[flows] = 1
+    }
+    END {
+        fail = 0
+        for (f in seen) {
+            bp = pk[1 ":" f]; cp = pk[2 ":" f]
+            bh = hit[1 ":" f]; ch = hit[2 ":" f]
+            if (bp == 0 || bh == 0) {
+                printf "benchdiff: E17 flows=%s missing from baseline\n", f
+                fail = 1
+                continue
+            }
+            if (cp < 0.9 * bp || cp > 1.1 * bp) {
+                printf "benchdiff: E17 flows=%s pkts delivered drifted >10%%: %d vs baseline %d\n", f, cp, bp
+                fail = 1
+            }
+            if (ch < 0.9 * bh || ch > 1.1 * bh) {
+                printf "benchdiff: E17 flows=%s hit rate drifted >10%%: %.2f vs baseline %.2f\n", f, ch, bh
+                fail = 1
+            }
+        }
+        if (!fail && length(seen) == 0) {
+            print "benchdiff: no E17 cache-on rows found"
+            fail = 1
+        }
+        exit fail
+    }' "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — flow-cache effectiveness drifted from $BASELINE." >&2
+    exit 1
+fi
+echo "benchdiff: OK — E17 cache effectiveness within ±10% of baseline."
