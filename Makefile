@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-parallel bench-steady benchdiff checkdocs expdiff docs cover profile scale
+.PHONY: all build test race vet fmt lint check bench bench-parallel bench-steady bench-control benchdiff checkdocs expdiff docs cover profile scale
 
 all: build
 
@@ -41,6 +41,12 @@ bench-parallel:
 # before/after table in BENCH_PR7.md comes from this target).
 bench-steady:
 	$(GO) test -bench 'BenchmarkSteadyStatePipeline' -benchmem -benchtime 10x -run '^$$' .
+
+# bench-control measures the control-plane fast path (DESIGN.md §13):
+# per-op planning cost incremental vs full-recompute, plus the E18
+# experiment end-to-end (the BENCH_PR8.md table comes from this target).
+bench-control:
+	$(GO) test -bench 'BenchmarkControlPlaneOps|BenchmarkE18ControlPlane' -benchmem -benchtime 5x -run '^$$' .
 
 # profile runs the experiment suite under the CPU and heap profilers;
 # inspect with `go tool pprof cpu.pprof`.

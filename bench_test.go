@@ -12,14 +12,19 @@ package flexnet
 // printed by cmd/flexbench or recorded in EXPERIMENTS.md).
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"flexnet/internal/compiler"
+	"flexnet/internal/controller"
 	"flexnet/internal/dataplane"
 	"flexnet/internal/experiments"
+	"flexnet/internal/fabric"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/packet"
+	"flexnet/internal/runtime"
 )
 
 func benchTable(b *testing.B, fn func(int64) *experiments.Table) {
@@ -83,6 +88,71 @@ func BenchmarkE16ScaleOut(b *testing.B) { benchTable(b, experiments.E16ScaleOut)
 
 // BenchmarkE17FastPath regenerates E17 (batched execution + flow cache).
 func BenchmarkE17FastPath(b *testing.B) { benchTable(b, experiments.E17FastPath) }
+
+// BenchmarkE18ControlPlane regenerates E18 (control-plane fast path).
+func BenchmarkE18ControlPlane(b *testing.B) { benchTable(b, experiments.E18ControlPlane) }
+
+// benchControlPlaneOps measures harness wall time per control-plane
+// update op on a k=8 fat-tree (80 switches) — the planning work itself,
+// not the simulated latency E18 reports. The incremental/full split
+// shows the real CPU cost of replanning over the whole fabric per op.
+func benchControlPlaneOps(b *testing.B, incremental bool) {
+	b.Helper()
+	f := fabric.New(1)
+	if err := fabric.BuildFatTree(f, fabric.FatTreeSpec{K: 8, HostsPerEdge: 1}); err != nil {
+		b.Fatal(err)
+	}
+	eng := runtime.NewEngine(f.Sim, runtime.DefaultCosts())
+	ctl := controller.New(f, eng, compiler.StrategyBinPack)
+	ctl.SetIncrementalPlacement(incremental)
+	ctx := context.Background()
+	mkSeg := func(entries int) *Program {
+		return NewProgram("seg").
+			HashMap("seg_m", entries, 8).SharedMap().
+			Do(NewAsm().Ret().MustBuild()).
+			MustBuild()
+	}
+	settle := func(op func(done func(error))) {
+		var opErr error
+		settled := false
+		op(func(err error) { opErr, settled = err, true })
+		for i := 0; i < 100 && !settled; i++ {
+			f.Sim.RunFor(100 * time.Millisecond)
+		}
+		if !settled || opErr != nil {
+			b.Fatalf("control-plane op: settled=%v err=%v", settled, opErr)
+		}
+	}
+	uri := "flexnet://bench/app"
+	dp := &flexbpf.Datapath{Name: uri, Segments: []*Program{mkSeg(512)}}
+	settle(func(done func(error)) {
+		ctl.Deploy(ctx, uri, dp, controller.DeployOptions{Path: []string{"p0-e0"}}, done)
+	})
+	size := 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if size == 512 {
+			size = 1024
+		} else {
+			size = 512
+		}
+		d := &Delta{Name: "resize", Ops: []DeltaOp{
+			{RemoveMaps: "seg_m"},
+			{AddMap: &flexbpf.MapSpec{Name: "seg_m", Kind: flexbpf.MapHash, MaxEntries: size, ValueBits: 8, Shared: true}},
+		}}
+		settle(func(done func(error)) {
+			ctl.UpdateApp(ctx, uri, "seg", d, func(_ *DeltaReport, err error) { done(err) })
+		})
+	}
+}
+
+// BenchmarkControlPlaneOps compares per-op controller planning cost with
+// incremental placement (default) against the full-recompute baseline.
+func BenchmarkControlPlaneOps(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) { benchControlPlaneOps(b, true) })
+	b.Run("full", func(b *testing.B) { benchControlPlaneOps(b, false) })
+}
 
 // --- Micro-benchmarks of the core data path. ---
 

@@ -1,4 +1,4 @@
-// Command flexbench runs the FlexNet experiment suite (E1–E16, the
+// Command flexbench runs the FlexNet experiment suite (E1–E18, the
 // claim-by-claim reproduction of the paper's vision — see DESIGN.md §3)
 // and prints each result table. With -o it also writes the results as
 // the measurement section of EXPERIMENTS.md.
@@ -135,6 +135,7 @@ func main() {
 		{"E15", experiments.E15FaultRecovery},
 		{"E16", experiments.E16ScaleOut},
 		{"E17", experiments.E17FastPath},
+		{"E18", experiments.E18ControlPlane},
 	}
 
 	var rendered []string

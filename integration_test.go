@@ -175,7 +175,7 @@ func TestIntegrationExperimentSuiteRuns(t *testing.T) {
 		t.Skip("experiment suite is slow")
 	}
 	tables := experiments.All(1)
-	if len(tables) != 17 {
+	if len(tables) != 18 {
 		t.Fatalf("suite produced %d tables", len(tables))
 	}
 	for _, tab := range tables {

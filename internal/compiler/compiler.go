@@ -110,6 +110,12 @@ type Plan struct {
 	// EnergyWatts is the added static power of devices activated by this
 	// plan.
 	EnergyWatts float64
+	// TargetsScanned counts candidate-device examinations performed while
+	// placing — the work term the control-plane cost model charges for
+	// (Costs.PlaceTarget). Full compilation scans every target per
+	// segment per round; incremental plans scan only around the touched
+	// segments.
+	TargetsScanned int
 }
 
 // DeviceFor returns the device assigned to a segment, or "".
@@ -185,7 +191,8 @@ func (c *Compiler) Compile(dp *flexbpf.Datapath, targets []Target, path []string
 	var lastErr error
 	for iter := 1; iter <= maxIter; iter++ {
 		plan.Iterations = iter
-		assignments, err := c.tryPlace(dp, scratch, pathPos)
+		assignments, scanned, err := c.tryPlace(dp, scratch, pathPos)
+		plan.TargetsScanned += scanned
 		if err == nil {
 			plan.Assignments = assignments
 			c.finish(plan, dp, scratch, index)
@@ -235,9 +242,11 @@ func sortedKeys(m map[string]flexbpf.Demand) []string {
 	return out
 }
 
-// tryPlace attempts one placement round over scratch targets.
-func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, pathPos []int) ([]Assignment, error) {
+// tryPlace attempts one placement round over scratch targets. The second
+// result counts candidate-target examinations (the placement work term).
+func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, pathPos []int) ([]Assignment, int, error) {
 	var out []Assignment
+	scanned := 0
 	reserved := map[int]flexbpf.Demand{}
 	activated := map[int]bool{}
 	minPos := 0
@@ -246,6 +255,7 @@ func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, path
 		best := -1
 		bestScore := 0.0
 		for i, st := range scratch {
+			scanned++
 			if pathPos[i] < 0 || pathPos[i] < minPos {
 				continue
 			}
@@ -271,7 +281,7 @@ func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, path
 			}
 		}
 		if best == -1 {
-			return nil, fmt.Errorf("no device fits segment %s (demand %v): %w", seg.Name, need, errdefs.ErrInsufficientResources)
+			return nil, scanned, fmt.Errorf("no device fits segment %s (demand %v): %w", seg.Name, need, errdefs.ErrInsufficientResources)
 		}
 		reserved[best] = reserved[best].Add(need)
 		if !scratch[best].Active() {
@@ -287,7 +297,7 @@ func (c *Compiler) tryPlace(dp *flexbpf.Datapath, scratch []*scratchTarget, path
 			scratch[i].activated = true
 		}
 	}
-	return out, nil
+	return out, scanned, nil
 }
 
 // score ranks candidate devices; higher is better.

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"flexnet/internal/errdefs"
 	"flexnet/internal/flexbpf"
 )
 
@@ -61,6 +62,11 @@ type IncrementalPlan struct {
 	EntriesMigrated int
 	// Iterations from the underlying compile rounds.
 	Iterations int
+	// TargetsScanned counts candidate-device examinations — the placement
+	// work term charged by the control-plane cost model. Incremental
+	// recompiles scan only around touched segments, so this stays flat as
+	// the fabric grows; a fallback to full compilation pays the full scan.
+	TargetsScanned int
 }
 
 // Recompile computes an incremental plan that morphs prevPlan (for the
@@ -151,6 +157,7 @@ func (c *Compiler) Recompile(prevPlan *Plan, old, new *flexbpf.Datapath, targets
 		need := flexbpf.ProgramDemand(seg)
 		placed := ""
 		for _, cand := range candidateOrder(name, new, prevPlan, path, targets) {
+			out.TargetsScanned++
 			t := byName[cand]
 			if t == nil || !t.Capabilities().Satisfies(seg.Requires) {
 				continue
@@ -166,7 +173,11 @@ func (c *Compiler) Recompile(prevPlan *Plan, old, new *flexbpf.Datapath, targets
 			if err != nil {
 				return nil, fmt.Errorf("compiler: incremental fallback failed: %w", err)
 			}
-			fullInc := &IncrementalPlan{Place: full.Assignments, Iterations: full.Iterations + 1}
+			fullInc := &IncrementalPlan{
+				Place:          full.Assignments,
+				Iterations:     full.Iterations + 1,
+				TargetsScanned: out.TargetsScanned + full.TargetsScanned,
+			}
 			for _, a := range full.Assignments {
 				if prev := prevPlan.DeviceFor(a.Segment); prev != "" && prev != a.Device {
 					fullInc.Moves++
@@ -182,6 +193,51 @@ func (c *Compiler) Recompile(prevPlan *Plan, old, new *flexbpf.Datapath, targets
 		out.Place = append(out.Place, Assignment{Segment: name, Device: placed})
 	}
 	return out, nil
+}
+
+// PlaceSegment finds a device for one standalone segment (scale-out
+// replica placement): path devices first, then the remaining targets in
+// order, first fit that satisfies capabilities, demand, and the device's
+// own feasibility check. exclude names devices that must not be chosen
+// (replicas already hosting the segment). The second result counts
+// targets examined, for the placement cost model.
+func PlaceSegment(seg *flexbpf.Program, targets []Target, path []string, exclude map[string]bool) (string, int, error) {
+	byName := map[string]Target{}
+	for _, t := range targets {
+		byName[t.Name()] = t
+	}
+	need := flexbpf.ProgramDemand(seg)
+	scanned := 0
+	seen := map[string]bool{}
+	try := func(name string) bool {
+		if seen[name] {
+			return false
+		}
+		seen[name] = true
+		scanned++
+		t := byName[name]
+		if t == nil || exclude[name] {
+			return false
+		}
+		if !t.Capabilities().Satisfies(seg.Requires) {
+			return false
+		}
+		if !need.Fits(t.Free()) || !t.CanHost(seg) {
+			return false
+		}
+		return true
+	}
+	for _, name := range path {
+		if try(name) {
+			return name, scanned, nil
+		}
+	}
+	for _, t := range targets {
+		if try(t.Name()) {
+			return t.Name(), scanned, nil
+		}
+	}
+	return "", scanned, fmt.Errorf("compiler: no device fits segment %s (demand %v): %w", seg.Name, need, errdefs.ErrInsufficientResources)
 }
 
 // candidateOrder ranks devices for a new segment: first the devices

@@ -74,6 +74,30 @@ func (t *DeviceTarget) Removable() map[string]flexbpf.Demand {
 	return out
 }
 
+// RefundTarget overlays a Target with demand that should be treated as
+// free for the duration of one compilation. The controller uses it to
+// recompute an app's placement from scratch: the app's own installed
+// replicas still occupy their devices, so a plain full Compile would see
+// the fabric as fuller than the placement problem actually is. Refunding
+// the app's per-device demand makes repeated full recomputes reproduce
+// the original placement deterministically.
+//
+// CanHost is answered by demand arithmetic against the refunded Free —
+// the wrapped device's own dry-run would count the app's live replicas
+// and refuse placements that are valid once they are released.
+type RefundTarget struct {
+	Target
+	Refund flexbpf.Demand
+}
+
+// Free implements Target with the refund applied.
+func (t *RefundTarget) Free() flexbpf.Demand { return t.Target.Free().Add(t.Refund) }
+
+// CanHost implements Target by demand arithmetic over the refunded Free.
+func (t *RefundTarget) CanHost(prog *flexbpf.Program) bool {
+	return flexbpf.ProgramDemand(prog).Fits(t.Free())
+}
+
 // Reclaim implements Target.
 func (t *DeviceTarget) Reclaim(name string) error {
 	if _, ok := t.removable[name]; !ok {

@@ -10,6 +10,12 @@
 // by VLAN filters; departures trigger program removal and resource
 // reclamation.
 //
+// Control-plane cost is proportional to what an operation touches
+// (DESIGN.md §13): app/tenant state is sharded by owner, the compile
+// target list is cached by fabric generation, and update/scale
+// operations recompile placement incrementally from the app's previous
+// plan instead of recomputing the fabric-wide placement.
+//
 // DESIGN.md §2 (S9) inventories the controller; operations execute as §5 change plans, and §10.3 specifies the self-healing loop (heal.go).
 package controller
 
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"flexnet/internal/compiler"
 	"flexnet/internal/errdefs"
@@ -28,6 +35,7 @@ import (
 	"flexnet/internal/packet"
 	"flexnet/internal/plan"
 	"flexnet/internal/runtime"
+	"flexnet/internal/telemetry"
 )
 
 // AppStatus is an application's lifecycle state.
@@ -67,8 +75,12 @@ type App struct {
 	Tenant string
 	// Datapath is the logical program chain.
 	Datapath *flexbpf.Datapath
-	// Plan is the current placement.
+	// Plan is the current placement. It is kept current across updates,
+	// migrations, and redeploys — the incremental recompiler keys off it.
 	Plan *compiler.Plan
+	// Path is the deployment's placement restriction (DeployOptions.Path),
+	// remembered so recompiles plan against the same candidate order.
+	Path []string
 	// Replicas maps segment name → devices hosting replicas (the first
 	// is the primary from Plan; extras come from ScaleOut).
 	Replicas map[string][]string
@@ -100,14 +112,26 @@ type Controller struct {
 	// lastReport is the report of the most recently finished plan.
 	lastReport *plan.Report
 
-	apps    map[string]*App
-	tenants map[string]*Tenant
-	targets map[string]*compiler.DeviceTarget
-	// nextVLAN allocates tenant VLANs.
+	// state holds apps and tenants, sharded by owner (shard.go).
+	state *shardedState
+	// targets is the generation-keyed compile-target cache.
+	targets *targetCache
+	// incremental selects incremental placement recompilation for
+	// update/scale operations (the default); off recomputes the app's
+	// full placement per op — the fabric-size-proportional baseline E18
+	// contrasts against.
+	incremental bool
+	// nextVLAN allocates tenant VLANs (atomic).
 	nextVLAN uint64
 
-	// Punts receives packets the data plane sends to the controller.
-	Punts []PuntRecord
+	// placeScans / placeSegs count placement work: candidate targets
+	// examined and segment placements recomputed across all operations.
+	placeScans *telemetry.Counter
+	placeSegs  *telemetry.Counter
+
+	// Punts buffers packets the data plane sends to the controller
+	// (bounded; see PuntRing).
+	Punts *PuntRing
 	// OnPunt, when set, is called for each punted packet.
 	OnPunt func(dev string, pkt *packet.Packet)
 }
@@ -122,17 +146,21 @@ type PuntRecord struct {
 // New creates a controller over the fabric.
 func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *Controller {
 	c := &Controller{
-		fab:      fab,
-		eng:      eng,
-		comp:     compiler.New(strategy),
-		mig:      migrate.New(fab, eng),
-		apps:     map[string]*App{},
-		tenants:  map[string]*Tenant{},
-		targets:  map[string]*compiler.DeviceTarget{},
-		nextVLAN: 100,
+		fab:         fab,
+		eng:         eng,
+		comp:        compiler.New(strategy),
+		mig:         migrate.New(fab, eng),
+		state:       newShardedState(),
+		targets:     newTargetCache(fab),
+		incremental: true,
+		nextVLAN:    100,
+		placeScans:  fab.Metrics.Counter("ctl.placement.targets_scanned"),
+		placeSegs:   fab.Metrics.Counter("ctl.placement.segments_recompiled"),
+		Punts:       NewPuntRing(0),
 	}
-	for _, name := range fab.Devices() {
-		c.targets[name] = compiler.NewDeviceTarget(fab.Device(name))
+	c.Punts.onDrop = func() {
+		// Lazily created so punt-light runs export an unchanged snapshot.
+		fab.Metrics.Counter("ctl.punts_dropped").Inc()
 	}
 	c.mig.Flip = func(prog, src, dst string) {
 		// Migration flip: the source instance is removed; traffic
@@ -142,7 +170,7 @@ func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *C
 	c.exec = runtime.NewExecutor(eng, fab.Device, c.mig, fab)
 	c.exec.SetTelemetry(fab.Metrics, fab.Tracer)
 	fab.Punted = func(dev string, pkt *packet.Packet) {
-		c.Punts = append(c.Punts, PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
+		c.Punts.Append(PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
 		if c.OnPunt != nil {
 			c.OnPunt(dev, pkt)
 		}
@@ -163,6 +191,32 @@ func (c *Controller) instrument(op string, done func(error)) func(error) {
 			done(err)
 		}
 	}
+}
+
+// SetIncrementalPlacement toggles incremental placement recompilation
+// (on by default). Off, every update/scale operation recomputes the
+// app's placement from scratch and re-lists the fabric — the
+// O(fabric-size) baseline the E18 experiment measures against.
+func (c *Controller) SetIncrementalPlacement(on bool) { c.incremental = on }
+
+// IncrementalPlacement reports the current placement mode.
+func (c *Controller) IncrementalPlacement() bool { return c.incremental }
+
+// planningCharge prices one operation's placement work (scanned
+// candidate targets, recompiled segment placements) and records it in
+// the ctl.placement.* counters. Full mode additionally pays the per-op
+// target list rebuild the cache elides.
+func (c *Controller) planningCharge(scanned, segments int) netsim.Time {
+	if !c.incremental {
+		scanned += c.targets.size()
+	}
+	if scanned > 0 {
+		c.placeScans.Add(uint64(scanned))
+	}
+	if segments > 0 {
+		c.placeSegs.Add(uint64(segments))
+	}
+	return c.eng.EstimatePlacement(scanned, segments)
 }
 
 // Compiler exposes the placement compiler (for strategy tweaks).
@@ -188,7 +242,7 @@ func (c *Controller) tenantFilter(tenant string) *flexbpf.Cond {
 	if tenant == "" {
 		return nil
 	}
-	t := c.tenants[tenant]
+	t := c.state.tenant(tenant)
 	if t == nil {
 		return nil
 	}
@@ -208,18 +262,21 @@ func ValidURI(uri string) bool {
 // AddTenant admits a tenant and allocates its isolation VLAN.
 func (c *Controller) AddTenant(name string) (*Tenant, error) {
 	c.fab.Metrics.Counter("ctl.ops.tenant_add").Inc()
-	if _, dup := c.tenants[name]; dup {
+	sh := c.state.shardFor(name)
+	sh.mu.Lock()
+	if _, dup := sh.tenants[name]; dup {
+		sh.mu.Unlock()
 		c.fab.Metrics.Counter("ctl.op_failures").Inc()
 		return nil, fmt.Errorf("controller: tenant %q already admitted", name)
 	}
-	t := &Tenant{Name: name, VLAN: c.nextVLAN}
-	c.nextVLAN++
-	c.tenants[name] = t
+	t := &Tenant{Name: name, VLAN: atomic.AddUint64(&c.nextVLAN, 1) - 1}
+	sh.tenants[name] = t
+	sh.mu.Unlock()
 	return t, nil
 }
 
 // Tenant returns an admitted tenant, or nil.
-func (c *Controller) Tenant(name string) *Tenant { return c.tenants[name] }
+func (c *Controller) Tenant(name string) *Tenant { return c.state.tenant(name) }
 
 // RemoveTenant removes a tenant and all of its apps, reclaiming their
 // resources (§1.1 "Tenant departures trigger program removal to trim the
@@ -227,7 +284,7 @@ func (c *Controller) Tenant(name string) *Tenant { return c.tenants[name] }
 // committed. ctx cancellation propagates to each app's removal plan.
 func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(error)) {
 	done = c.instrument("tenant_remove", done)
-	t := c.tenants[name]
+	t := c.state.tenant(name)
 	if t == nil {
 		done(fmt.Errorf("controller: no tenant %q", name))
 		return
@@ -235,7 +292,7 @@ func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(er
 	uris := append([]string(nil), t.Apps...)
 	remaining := len(uris)
 	if remaining == 0 {
-		delete(c.tenants, name)
+		c.state.deleteTenant(name)
 		done(nil)
 		return
 	}
@@ -247,7 +304,7 @@ func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(er
 			}
 			remaining--
 			if remaining == 0 {
-				delete(c.tenants, name)
+				c.state.deleteTenant(name)
 				done(firstErr)
 			}
 		})
@@ -271,14 +328,17 @@ func (c *Controller) PlanDeploy(uri string, dp *flexbpf.Datapath, opts DeployOpt
 	if !ValidURI(uri) {
 		return nil, nil, fmt.Errorf("controller: malformed app URI %q", uri)
 	}
-	if _, dup := c.apps[uri]; dup {
+	if c.state.app(uri) != nil {
 		return nil, nil, fmt.Errorf("controller: app %q already deployed", uri)
 	}
-	if opts.Tenant != "" && c.tenants[opts.Tenant] == nil {
+	if opts.Tenant != "" && c.state.tenant(opts.Tenant) == nil {
 		return nil, nil, fmt.Errorf("controller: tenant %q not admitted", opts.Tenant)
 	}
 	// Compile against current device state.
-	targets := c.targetList(opts.Path)
+	targets, err := c.targetList(opts.Path)
+	if err != nil {
+		return nil, nil, err
+	}
 	placement, err := c.comp.Compile(dp, targets, opts.Path)
 	if err != nil {
 		return nil, nil, err
@@ -291,6 +351,7 @@ func (c *Controller) PlanDeploy(uri string, dp *flexbpf.Datapath, opts DeployOpt
 	for _, a := range placement.Assignments {
 		cp.Install(a.Device, instanceName(uri, a.Segment), dp.Segment(a.Segment), filter, 0)
 	}
+	cp.Planning(c.planningCharge(placement.TargetsScanned, len(dp.Segments)))
 	return cp, placement, nil
 }
 
@@ -316,16 +377,16 @@ func (c *Controller) Deploy(ctx context.Context, uri string, dp *flexbpf.Datapat
 		Tenant:   opts.Tenant,
 		Datapath: dp,
 		Plan:     placement,
+		Path:     opts.Path,
 		Replicas: map[string][]string{},
 		Status:   StatusDeploying,
 	}
 	for _, a := range placement.Assignments {
 		app.Replicas[a.Segment] = []string{a.Device}
 	}
-	c.apps[uri] = app
+	c.state.putApp(app)
 	if opts.Tenant != "" {
-		t := c.tenants[opts.Tenant]
-		t.Apps = append(t.Apps, uri)
+		c.state.addTenantApp(opts.Tenant, uri)
 	}
 	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
@@ -333,14 +394,9 @@ func (c *Controller) Deploy(ctx context.Context, uri string, dp *flexbpf.Datapat
 			// Rollback restored the devices; release the URI so a
 			// corrected deployment can retry.
 			app.Status = StatusFailed
-			delete(c.apps, uri)
-			if t := c.tenants[opts.Tenant]; t != nil {
-				for i, u := range t.Apps {
-					if u == uri {
-						t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
-						break
-					}
-				}
+			c.state.deleteApp(uri)
+			if opts.Tenant != "" {
+				c.state.removeTenantApp(opts.Tenant, uri)
 			}
 			fail(r.Err)
 			return
@@ -353,38 +409,34 @@ func (c *Controller) Deploy(ctx context.Context, uri string, dp *flexbpf.Datapat
 }
 
 // targetList returns compile targets, restricted to path when given.
-func (c *Controller) targetList(path []string) []compiler.Target {
-	var names []string
-	if path != nil {
-		names = path
-	} else {
-		names = c.fab.Devices()
+// The unrestricted list comes straight from the generation-keyed cache;
+// a path naming a device the fabric does not have is an error
+// (errdefs.ErrUnknownDevice) — compiling onto the silently-shrunk
+// target set used to mask typos as placement failures.
+func (c *Controller) targetList(path []string) ([]compiler.Target, error) {
+	if path == nil {
+		return c.targets.list(), nil
 	}
-	var out []compiler.Target
-	for _, n := range names {
-		if t, ok := c.targets[n]; ok {
-			out = append(out, t)
+	out := make([]compiler.Target, 0, len(path))
+	for _, n := range path {
+		t := c.targets.get(n)
+		if t == nil {
+			return nil, fmt.Errorf("controller: path names %q: %w", n, errdefs.ErrUnknownDevice)
 		}
+		out = append(out, t)
 	}
-	return out
+	return out, nil
 }
 
 // App returns the app registered under uri, or nil.
-func (c *Controller) App(uri string) *App { return c.apps[uri] }
+func (c *Controller) App(uri string) *App { return c.state.app(uri) }
 
 // Apps returns deployed URIs in sorted order.
-func (c *Controller) Apps() []string {
-	out := make([]string, 0, len(c.apps))
-	for u := range c.apps {
-		out = append(out, u)
-	}
-	sort.Strings(out)
-	return out
-}
+func (c *Controller) Apps() []string { return c.state.appURIs() }
 
 // PlanRemove builds the removal plan for every replica of an app.
 func (c *Controller) PlanRemove(uri string) (*plan.ChangePlan, error) {
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	if app == nil {
 		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
@@ -418,7 +470,7 @@ func (c *Controller) Remove(ctx context.Context, uri string, done func(error)) {
 		}
 		return
 	}
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	app.Status = StatusRemoving
 	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
@@ -429,16 +481,9 @@ func (c *Controller) Remove(ctx context.Context, uri string, done func(error)) {
 			}
 			return
 		}
-		delete(c.apps, uri)
+		c.state.deleteApp(uri)
 		if app.Tenant != "" {
-			if t := c.tenants[app.Tenant]; t != nil {
-				for i, u := range t.Apps {
-					if u == uri {
-						t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
-						break
-					}
-				}
-			}
+			c.state.removeTenantApp(app.Tenant, uri)
 		}
 		if done != nil {
 			done(nil)
@@ -446,29 +491,48 @@ func (c *Controller) Remove(ctx context.Context, uri string, done func(error)) {
 	})
 }
 
-// PlanScaleOut builds the plan for one additional replica.
-func (c *Controller) PlanScaleOut(uri, segment, device string) (*plan.ChangePlan, error) {
-	app := c.apps[uri]
+// PlanScaleOut builds the plan for one additional replica. An empty
+// device auto-places the replica: the compiler scans the app's path
+// first, then the fabric, for the first device that fits — the chosen
+// device is returned. The returned device equals the argument when one
+// was given.
+func (c *Controller) PlanScaleOut(uri, segment, device string) (*plan.ChangePlan, string, error) {
+	app := c.state.app(uri)
 	if app == nil {
-		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
+		return nil, "", fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
 	seg := app.Datapath.Segment(segment)
 	if seg == nil {
-		return nil, fmt.Errorf("controller: app %q has no segment %q: %w", uri, segment, errdefs.ErrNoSuchApp)
+		return nil, "", fmt.Errorf("controller: app %q has no segment %q: %w", uri, segment, errdefs.ErrNoSuchApp)
 	}
-	for _, d := range app.Replicas[segment] {
-		if d == device {
-			return nil, fmt.Errorf("controller: %q already replicated on %s", uri, device)
+	scanned := 1
+	if device == "" {
+		exclude := map[string]bool{}
+		for _, d := range app.Replicas[segment] {
+			exclude[d] = true
+		}
+		var err error
+		device, scanned, err = compiler.PlaceSegment(seg, c.targets.list(), app.Path, exclude)
+		if err != nil {
+			return nil, "", fmt.Errorf("controller: scale-out %s/%s: %w", uri, segment, err)
+		}
+	} else {
+		for _, d := range app.Replicas[segment] {
+			if d == device {
+				return nil, "", fmt.Errorf("controller: %q already replicated on %s", uri, device)
+			}
 		}
 	}
 	cp := plan.New(fmt.Sprintf("scale-out %s/%s -> %s", uri, segment, device))
 	cp.Install(device, instanceName(uri, segment), seg, c.tenantFilter(app.Tenant), 0)
-	return cp, nil
+	cp.Planning(c.planningCharge(scanned, 1))
+	return cp, device, nil
 }
 
 // ScaleOut installs an additional replica of an app segment on a device
 // (elastic defenses, §1.1: defenses "dynamically scale in and out based
-// on attack traffic volume").
+// on attack traffic volume"). An empty device lets the controller pick
+// one (see PlanScaleOut).
 func (c *Controller) ScaleOut(ctx context.Context, uri, segment, device string, done func(error)) {
 	done = c.instrument("scale_out", done)
 	fail := func(err error) {
@@ -476,19 +540,19 @@ func (c *Controller) ScaleOut(ctx context.Context, uri, segment, device string, 
 			done(err)
 		}
 	}
-	cp, err := c.PlanScaleOut(uri, segment, device)
+	cp, placed, err := c.PlanScaleOut(uri, segment, device)
 	if err != nil {
 		fail(err)
 		return
 	}
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
 			fail(r.Err)
 			return
 		}
-		app.Replicas[segment] = append(app.Replicas[segment], device)
+		app.Replicas[segment] = append(app.Replicas[segment], placed)
 		if done != nil {
 			done(nil)
 		}
@@ -497,7 +561,7 @@ func (c *Controller) ScaleOut(ctx context.Context, uri, segment, device string, 
 
 // PlanScaleIn builds the plan to retire one replica.
 func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan, error) {
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	if app == nil {
 		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
@@ -520,6 +584,7 @@ func (c *Controller) PlanScaleIn(uri, segment, device string) (*plan.ChangePlan,
 	// as far as the network is concerned; degrade instead of aborting.
 	cp.AllowDegraded = true
 	cp.Remove(device, instanceName(uri, segment))
+	cp.Planning(c.planningCharge(0, 0))
 	return cp, nil
 }
 
@@ -536,7 +601,7 @@ func (c *Controller) ScaleIn(ctx context.Context, uri, segment, device string, d
 		fail(err)
 		return
 	}
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err != nil {
@@ -575,7 +640,7 @@ type MigrateRequest struct {
 // then move its state and flip traffic as a post-commit step.
 func (c *Controller) PlanMigrate(req MigrateRequest) (*plan.ChangePlan, error) {
 	uri, segment, dst := req.URI, req.Segment, req.Dst
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	if app == nil {
 		return nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
@@ -624,7 +689,7 @@ func (c *Controller) Migrate(ctx context.Context, req MigrateRequest, done func(
 		return
 	}
 	uri, segment, dst := req.URI, req.Segment, req.Dst
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	src := app.Replicas[segment][0]
 	instName := instanceName(uri, segment)
 	app.Status = StatusMigrating
@@ -642,6 +707,16 @@ func (c *Controller) Migrate(ctx context.Context, req MigrateRequest, done func(
 			return
 		}
 		app.Replicas[segment][0] = dst
+		// Keep the placement plan current: the incremental recompiler
+		// keys off it, so a stale assignment would undo the migration on
+		// the next update.
+		if app.Plan != nil {
+			for i, a := range app.Plan.Assignments {
+				if a.Segment == segment {
+					app.Plan.Assignments[i].Device = dst
+				}
+			}
+		}
 		done(c.mig.LastReport())
 	})
 }
@@ -673,13 +748,13 @@ func (c *Controller) ResourceView() []Resources {
 // MarkRemovable flags an app as reclaimable by the fungible compiler:
 // its device placements become garbage-collection candidates.
 func (c *Controller) MarkRemovable(uri string) error {
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	if app == nil {
 		return fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
 	for seg, devs := range app.Replicas {
 		for _, dev := range devs {
-			if t := c.targets[dev]; t != nil {
+			if t := c.targets.get(dev); t != nil {
 				if err := t.MarkRemovable(instanceName(uri, seg)); err != nil {
 					return err
 				}

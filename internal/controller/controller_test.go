@@ -303,10 +303,10 @@ func TestPuntsReachController(t *testing.T) {
 	src.StartCBR(10000)
 	f.Sim.RunFor(100 * time.Millisecond)
 	src.Stop()
-	if len(c.Punts) != 1 {
-		t.Fatalf("punts = %d, want 1", len(c.Punts))
+	if c.Punts.Len() != 1 {
+		t.Fatalf("punts = %d, want 1", c.Punts.Len())
 	}
-	if c.Punts[0].Device != "s1" {
-		t.Fatalf("punt from %s", c.Punts[0].Device)
+	if c.Punts.All()[0].Device != "s1" {
+		t.Fatalf("punt from %s", c.Punts.All()[0].Device)
 	}
 }

@@ -148,7 +148,7 @@ func (h *Healer) desiredPlan(name string, d *dataplane.Device) *plan.ChangePlan 
 		cp.Install(name, fabric.InfraProgramName, fabric.InfraRoutingProgram(), nil, dataplane.PriorityInfra)
 	}
 	for _, uri := range h.c.Apps() {
-		app := h.c.apps[uri]
+		app := h.c.state.app(uri)
 		segs := make([]string, 0, len(app.Replicas))
 		for seg := range app.Replicas {
 			segs = append(segs, seg)
@@ -183,7 +183,7 @@ func (h *Healer) desiredPlan(name string, d *dataplane.Device) *plan.ChangePlan 
 func (c *Controller) IntentDrift() []string {
 	var out []string
 	for _, uri := range c.Apps() {
-		app := c.apps[uri]
+		app := c.state.app(uri)
 		segs := make([]string, 0, len(app.Replicas))
 		for seg := range app.Replicas {
 			segs = append(segs, seg)

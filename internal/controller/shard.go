@@ -1,0 +1,291 @@
+package controller
+
+// This file holds the controller's fast-path state structures
+// (DESIGN.md §13.2): per-tenant state shards with fine-grained locking,
+// the generation-keyed compile-target cache, and the bounded punt ring.
+//
+// Sharding exists so that control-plane operations on disjoint tenants
+// never contend on one controller-wide structure: an app lookup locks
+// only the shard its owner hashes to, and the simulator's executor can
+// interleave disjoint-tenant plans without the controller serializing
+// them on shared state. The simulator's event loop is single-threaded,
+// so the locks cost nothing there; they make the same structures safe
+// for multi-goroutine drivers (benchmarks, future daemon frontends).
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"flexnet/internal/compiler"
+	"flexnet/internal/fabric"
+)
+
+// numShards is the controller state shard count. Eight is comfortably
+// above the concurrency any experiment drives while keeping the
+// all-shard scan (Apps) trivial.
+const numShards = 8
+
+// stateShard is one lock domain of controller state: the apps and
+// tenants whose owner hashes here.
+type stateShard struct {
+	mu      sync.Mutex
+	apps    map[string]*App
+	tenants map[string]*Tenant
+}
+
+// shardedState is the controller's app/tenant registry, sharded by
+// owner so disjoint tenants never share a lock.
+type shardedState struct {
+	shards [numShards]*stateShard
+}
+
+func newShardedState() *shardedState {
+	s := &shardedState{}
+	for i := range s.shards {
+		s.shards[i] = &stateShard{apps: map[string]*App{}, tenants: map[string]*Tenant{}}
+	}
+	return s
+}
+
+// uriOwner extracts the owner component of an app URI
+// ("flexnet://tenant-a/app" → "tenant-a"); apps shard by owner so one
+// tenant's control state lives behind one lock.
+func uriOwner(uri string) string {
+	rest := strings.TrimPrefix(uri, "flexnet://")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		return rest[:i]
+	}
+	return rest
+}
+
+func (s *shardedState) shardFor(owner string) *stateShard {
+	h := fnv.New32a()
+	h.Write([]byte(owner))
+	return s.shards[h.Sum32()%numShards]
+}
+
+func (s *shardedState) app(uri string) *App {
+	sh := s.shardFor(uriOwner(uri))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.apps[uri]
+}
+
+func (s *shardedState) putApp(app *App) {
+	sh := s.shardFor(uriOwner(app.URI))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.apps[app.URI] = app
+}
+
+func (s *shardedState) deleteApp(uri string) {
+	sh := s.shardFor(uriOwner(uri))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.apps, uri)
+}
+
+// appURIs returns every deployed URI in sorted order (all-shard scan).
+func (s *shardedState) appURIs() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for u := range sh.apps {
+			out = append(out, u)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *shardedState) tenant(name string) *Tenant {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tenants[name]
+}
+
+func (s *shardedState) putTenant(t *Tenant) {
+	sh := s.shardFor(t.Name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.tenants[t.Name] = t
+}
+
+func (s *shardedState) deleteTenant(name string) {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.tenants, name)
+}
+
+// addTenantApp / removeTenantApp mutate a tenant's app list under its
+// shard lock (tenant and its apps share a shard by construction).
+func (s *shardedState) addTenantApp(tenant, uri string) {
+	sh := s.shardFor(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t := sh.tenants[tenant]; t != nil {
+		t.Apps = append(t.Apps, uri)
+	}
+}
+
+func (s *shardedState) removeTenantApp(tenant, uri string) {
+	sh := s.shardFor(tenant)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	t := sh.tenants[tenant]
+	if t == nil {
+		return
+	}
+	for i, u := range t.Apps {
+		if u == uri {
+			t.Apps = append(t.Apps[:i], t.Apps[i+1:]...)
+			return
+		}
+	}
+}
+
+// targetCache is the controller's compile-target inventory, keyed by
+// fabric generation (device count — fabric membership only grows).
+// Before this cache, every planning operation rebuilt the full target
+// list by walking fab.Devices(); now the list is rebuilt only when a
+// device joins, and lookups by name are O(1). DeviceTarget objects are
+// stable across refreshes because they carry state (MarkRemovable).
+type targetCache struct {
+	mu     sync.Mutex
+	fab    *fabric.Fabric
+	gen    int
+	byName map[string]*compiler.DeviceTarget
+	all    []compiler.Target
+}
+
+func newTargetCache(fab *fabric.Fabric) *targetCache {
+	tc := &targetCache{fab: fab, byName: map[string]*compiler.DeviceTarget{}}
+	tc.mu.Lock()
+	tc.refreshLocked()
+	tc.mu.Unlock()
+	return tc
+}
+
+func (tc *targetCache) refreshLocked() {
+	names := tc.fab.Devices()
+	if len(names) == tc.gen {
+		return
+	}
+	for _, n := range names {
+		if _, ok := tc.byName[n]; !ok {
+			tc.byName[n] = compiler.NewDeviceTarget(tc.fab.Device(n))
+		}
+	}
+	all := make([]compiler.Target, 0, len(names))
+	for _, n := range names {
+		all = append(all, tc.byName[n])
+	}
+	tc.all = all
+	tc.gen = len(names)
+}
+
+// list returns the cached full target list in fab.Devices() order.
+func (tc *targetCache) list() []compiler.Target {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.refreshLocked()
+	return tc.all
+}
+
+// get returns the target for one device, or nil if the fabric has no
+// such device.
+func (tc *targetCache) get(name string) *compiler.DeviceTarget {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if t, ok := tc.byName[name]; ok {
+		return t
+	}
+	tc.refreshLocked()
+	return tc.byName[name]
+}
+
+// size returns the fabric device count (the full-scan cost term).
+func (tc *targetCache) size() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.refreshLocked()
+	return len(tc.all)
+}
+
+// DefaultPuntRingSize bounds the controller's punt buffer.
+const DefaultPuntRingSize = 4096
+
+// PuntRing is a bounded ring buffer of punted packets. The old
+// controller appended every punt to an unbounded slice, which grows
+// without limit under punt-heavy workloads; the ring keeps the newest
+// DefaultPuntRingSize records and counts overwritten ones
+// ("ctl.punts_dropped").
+type PuntRing struct {
+	mu      sync.Mutex
+	buf     []PuntRecord
+	head    int // index of the oldest record
+	n       int
+	dropped uint64
+	// onDrop fires once per overwritten record; the controller uses it
+	// to create the drop counter lazily so punt-light runs export an
+	// unchanged telemetry snapshot.
+	onDrop func()
+}
+
+// NewPuntRing creates a ring holding up to capacity records (<=0 uses
+// DefaultPuntRingSize).
+func NewPuntRing(capacity int) *PuntRing {
+	if capacity <= 0 {
+		capacity = DefaultPuntRingSize
+	}
+	return &PuntRing{buf: make([]PuntRecord, capacity)}
+}
+
+// Append records one punt, overwriting the oldest record when full.
+func (r *PuntRing) Append(rec PuntRecord) {
+	r.mu.Lock()
+	var drop func()
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = rec
+		r.n++
+	} else {
+		r.buf[r.head] = rec
+		r.head = (r.head + 1) % len(r.buf)
+		r.dropped++
+		drop = r.onDrop
+	}
+	r.mu.Unlock()
+	if drop != nil {
+		drop()
+	}
+}
+
+// Len returns the number of buffered records.
+func (r *PuntRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// All returns the buffered records, oldest first.
+func (r *PuntRing) All() []PuntRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]PuntRecord, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.head+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Dropped returns how many records were overwritten.
+func (r *PuntRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

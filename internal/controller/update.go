@@ -15,8 +15,15 @@ import (
 // delta report are returned alongside the plan; nothing is executed.
 // Resource (grow-in-place) and verifier checks happen in the executor's
 // validate phase.
+//
+// An update is in-place by contract: the placement is recompiled
+// incrementally against the app's previous plan, and if the grown
+// program no longer fits on its current devices — the recompiler would
+// have to move it — the update is rejected with ErrInsufficientResources
+// rather than silently relocating live instances. Callers then Migrate
+// (or Redeploy) first, which owns move semantics.
 func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.ChangePlan, *flexbpf.Program, *delta.Report, error) {
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	if app == nil {
 		return nil, nil, nil, fmt.Errorf("controller: no app %q: %w", uri, errdefs.ErrNoSuchApp)
 	}
@@ -32,11 +39,33 @@ func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.Chan
 	if len(devs) == 0 {
 		return nil, nil, nil, fmt.Errorf("controller: app %q segment %q not placed: %w", uri, segment, errdefs.ErrNoSuchApp)
 	}
+	// Re-place the updated datapath against the previous plan. Segments
+	// the delta didn't touch must keep their devices; the updated one
+	// must grow in place.
+	newDP := &flexbpf.Datapath{Name: app.Datapath.Name, Owner: app.Datapath.Owner, SLA: app.Datapath.SLA}
+	newDP.Segments = make([]*flexbpf.Program, len(app.Datapath.Segments))
+	for i, s := range app.Datapath.Segments {
+		if s.Name == segment {
+			newDP.Segments[i] = newProg
+		} else {
+			newDP.Segments[i] = s
+		}
+	}
+	inc, scanned, segs, err := c.placeDatapath(app, newDP)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if inc.Moves > 0 || len(inc.Place) > 0 {
+		return nil, nil, nil, fmt.Errorf(
+			"controller: update of %s/%s no longer fits in place (%d segment(s) would move); migrate first: %w",
+			uri, segment, len(inc.Place), errdefs.ErrInsufficientResources)
+	}
 	cp := plan.New(fmt.Sprintf("update %s#%s", uri, segment))
 	filter := c.tenantFilter(app.Tenant)
 	for _, devName := range devs {
 		cp.Swap(devName, instanceName(uri, segment), newProg, filter)
 	}
+	cp.Planning(c.planningCharge(scanned, segs))
 	return cp, newProg, rep, nil
 }
 
@@ -45,10 +74,11 @@ func (c *Controller) PlanUpdate(uri, segment string, d *delta.Delta) (*plan.Chan
 //
 //  1. The delta is applied to the segment's logical program and the
 //     result re-verified.
-//  2. The plan's validate phase checks the change against the hosting
-//     devices' free resources (grow-in-place; a change that no longer
-//     fits fails without touching the network — callers can then
-//     Migrate first).
+//  2. The placement is recompiled incrementally: untouched segments stay
+//     put, the updated segment must grow in place (a change that no
+//     longer fits fails without touching the network — callers can then
+//     Migrate first). The plan's validate phase re-checks free resources
+//     on the hosting devices.
 //  3. Each replica swaps old→new atomically — all replicas at one
 //     simulated instant — carrying over the state of every stateful
 //     object that survives the delta. Any failure rolls every replica
@@ -71,7 +101,7 @@ func (c *Controller) UpdateApp(ctx context.Context, uri, segment string, d *delt
 		}
 		return
 	}
-	app := c.apps[uri]
+	app := c.state.app(uri)
 	c.exec.ExecuteCtx(ctx, cp, func(r *plan.Report) {
 		c.lastReport = r
 		if r.Err == nil {

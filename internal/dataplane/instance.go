@@ -7,6 +7,7 @@ import (
 	"flexnet/internal/dataplane/state"
 	"flexnet/internal/flexbpf"
 	"flexnet/internal/packet"
+	"flexnet/internal/telemetry"
 )
 
 // ProgramInstance is a FlexBPF program installed on a device: the spec,
@@ -41,7 +42,7 @@ type ProgramInstance struct {
 	ectx *flexbpf.ExecContext
 }
 
-func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, now func() uint64) (*ProgramInstance, error) {
+func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, now func() uint64, lc *linkCacheHook) (*ProgramInstance, error) {
 	inst := &ProgramInstance{
 		prog:   prog,
 		filter: filter,
@@ -85,7 +86,26 @@ func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, no
 	// Install-time link: resolve symbols once so the per-packet path is
 	// map-free and allocation-free. Link failure is not an install
 	// failure — the tree interpreter remains the semantic reference.
-	if lp, err := flexbpf.Link(prog, func(name string) *flexbpf.TableInstance { return inst.tables[name] }); err == nil {
+	// With a link cache wired (DESIGN.md §13.3), identical program
+	// content re-links by rebinding table pointers instead of lowering
+	// the whole program again.
+	lookup := func(name string) *flexbpf.TableInstance { return inst.tables[name] }
+	var lp *flexbpf.LinkedProgram
+	var err error
+	if lc != nil && lc.cache != nil {
+		var hit bool
+		lp, hit, err = lc.cache.Link(prog, lookup)
+		if err == nil {
+			if hit {
+				lc.hits.Inc()
+			} else {
+				lc.misses.Inc()
+			}
+		}
+	} else {
+		lp, err = flexbpf.Link(prog, lookup)
+	}
+	if err == nil {
 		inst.linked = lp
 		inst.ectx = flexbpf.NewExecContext()
 		for _, n := range lp.MapSlots() {
@@ -102,6 +122,13 @@ func newInstance(prog *flexbpf.Program, filter *flexbpf.Cond, rng *rand.Rand, no
 		}
 	}
 	return inst, nil
+}
+
+// linkCacheHook bundles a shared link cache with the telemetry handles
+// its owner wants bumped on hits and misses (nil handles are inert).
+type linkCacheHook struct {
+	cache        *flexbpf.LinkCache
+	hits, misses *telemetry.Counter
 }
 
 // Linked returns the install-time linked form, or nil when the instance

@@ -28,4 +28,9 @@ var (
 	// ErrDeviceDown reports a control-plane operation against a device
 	// that is down (failed or administratively disabled).
 	ErrDeviceDown = errors.New("device down")
+
+	// ErrUnknownDevice reports an operation naming a device the fabric
+	// does not have. Placement paths return it instead of silently
+	// compiling onto a smaller target set when a path entry is bogus.
+	ErrUnknownDevice = errors.New("unknown device")
 )

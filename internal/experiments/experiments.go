@@ -106,5 +106,6 @@ func All(seed int64) []*Table {
 		E15FaultRecovery(seed),
 		E16ScaleOut(seed),
 		E17FastPath(seed),
+		E18ControlPlane(seed),
 	}
 }

@@ -110,6 +110,12 @@ type Fabric struct {
 	// §12).
 	batching  bool
 	flowCache bool
+
+	// lcache is the fabric-wide install-time link cache: every device
+	// added to the fabric shares it, so replicas, re-deploys, and healer
+	// reconciliation of content-identical programs rebind one lowering
+	// instead of re-linking (DESIGN.md §13.3).
+	lcache *flexbpf.LinkCache
 }
 
 // shardBuf is one shard's batch-local event count, padded to a cache
@@ -137,6 +143,7 @@ func New(seed int64) *Fabric {
 		applied:     map[string]*flexbpf.TableInstance{},
 		batching:    defaultBatching,
 		flowCache:   defaultFlowCache,
+		lcache:      flexbpf.NewLinkCache(0),
 	}
 	f.batches = f.Metrics.Counter("fabric.batches")
 	f.batchEvents = f.Metrics.Counter("fabric.batch.events")
@@ -242,6 +249,7 @@ func (f *Fabric) AddSwitchCfg(cfg dataplane.Config) *dataplane.Device {
 	d := dataplane.MustNew(cfg)
 	d.SetClock(func() uint64 { return uint64(f.Sim.Now()) })
 	d.SetMetrics(f.Metrics)
+	d.SetLinkCache(f.lcache, f.Metrics)
 	node := f.Net.AddNode(cfg.Name)
 	f.routing.MarkDevice(cfg.Name)
 	f.devices[cfg.Name] = d

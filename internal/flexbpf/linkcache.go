@@ -1,0 +1,218 @@
+package flexbpf
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LinkCache memoizes Link output across program instances. Linking is a
+// pure function of the program's content — element declarations, action
+// bodies, pipeline, required headers — everything *except* the program
+// name (instances of one logical segment differ only by instance name)
+// and the table-instance pointers bound at install time. So two installs
+// of the same segment (replicas, re-deploys, healer reconciliation)
+// can share one lowering: a hit shallow-copies the immutable linked
+// form and rebinds only the per-instance table pointers, which is O(
+// tables) instead of O(program).
+//
+// Keys are content hashes over a canonical serialization (linkKey), so
+// entries never go stale: a program edit changes the key and simply
+// misses. Epoch-atomic commits therefore need no invalidation hook;
+// capacity is bounded and the oldest entry is evicted first.
+//
+// DESIGN.md §13.3 specifies the cache and its sharing-safety argument.
+type LinkCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64][]*linkCacheEntry
+	order   []*linkCacheEntry // insertion order, oldest first
+
+	hits, misses, evictions uint64
+}
+
+type linkCacheEntry struct {
+	hash uint64
+	key  string // full canonical text; guards against hash collisions
+	lp   *LinkedProgram
+}
+
+// DefaultLinkCacheSize bounds a fabric-wide link cache: comfortably
+// larger than the distinct program count of any experiment while
+// keeping worst-case memory trivial.
+const DefaultLinkCacheSize = 1024
+
+// NewLinkCache creates a cache holding up to capacity distinct linked
+// programs (<=0 uses DefaultLinkCacheSize).
+func NewLinkCache(capacity int) *LinkCache {
+	if capacity <= 0 {
+		capacity = DefaultLinkCacheSize
+	}
+	return &LinkCache{cap: capacity, entries: map[uint64][]*linkCacheEntry{}}
+}
+
+// Link returns a linked form of prog with tables bound through the
+// callback, sharing the lowering with previous identical programs. The
+// second result reports whether this was a cache hit.
+func (lc *LinkCache) Link(prog *Program, tables func(string) *TableInstance) (*LinkedProgram, bool, error) {
+	key := linkKey(prog)
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+
+	lc.mu.Lock()
+	for _, e := range lc.entries[sum] {
+		if e.key == key {
+			lc.hits++
+			lc.mu.Unlock()
+			lp, err := e.lp.rebind(prog, tables)
+			if err != nil {
+				// A rebind can only fail if the caller's table set does
+				// not match the program (a bug upstream); fall back to a
+				// fresh link so the cache never changes behavior.
+				lp2, lerr := Link(prog, tables)
+				return lp2, false, lerr
+			}
+			return lp, true, nil
+		}
+	}
+	lc.misses++
+	lc.mu.Unlock()
+
+	lp, err := Link(prog, tables)
+	if err != nil {
+		return nil, false, err
+	}
+	lc.mu.Lock()
+	// Re-check: a concurrent miss may have inserted the same key.
+	dup := false
+	for _, e := range lc.entries[sum] {
+		if e.key == key {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		if len(lc.order) >= lc.cap {
+			old := lc.order[0]
+			lc.order = lc.order[1:]
+			bucket := lc.entries[old.hash]
+			for i, e := range bucket {
+				if e == old {
+					lc.entries[old.hash] = append(bucket[:i], bucket[i+1:]...)
+					break
+				}
+			}
+			if len(lc.entries[old.hash]) == 0 {
+				delete(lc.entries, old.hash)
+			}
+			lc.evictions++
+		}
+		e := &linkCacheEntry{hash: sum, key: key, lp: lp}
+		lc.entries[sum] = append(lc.entries[sum], e)
+		lc.order = append(lc.order, e)
+	}
+	lc.mu.Unlock()
+	return lp, false, nil
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (lc *LinkCache) Stats() (hits, misses, evictions uint64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return lc.hits, lc.misses, lc.evictions
+}
+
+// Len returns the number of cached linked programs.
+func (lc *LinkCache) Len() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.order)
+}
+
+// rebind shallow-copies the linked program for a new instance: the code
+// stream, conditions, actions, action index, and slot-name slices are
+// immutable after linking and shared; only the per-instance table
+// pointers (and the program handle, whose Name differs per instance)
+// are replaced.
+func (lp *LinkedProgram) rebind(prog *Program, tables func(string) *TableInstance) (*LinkedProgram, error) {
+	cp := *lp
+	cp.prog = prog
+	if len(lp.tables) > 0 {
+		cp.tables = make([]linkedTable, len(lp.tables))
+		copy(cp.tables, lp.tables)
+		for i := range cp.tables {
+			ti := tables(cp.tables[i].name)
+			if ti == nil {
+				return nil, fmt.Errorf("flexbpf: rebind: no table instance %q", cp.tables[i].name)
+			}
+			cp.tables[i].ti = ti
+		}
+	}
+	return &cp, nil
+}
+
+// linkKey serializes everything Link's output depends on, in
+// declaration order, excluding the program name. It deliberately does
+// NOT apply Fingerprint's name normalization: slot and action indexes
+// are resolved by element name, so shared lowerings require exact
+// element-name equality, not just structural equality.
+func linkKey(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "caps %v|%v|%v|%v\n", p.Requires.TCAM, p.Requires.PerFlowState, p.Requires.GeneralCompute, p.Requires.Transport)
+	fmt.Fprintf(&b, "hdrs %s\n", strings.Join(p.RequiredHeaders, ","))
+	for _, m := range p.Maps {
+		fmt.Fprintf(&b, "map %s %d %d %d %v\n", m.Name, m.Kind, m.MaxEntries, m.ValueBits, m.Shared)
+	}
+	for _, c := range p.Counters {
+		fmt.Fprintf(&b, "counter %s %d\n", c.Name, c.Size)
+	}
+	for _, m := range p.Meters {
+		fmt.Fprintf(&b, "meter %s %d\n", m.Name, m.Size)
+	}
+	for _, t := range p.Tables {
+		fmt.Fprintf(&b, "table %s size=%d", t.Name, t.Size)
+		for _, k := range t.Keys {
+			fmt.Fprintf(&b, " %s:%d:%d", k.Field, k.Kind, k.Bits)
+		}
+		fmt.Fprintf(&b, " acts=%s default=%s", strings.Join(t.Actions, ","), t.DefaultAction)
+		for _, dp := range t.DefaultParams {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(dp, 10))
+		}
+		b.WriteByte('\n')
+	}
+	names := make([]string, 0, len(p.Actions))
+	for n := range p.Actions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		a := p.Actions[n]
+		fmt.Fprintf(&b, "action %s/%d:\n%s", a.Name, a.NumParams, Disasm(a.Body))
+	}
+	b.WriteString("pipeline:\n")
+	linkKeyStmts(&b, p.Pipeline)
+	return b.String()
+}
+
+func linkKeyStmts(b *strings.Builder, stmts []Stmt) {
+	for _, s := range stmts {
+		switch {
+		case s.Apply != "":
+			fmt.Fprintf(b, "apply %s\n", s.Apply)
+		case s.If != nil:
+			fmt.Fprintf(b, "if %s\n", condString(s.If.Cond))
+			linkKeyStmts(b, s.If.Then)
+			if len(s.If.Else) > 0 {
+				b.WriteString("else\n")
+				linkKeyStmts(b, s.If.Else)
+			}
+		case s.Do != nil:
+			fmt.Fprintf(b, "do:\n%s", Disasm(s.Do))
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package flexbpf
+
+import (
+	"fmt"
+	"testing"
+
+	"flexnet/internal/packet"
+)
+
+// cacheProg builds an ACL-shaped program whose content is identical
+// across instance names (only NewProgram's name differs), so two
+// instances of the same logical segment share one linkKey. entries
+// parameterizes the flow map size so tests can force content misses.
+func cacheProg(t testing.TB, name string, entries int) *Program {
+	t.Helper()
+	allow := NewAsm().LdParam(0, 0).Forward(0).MustBuild()
+	deny := NewAsm().Drop().MustBuild()
+	count := NewAsm().
+		FlowHash(0).
+		MapLoad(1, "flows", 0).
+		AddImm(1, 1).
+		MapStore("flows", 0, 1).
+		Ret().
+		MustBuild()
+	p, err := NewProgram(name).
+		HashMap("flows", entries, 64).
+		Action("allow", 1, allow).
+		Action("deny", 0, deny).
+		Table(&TableSpec{
+			Name: "acl",
+			Keys: []TableKey{
+				{Field: "ipv4.src", Kind: MatchTernary, Bits: 32},
+				{Field: "tcp.dport", Kind: MatchExact, Bits: 16},
+			},
+			Actions:       []string{"allow", "deny"},
+			DefaultAction: "deny",
+			Size:          64,
+		}).
+		Do(count).
+		Apply("acl").
+		Build()
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	return p
+}
+
+// cacheLink links prog through lc against a fresh table set and reports
+// whether the cache hit.
+func cacheLink(t *testing.T, lc *LinkCache, prog *Program) (*LinkedProgram, map[string]*TableInstance, bool) {
+	t.Helper()
+	tables := map[string]*TableInstance{}
+	for _, spec := range prog.Tables {
+		tables[spec.Name] = NewTableInstance(spec)
+	}
+	lp, hit, err := lc.Link(prog, func(name string) *TableInstance { return tables[name] })
+	if err != nil {
+		t.Fatalf("cache link %s: %v", prog.Name, err)
+	}
+	return lp, tables, hit
+}
+
+func TestLinkCacheHitAcrossInstanceNames(t *testing.T) {
+	lc := NewLinkCache(0)
+	lpA, tabA, hit := cacheLink(t, lc, cacheProg(t, "seg@s1", 1024))
+	if hit {
+		t.Fatal("first link reported a hit on an empty cache")
+	}
+	lpB, tabB, hit := cacheLink(t, lc, cacheProg(t, "seg@s2", 1024))
+	if !hit {
+		t.Fatal("second link of identical content missed")
+	}
+	hits, misses, _ := lc.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// The immutable lowering is shared...
+	if len(lpA.code) == 0 || &lpA.code[0] != &lpB.code[0] {
+		t.Fatal("hit did not share the linked code stream")
+	}
+	// ...but the per-instance bindings are not: each linked program must
+	// point at its own caller's table instances and source program.
+	if lpB.Program() != nil && lpB.Program().Name != "seg@s2" {
+		t.Fatalf("hit kept the cached program handle %q", lpB.Program().Name)
+	}
+	for _, lt := range lpB.tables {
+		if lt.ti != tabB[lt.name] {
+			t.Fatalf("hit bound table %q to a foreign instance", lt.name)
+		}
+		if lt.ti == tabA[lt.name] {
+			t.Fatalf("hit shared table %q with the first instance", lt.name)
+		}
+	}
+}
+
+func TestLinkCacheHitIsEquivalentToFreshLink(t *testing.T) {
+	lc := NewLinkCache(0)
+	entry := &TableEntry{
+		Priority: 10,
+		Match: []MatchValue{
+			{Value: uint64(packet.IP(10, 0, 0, 0)), Mask: 0xFF000000},
+			{Value: 80},
+		},
+		Action: "allow",
+		Params: []uint64{3},
+	}
+	mkPkt := func(i uint64) *packet.Packet {
+		src := packet.IP(byte(9+i%3), 1, 2, byte(i))
+		return packet.TCPPacket(i, src, packet.IP(192, 168, 0, 1), uint16(1000+i), uint16(80+i%2*363), 0, int(i%512))
+	}
+
+	// Warm the cache, then run a cache-hit link and a fresh Link over the
+	// same packet stream: verdicts, packet bytes, and state must match.
+	cacheLink(t, lc, cacheProg(t, "warm", 1024))
+	progHit := cacheProg(t, "hot", 1024)
+	lpHit, envHit := func() (*LinkedProgram, *linkedTestEnv) {
+		env := newTestEnv()
+		for _, spec := range progHit.Tables {
+			env.tables[spec.Name] = NewTableInstance(spec)
+		}
+		lp, hit, err := lc.Link(progHit, func(name string) *TableInstance { return env.tables[name] })
+		if err != nil {
+			t.Fatalf("cached link: %v", err)
+		}
+		if !hit {
+			t.Fatal("expected a cache hit after warming")
+		}
+		for _, ti := range env.tables {
+			ti.SetActionResolver(lp.ActionIndex)
+		}
+		return lp, &linkedTestEnv{env, lp}
+	}()
+	lpFresh, envFresh := linkForTest(t, cacheProg(t, "hot", 1024), nil)
+	for _, env := range []*linkedTestEnv{envHit, envFresh} {
+		ec := *entry
+		ec.Match = append([]MatchValue(nil), entry.Match...)
+		if err := env.tables["acl"].Insert(&ec); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+
+	ctx := NewExecContext()
+	for i := uint64(0); i < 64; i++ {
+		pa, pb := mkPkt(i), mkPkt(i)
+		ra, errA := lpHit.Run(pa, envHit, ctx)
+		rb, errB := lpFresh.Run(pb, envFresh, ctx)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("pkt %d: error divergence: cached=%v fresh=%v", i, errA, errB)
+		}
+		if ra != rb {
+			t.Fatalf("pkt %d: result divergence: cached=%+v fresh=%+v", i, ra, rb)
+		}
+		if pa.String() != pb.String() {
+			t.Fatalf("pkt %d: packet divergence:\ncached: %s\nfresh:  %s", i, pa, pb)
+		}
+	}
+}
+
+func TestLinkCacheMissesOnContentChange(t *testing.T) {
+	lc := NewLinkCache(0)
+	cacheLink(t, lc, cacheProg(t, "seg", 1024))
+	// Same structure, different map capacity: the canonical key differs,
+	// so the cache must treat it as a distinct program (this is what
+	// makes epoch-atomic program swaps safe with no invalidation hook).
+	if _, _, hit := cacheLink(t, lc, cacheProg(t, "seg", 2048)); hit {
+		t.Fatal("resized map hit the stale entry")
+	}
+	if lc.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", lc.Len())
+	}
+	// And the original content still hits.
+	if _, _, hit := cacheLink(t, lc, cacheProg(t, "seg", 1024)); !hit {
+		t.Fatal("original content no longer hits")
+	}
+}
+
+func TestLinkCacheEvictsOldestFirst(t *testing.T) {
+	lc := NewLinkCache(2)
+	for i := 0; i < 3; i++ {
+		cacheLink(t, lc, cacheProg(t, "seg", 1024<<i))
+	}
+	if _, _, ev := lc.Stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if lc.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want cap 2", lc.Len())
+	}
+	// The oldest entry (1024) was evicted; the two newest survive.
+	if _, _, hit := cacheLink(t, lc, cacheProg(t, "seg", 2048)); !hit {
+		t.Fatal("second-oldest entry was evicted out of order")
+	}
+	if _, _, hit := cacheLink(t, lc, cacheProg(t, "seg", 4096)); !hit {
+		t.Fatal("newest entry was evicted")
+	}
+	if _, _, hit := cacheLink(t, lc, cacheProg(t, "seg", 1024)); hit {
+		t.Fatal("oldest entry survived past capacity")
+	}
+}
+
+func TestLinkCacheRebindMissingTableErrors(t *testing.T) {
+	lc := NewLinkCache(0)
+	cacheLink(t, lc, cacheProg(t, "seg", 1024))
+	// A hit whose caller cannot supply the program's tables must fail
+	// like a fresh Link would, not serve a half-bound program.
+	_, hit, err := lc.Link(cacheProg(t, "seg2", 1024), func(string) *TableInstance { return nil })
+	if err == nil {
+		t.Fatal("rebind with missing tables succeeded")
+	}
+	if hit {
+		t.Fatal("failed rebind still reported a hit")
+	}
+}
+
+func TestLinkCacheManyInstancesOneLowering(t *testing.T) {
+	lc := NewLinkCache(0)
+	var first *LinkedProgram
+	for i := 0; i < 16; i++ {
+		lp, _, hit := cacheLink(t, lc, cacheProg(t, fmt.Sprintf("seg@s%d", i), 1024))
+		if i == 0 {
+			first = lp
+			continue
+		}
+		if !hit {
+			t.Fatalf("instance %d missed", i)
+		}
+		if &lp.code[0] != &first.code[0] {
+			t.Fatalf("instance %d relowered the program", i)
+		}
+	}
+	if hits, misses, _ := lc.Stats(); hits != 15 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 15/1", hits, misses)
+	}
+	if lc.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", lc.Len())
+	}
+}

@@ -122,10 +122,22 @@ type ChangePlan struct {
 	// deploys, where a silently missing replica would corrupt intent.
 	// See DESIGN.md §10.
 	AllowDegraded bool
+	// PlanningLat is the simulated time the controller spent computing
+	// this plan (placement scans, segment recompiles — see
+	// runtime.Costs.EstimatePlacement). The executor charges it before
+	// Validate so control-plane latency reflects planning work, not just
+	// device churn.
+	PlanningLat netsim.Time
 }
 
 // New starts an empty plan.
 func New(label string) *ChangePlan { return &ChangePlan{Label: label} }
+
+// Planning records the simulated planning cost charged before Validate.
+func (p *ChangePlan) Planning(t netsim.Time) *ChangePlan {
+	p.PlanningLat = t
+	return p
+}
 
 // Install appends an instance installation.
 func (p *ChangePlan) Install(device, instance string, prog *flexbpf.Program, filter *flexbpf.Cond, priority int) *ChangePlan {

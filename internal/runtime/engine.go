@@ -50,6 +50,15 @@ type Costs struct {
 	Reflash netsim.Time
 	// DrainLead is how long the baseline drains traffic before reflash.
 	DrainLead netsim.Time
+	// PlaceTarget is the planning cost of examining one candidate device
+	// during placement (resource query + feasibility check against the
+	// controller's inventory). Full compilation scans every fabric device
+	// per segment; incremental recompilation scans only around touched
+	// segments, which is what makes control-plane ops O(op) not O(fabric).
+	PlaceTarget netsim.Time
+	// PlaceSegment is the planning cost of (re)compiling one segment's
+	// placement decision (demand computation, SLA checks, plan assembly).
+	PlaceSegment netsim.Time
 }
 
 // DefaultCosts reflect the paper's reported magnitudes: runtime changes
@@ -57,14 +66,16 @@ type Costs struct {
 // seconds including draining (the "Evolve or Die" operational reality).
 func DefaultCosts() Costs {
 	return Costs{
-		Base:        20 * time.Millisecond,
-		TableAdd:    12 * time.Millisecond,
-		TableRemove: 6 * time.Millisecond,
-		ParserOp:    15 * time.Millisecond,
-		EntryOp:     20 * time.Microsecond,
-		StateByte:   50 * time.Nanosecond,
-		Reflash:     8 * time.Second,
-		DrainLead:   2 * time.Second,
+		Base:         20 * time.Millisecond,
+		TableAdd:     12 * time.Millisecond,
+		TableRemove:  6 * time.Millisecond,
+		ParserOp:     15 * time.Millisecond,
+		EntryOp:      20 * time.Microsecond,
+		StateByte:    50 * time.Nanosecond,
+		Reflash:      8 * time.Second,
+		DrainLead:    2 * time.Second,
+		PlaceTarget:  150 * time.Microsecond,
+		PlaceSegment: 500 * time.Microsecond,
 	}
 }
 
@@ -161,6 +172,16 @@ func (e *Engine) EstimateOps(tablesAdded, tablesRemoved, parserOps, entryOps int
 		netsim.Time(tablesRemoved)*e.costs.TableRemove +
 		netsim.Time(parserOps)*e.costs.ParserOp +
 		netsim.Time(entryOps)*e.costs.EntryOp
+}
+
+// EstimatePlacement prices the controller's planning work for one
+// operation: targets is the number of candidate devices examined and
+// segments the number of segment placement decisions recomputed. It is
+// charged as ChangePlan.PlanningLat before Validate, so plan latency
+// reflects how much of the fabric the placement had to look at.
+func (e *Engine) EstimatePlacement(targets, segments int) netsim.Time {
+	return netsim.Time(targets)*e.costs.PlaceTarget +
+		netsim.Time(segments)*e.costs.PlaceSegment
 }
 
 // apply executes the change against the device, atomically.

@@ -18,10 +18,17 @@ import (
 // pipeline (validate → prepare → commit, plus post-commit state moves
 // and route updates), with automatic rollback on any failure.
 //
-// Plans are serialized: one executes at a time, later submissions queue.
-// This is the single abortable change path every controller operation
-// goes through — there is no other way configuration reaches devices
-// from the control plane.
+// Admission is conflict-based: a submitted plan starts immediately if
+// its device footprint is disjoint from every running plan and from
+// every earlier-queued plan it conflicts with (FIFO is preserved within
+// a conflict set; disjoint plans may overtake). Plans touching
+// overlapping devices — and global plans (route updates, empty
+// footprints) — serialize exactly as before. Because the simulator's
+// event loop is single-threaded, concurrent admission stays
+// deterministic; SetMaxInflight(1) restores strict serial order. This
+// is the single abortable change path every controller operation goes
+// through — there is no other way configuration reaches devices from
+// the control plane.
 //
 // Phase timing mirrors the engine's cost model: each device's prepare
 // takes its estimated reconfiguration latency of simulated time (traffic
@@ -35,9 +42,14 @@ type Executor struct {
 	mover  plan.StateMover
 	routes plan.RouteUpdater
 
-	busy  bool
-	queue []queuedPlan
-	// Reports accumulates every executed plan's report, oldest first.
+	maxInflight int
+	running     []*runningPlan
+	queue       []queuedPlan
+	kicking     bool
+	rekick      bool
+	// Reports accumulates every executed plan's report in completion
+	// order (identical to submission order when plans conflict or
+	// SetMaxInflight(1) is set).
 	Reports []*plan.Report
 
 	// tracer and met are the telemetry hookup (inert until SetTelemetry):
@@ -83,6 +95,69 @@ type queuedPlan struct {
 	ctx  context.Context
 	p    *plan.ChangePlan
 	done func(*plan.Report)
+	fp   footprint
+}
+
+// runningPlan tracks one in-flight plan's footprint for admission.
+type runningPlan struct {
+	fp footprint
+}
+
+// footprint is the conflict domain of one plan: the devices its steps
+// touch (including migration sources, which plan.Devices omits), or
+// "global" for plans that touch fabric-wide state — route updates, and
+// plans naming no device at all.
+type footprint struct {
+	devs   map[string]bool
+	global bool
+}
+
+func planFootprint(p *plan.ChangePlan) footprint {
+	fp := footprint{devs: map[string]bool{}}
+	for _, s := range p.Steps {
+		if s.Op == plan.OpRouteUpdate {
+			fp.global = true
+		}
+		if s.Device != "" {
+			fp.devs[s.Device] = true
+		}
+		if s.Src != "" {
+			fp.devs[s.Src] = true
+		}
+	}
+	if len(fp.devs) == 0 {
+		fp.global = true
+	}
+	return fp
+}
+
+// conflicts reports whether two footprints may not run concurrently.
+func (a footprint) conflicts(b footprint) bool {
+	if a.global || b.global {
+		return true
+	}
+	small, big := a.devs, b.devs
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	for d := range small {
+		if big[d] {
+			return true
+		}
+	}
+	return false
+}
+
+func (a footprint) empty() bool { return !a.global && len(a.devs) == 0 }
+
+// SetMaxInflight bounds concurrently-running plans; n <= 0 means
+// unlimited (conflict-based admission only). SetMaxInflight(1)
+// reproduces the strict submission-order serial executor.
+func (x *Executor) SetMaxInflight(n int) {
+	if n < 0 {
+		n = 0
+	}
+	x.maxInflight = n
 }
 
 // NewExecutor creates an executor over the engine's simulator and cost
@@ -168,12 +243,13 @@ func (x *Executor) estimateGroup(p *plan.ChangePlan, g *group) netsim.Time {
 // parallel (cost = the slowest device), then post steps run in sequence.
 func (x *Executor) estimate(p *plan.ChangePlan) netsim.Time {
 	groups, post := x.split(p, nil)
-	var total netsim.Time
+	var prep netsim.Time
 	for _, g := range groups {
-		if g.lat > total {
-			total = g.lat
+		if g.lat > prep {
+			prep = g.lat
 		}
 	}
+	total := p.PlanningLat + prep
 	for _, i := range post {
 		s := p.Steps[i]
 		switch s.Op {
@@ -327,22 +403,80 @@ func (x *Executor) ExecuteCtx(ctx context.Context, p *plan.ChangePlan, done func
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	x.queue = append(x.queue, queuedPlan{ctx: ctx, p: p, done: done})
+	x.queue = append(x.queue, queuedPlan{ctx: ctx, p: p, done: done, fp: planFootprint(p)})
 	x.kick()
 }
 
+// kick admits every queued plan whose footprint is disjoint from all
+// running plans and from every earlier-queued plan still waiting. The
+// kicking/rekick guard flattens the recursion that happens when an
+// admitted plan completes synchronously (validate failure) and kicks
+// again from inside its done callback.
 func (x *Executor) kick() {
-	if x.busy || len(x.queue) == 0 {
+	if x.kicking {
+		x.rekick = true
 		return
 	}
-	x.busy = true
-	q := x.queue[0]
-	x.queue = x.queue[1:]
-	x.run(q.ctx, q.p, func(r *plan.Report) {
-		x.Reports = append(x.Reports, r)
-		x.busy = false
+	x.kicking = true
+	for {
+		x.rekick = false
+		x.kickOnce()
+		if !x.rekick {
+			break
+		}
+	}
+	x.kicking = false
+}
+
+func (x *Executor) kickOnce() {
+	// blocked accumulates the footprints of plans left waiting ahead in
+	// the queue: a later plan may only overtake them if it conflicts with
+	// none (FIFO within a conflict set).
+	blocked := footprint{devs: map[string]bool{}}
+	i := 0
+	for i < len(x.queue) {
+		q := x.queue[i]
+		if x.admissible(q.fp, blocked) {
+			x.queue = append(x.queue[:i], x.queue[i+1:]...)
+			x.start(q)
+			continue
+		}
+		blocked.global = blocked.global || q.fp.global
+		for d := range q.fp.devs {
+			blocked.devs[d] = true
+		}
+		i++
+	}
+}
+
+func (x *Executor) admissible(fp, blocked footprint) bool {
+	if x.maxInflight > 0 && len(x.running) >= x.maxInflight {
+		return false
+	}
+	if !blocked.empty() && fp.conflicts(blocked) {
+		return false
+	}
+	for _, r := range x.running {
+		if fp.conflicts(r.fp) {
+			return false
+		}
+	}
+	return true
+}
+
+func (x *Executor) start(q queuedPlan) {
+	r := &runningPlan{fp: q.fp}
+	x.running = append(x.running, r)
+	x.run(q.ctx, q.p, func(rep *plan.Report) {
+		x.Reports = append(x.Reports, rep)
+		for i, rr := range x.running {
+			if rr == r {
+				x.running = append(x.running[:i], x.running[i+1:]...)
+				break
+			}
+		}
 		if q.done != nil {
-			q.done(r)
+			q.done(rep)
 		}
 		x.kick()
 	})
@@ -351,13 +485,29 @@ func (x *Executor) kick() {
 func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.Report)) {
 	trace := x.tracer.StartTrace(p.Label)
 	x.met.executed.Inc()
+	started := x.eng.sim.Now()
+	if p.PlanningLat > 0 {
+		// The controller's placement work (ChangePlan.PlanningLat) is
+		// charged here as simulated time, before validation, so plan
+		// latency reflects how much planning the operation needed — the
+		// quantity E18 contrasts between incremental and full placement.
+		psp := trace.StartSpan("plan", "")
+		x.eng.sim.After(p.PlanningLat, func() {
+			psp.EndSpan()
+			x.runPipeline(ctx, p, trace, started, done)
+		})
+		return
+	}
+	x.runPipeline(ctx, p, trace, started, done)
+}
+
+func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *telemetry.Trace, started netsim.Time, done func(*plan.Report)) {
 	vspan := trace.StartSpan("validate", "")
 	rep := x.Validate(p)
 	vspan.Fail(rep.Err)
 	if trace != nil {
 		rep.ID = trace.ID
 	}
-	started := x.eng.sim.Now()
 	finish := func(phase plan.Phase, outcome plan.Outcome, err error) {
 		if outcome == plan.OutcomeSucceeded && len(rep.Degraded) > 0 {
 			outcome = plan.OutcomeDegraded

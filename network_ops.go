@@ -63,6 +63,8 @@ type ScaleRequest struct {
 	// URI and Segment select the app segment.
 	URI, Segment string
 	// Device hosts the replica to add (ScaleDirOut) or drop (ScaleDirIn).
+	// For ScaleDirOut it may be empty: the controller auto-places the
+	// replica (path devices first, then the fabric, first fit).
 	Device string
 	// Direction defaults to ScaleDirOut.
 	Direction ScaleDirection
@@ -163,7 +165,7 @@ func (n *Network) Scale(ctx context.Context, req ScaleRequest) (*PlanReport, err
 		if req.Direction == ScaleDirIn {
 			cp, err = n.ctl.PlanScaleIn(req.URI, req.Segment, req.Device)
 		} else {
-			cp, err = n.ctl.PlanScaleOut(req.URI, req.Segment, req.Device)
+			cp, _, err = n.ctl.PlanScaleOut(req.URI, req.Segment, req.Device)
 		}
 		if err != nil {
 			return nil, err

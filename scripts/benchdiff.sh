@@ -122,3 +122,64 @@ if ! awk -F'|' '
     exit 1
 fi
 echo "benchdiff: OK — E17 cache effectiveness within ±10% of baseline."
+
+# Perf-drift gate on the control-plane fast path (DESIGN.md §13): E18's
+# ops/s and p99 columns must stay within ±10% of the checked-in
+# baseline, and the placement column must read "identical" on every row
+# — the incremental planner is only allowed to be faster, never to
+# place differently. As with E17, byte-identity above makes equality the
+# expected case; this gate keeps a deliberate baseline refresh from
+# silently regressing control-plane throughput.
+echo "benchdiff: checking E18 ops/s + p99 drift (±10%)..."
+if ! awk -F'|' '
+    function trim(s) { gsub(/^[ \t]+|[ \t]+$/, "", s); return s }
+    function lat_ns(s,   v) {
+        v = s + 0
+        if (s ~ /µs/) return v * 1e3
+        if (s ~ /ms/) return v * 1e6
+        if (s ~ /ns/) return v
+        if (s ~ /s/)  return v * 1e9
+        return v
+    }
+    FNR == 1 { nf++; inE18 = 0 }
+    /^## E18 / { inE18 = 1; next }
+    /^Finding/ { inE18 = 0 }
+    inE18 && NF >= 13 && (trim($5) == "incremental" || trim($5) == "full") {
+        key = trim($2) ":" trim($5)
+        ops[nf ":" key] = trim($9) + 0
+        p99[nf ":" key] = lat_ns(trim($11))
+        seen[key] = 1
+        if (nf == 2 && trim($13) != "identical") {
+            printf "benchdiff: E18 %s placement = %s, want identical\n", key, trim($13)
+            fail = 1
+        }
+    }
+    END {
+        for (key in seen) {
+            bo = ops[1 ":" key]; co = ops[2 ":" key]
+            bp = p99[1 ":" key]; cp = p99[2 ":" key]
+            if (bo == 0 || bp == 0) {
+                printf "benchdiff: E18 row %s missing from baseline\n", key
+                fail = 1
+                continue
+            }
+            if (co < 0.9 * bo || co > 1.1 * bo) {
+                printf "benchdiff: E18 %s ops/s drifted >10%%: %.1f vs baseline %.1f\n", key, co, bo
+                fail = 1
+            }
+            if (cp < 0.9 * bp || cp > 1.1 * bp) {
+                printf "benchdiff: E18 %s p99 drifted >10%%: %.0fns vs baseline %.0fns\n", key, cp, bp
+                fail = 1
+            }
+        }
+        if (!fail && length(seen) == 0) {
+            print "benchdiff: no E18 mode rows found"
+            fail = 1
+        }
+        exit fail
+    }' "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — control-plane fast path drifted from $BASELINE." >&2
+    exit 1
+fi
+echo "benchdiff: OK — E18 control-plane throughput within ±10% of baseline."
