@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint check bench bench-parallel bench-steady bench-control benchdiff checkdocs expdiff docs cover profile scale
+.PHONY: all build test race vet fmt lint spec-check check bench bench-parallel bench-steady bench-control benchdiff checkdocs expdiff docs cover profile scale
 
 all: build
 
@@ -26,7 +26,13 @@ fmt:
 lint:
 	./scripts/lint.sh
 
-check: fmt vet lint build test race docs
+# spec-check validates every example spec document: load + resolve +
+# dry-run diff against a generated fat-tree fabric (the same stages
+# `flexctl spec apply` runs before touching the network).
+spec-check:
+	$(GO) run ./cmd/flexbench -spec-check examples/specs
+
+check: fmt vet lint spec-check build test race docs
 
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . ./internal/flexbpf ./internal/telemetry

@@ -92,6 +92,9 @@ func BenchmarkE17FastPath(b *testing.B) { benchTable(b, experiments.E17FastPath)
 // BenchmarkE18ControlPlane regenerates E18 (control-plane fast path).
 func BenchmarkE18ControlPlane(b *testing.B) { benchTable(b, experiments.E18ControlPlane) }
 
+// BenchmarkE19SpecReconcile regenerates E19 (declarative spec reconcile).
+func BenchmarkE19SpecReconcile(b *testing.B) { benchTable(b, experiments.E19SpecReconcile) }
+
 // benchControlPlaneOps measures harness wall time per control-plane
 // update op on a k=8 fat-tree (80 switches) — the planning work itself,
 // not the simulated latency E18 reports. The incremental/full split
@@ -318,10 +321,10 @@ func benchFabricParallel(b *testing.B, workers int) {
 	}
 	for i := 0; i < lanes; i++ {
 		uri := fmt.Sprintf("flexnet://bench/hh%d", i)
-		if err := n.DeployApp(uri, AppSpec{
+		if _, err := n.Deploy(context.Background(), uri, AppSpec{
 			Programs: []*Program{HeavyHitter("hh", 4, 1024, 1<<62)},
 			Path:     []string{fmt.Sprintf("s%d", i)},
-		}); err != nil {
+		}, DeployOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -414,10 +417,10 @@ func benchSteadyState(b *testing.B, batching, cache bool) {
 		b.Fatal(err)
 	}
 	for i := 0; i < 4; i++ {
-		if err := n.DeployApp(fmt.Sprintf("flexnet://bench/steady%d", i), AppSpec{
+		if _, err := n.Deploy(context.Background(), fmt.Sprintf("flexnet://bench/steady%d", i), AppSpec{
 			Programs: []*Program{steadyClassifier(fmt.Sprintf("cls%d", i), 96)},
 			Path:     []string{"sw"},
-		}); err != nil {
+		}, DeployOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

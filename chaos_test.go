@@ -11,6 +11,7 @@ package flexnet
 // minutes" soak from the issue is the same test with a bigger knob).
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"strings"
@@ -45,16 +46,16 @@ func chaosSoak(t *testing.T, seed int64, workers int, horizon time.Duration) str
 		Link("s2", "s3").
 		Workers(workers).
 		MustBuild()
-	if err := nw.DeployApp("flexnet://chaos/syn", AppSpec{
+	if _, err := nw.Deploy(context.Background(), "flexnet://chaos/syn", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 1024, 10)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatalf("deploy syn: %v", err)
 	}
-	if err := nw.DeployApp("flexnet://chaos/hh", AppSpec{
+	if _, err := nw.Deploy(context.Background(), "flexnet://chaos/hh", AppSpec{
 		Programs: []*Program{HeavyHitter("hh", 2, 512, 1000)},
 		Path:     []string{"s2"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatalf("deploy hh: %v", err)
 	}
 	healer := nw.StartSelfHealing(time.Millisecond)
@@ -146,10 +147,10 @@ func cacheChaosSoak(t *testing.T, seed int64, cache bool, horizon time.Duration)
 		Link("s1", "s2").
 		Link("s2", "h2")
 	nw := bld.MustBuild()
-	if err := nw.DeployApp("flexnet://chaos/syn", AppSpec{
+	if _, err := nw.Deploy(context.Background(), "flexnet://chaos/syn", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 1024, 10)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatalf("deploy syn: %v", err)
 	}
 	healer := nw.StartSelfHealing(time.Millisecond)

@@ -1,4 +1,4 @@
-// Command flexbench runs the FlexNet experiment suite (E1–E18, the
+// Command flexbench runs the FlexNet experiment suite (E1–E19, the
 // claim-by-claim reproduction of the paper's vision — see DESIGN.md §3)
 // and prints each result table. With -o it also writes the results as
 // the measurement section of EXPERIMENTS.md.
@@ -12,10 +12,12 @@
 //	flexbench -workers 8      # parallel packet workers (same output)
 //	flexbench -faults chaos.json  # replay a fault schedule on the chaos bed
 //	flexbench -topo fat-tree:k=8  # routing scale smoke on a generated fabric
+//	flexbench -spec-check examples/specs  # validate declarative spec documents
 //	flexbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +39,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel packet workers per network (0 = GOMAXPROCS); output is byte-identical for any value")
 	faultsFile := flag.String("faults", "", "replay this JSON fault schedule on the chaos bed instead of running the suite")
 	topo := flag.String("topo", "", "run a routing scale smoke on this generated topology (e.g. fat-tree:k=8) instead of the suite")
+	specDir := flag.String("spec-check", "", "validate every spec document in this directory (load + resolve + dry-run diff) instead of running the suite")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	batch := flag.Bool("batch", true, "batched switch execution (never changes output, only speed)")
@@ -73,6 +76,16 @@ func main() {
 				os.Exit(1)
 			}
 		}()
+	}
+
+	if *specDir != "" {
+		text, err := specCheck(*seed, *specDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flexbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(text)
+		return
 	}
 
 	if *topo != "" {
@@ -136,6 +149,7 @@ func main() {
 		{"E16", experiments.E16ScaleOut},
 		{"E17", experiments.E17FastPath},
 		{"E18", experiments.E18ControlPlane},
+		{"E19", experiments.E19SpecReconcile},
 	}
 
 	var rendered []string
@@ -202,16 +216,16 @@ func chaosRun(seed int64, path string) (string, error) {
 		Link("s2", "h2").
 		Link("s2", "s3").
 		MustBuild()
-	if err := nw.DeployApp("flexnet://chaos/syn", flexnet.AppSpec{
+	if _, err := nw.Deploy(context.Background(), "flexnet://chaos/syn", flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.SYNDefense("syn", 1024, 10)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, flexnet.DeployOptions{}); err != nil {
 		return "", fmt.Errorf("deploy syn: %w", err)
 	}
-	if err := nw.DeployApp("flexnet://chaos/hh", flexnet.AppSpec{
+	if _, err := nw.Deploy(context.Background(), "flexnet://chaos/hh", flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.HeavyHitter("hh", 2, 512, 1000)},
 		Path:     []string{"s2"},
-	}); err != nil {
+	}, flexnet.DeployOptions{}); err != nil {
 		return "", fmt.Errorf("deploy hh: %w", err)
 	}
 	healer := nw.StartSelfHealing(time.Millisecond)
@@ -289,10 +303,10 @@ func telemetrySummary(seed int64) string {
 		DRPC("s2", "172.16.0.2").
 		MustBuild()
 	uri := "flexnet://infra/hh"
-	if err := nw.DeployApp(uri, flexnet.AppSpec{
+	if _, err := nw.Deploy(context.Background(), uri, flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.HeavyHitter("hh", 2, 512, 1000)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, flexnet.DeployOptions{}); err != nil {
 		return fmt.Sprintf("## Telemetry summary\n\ndeploy failed: %v\n", err)
 	}
 	src, err := nw.NewSource("h1", flexnet.FlowSpec{
@@ -304,12 +318,12 @@ func telemetrySummary(seed int64) string {
 	}
 	src.StartCBR(20000)
 	nw.RunFor(50 * time.Millisecond)
-	if _, err := nw.MigrateApp(uri, "hh", "s2", true); err != nil {
+	if _, _, err := nw.Migrate(context.Background(), flexnet.MigrateRequest{URI: uri, Segment: "hh", Dst: "s2", DataPlane: true}); err != nil {
 		return fmt.Sprintf("## Telemetry summary\n\nmigrate failed: %v\n", err)
 	}
 	nw.RunFor(20 * time.Millisecond)
 	src.Stop()
-	if err := nw.RemoveApp(uri); err != nil {
+	if _, err := nw.Remove(context.Background(), uri, flexnet.RemoveOptions{}); err != nil {
 		return fmt.Sprintf("## Telemetry summary\n\nremove failed: %v\n", err)
 	}
 

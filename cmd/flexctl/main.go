@@ -30,6 +30,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"flexnet/internal/api"
 )
 
 // request is the JSON body sent to flexnetd.
@@ -86,17 +88,17 @@ func commands() map[string]*command {
 	add := func(c *command) { cmds[c.name] = c }
 
 	{
-		c := newCommand("status", "controller status")
-		c.build = func() (request, error) { return request{"op": "status"}, nil }
+		c := newCommand(api.OpStatus, api.Summary(api.OpStatus))
+		c.build = func() (request, error) { return request{"op": api.OpStatus}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("devices", "per-device resources")
-		c.build = func() (request, error) { return request{"op": "devices"}, nil }
+		c := newCommand(api.OpDevices, api.Summary(api.OpDevices))
+		c.build = func() (request, error) { return request{"op": api.OpDevices}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("deploy", "deploy a builtin app at a URI")
+		c := newCommand(api.OpDeploy, api.Summary(api.OpDeploy))
 		uri := c.fs.String("uri", "", "app URI (flexnet://owner/name)")
 		app := c.fs.String("app", "", "builtin app name (syn-defense, heavy-hitter, rate-limiter, firewall, l2, int)")
 		args := c.fs.String("args", "", "comma-separated numeric app args")
@@ -104,7 +106,7 @@ func commands() map[string]*command {
 		tenant := c.fs.String("tenant", "", "owning tenant")
 		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
 		c.build = func() (request, error) {
-			req := request{"op": "deploy", "uri": *uri, "app": *app}
+			req := request{"op": api.OpDeploy, "uri": *uri, "app": *app}
 			if a, err := parseArgsCSV(*args); err != nil {
 				return nil, err
 			} else if len(a) > 0 {
@@ -124,11 +126,11 @@ func commands() map[string]*command {
 		add(c)
 	}
 	{
-		c := newCommand("remove", "remove a deployed app")
+		c := newCommand(api.OpRemove, api.Summary(api.OpRemove))
 		uri := c.fs.String("uri", "", "app URI")
 		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
 		c.build = func() (request, error) {
-			req := request{"op": "remove", "uri": *uri}
+			req := request{"op": api.OpRemove, "uri": *uri}
 			if *dry {
 				req["dry_run"] = true
 			}
@@ -137,14 +139,14 @@ func commands() map[string]*command {
 		add(c)
 	}
 	{
-		c := newCommand("migrate", "move an app segment to another device")
+		c := newCommand(api.OpMigrate, api.Summary(api.OpMigrate))
 		uri := c.fs.String("uri", "", "app URI")
 		segment := c.fs.String("segment", "", "app segment name")
 		device := c.fs.String("device", "", "destination device")
 		dp := c.fs.Bool("dp", false, "use data-plane state migration")
 		dry := c.fs.Bool("dry-run", false, "validate the change plan without executing it")
 		c.build = func() (request, error) {
-			req := request{"op": "migrate", "uri": *uri, "segment": *segment, "device": *device}
+			req := request{"op": api.OpMigrate, "uri": *uri, "segment": *segment, "device": *device}
 			if *dp {
 				req["data_plane"] = true
 			}
@@ -155,12 +157,9 @@ func commands() map[string]*command {
 		}
 		add(c)
 	}
-	for _, dir := range []string{"scale-out", "scale-in"} {
+	for _, dir := range []string{api.OpScaleOut, api.OpScaleIn} {
 		dir := dir
-		c := newCommand(dir, "add a replica on a device")
-		if dir == "scale-in" {
-			c.summary = "remove a replica from a device"
-		}
+		c := newCommand(dir, api.Summary(dir))
 		uri := c.fs.String("uri", "", "app URI")
 		segment := c.fs.String("segment", "", "app segment name")
 		device := c.fs.String("device", "", "target device")
@@ -175,48 +174,48 @@ func commands() map[string]*command {
 		add(c)
 	}
 	{
-		c := newCommand("tenant-add", "admit a tenant")
+		c := newCommand(api.OpTenantAdd, api.Summary(api.OpTenantAdd))
 		tenant := c.fs.String("tenant", "", "tenant name")
-		c.build = func() (request, error) { return request{"op": "tenant-add", "tenant": *tenant}, nil }
+		c.build = func() (request, error) { return request{"op": api.OpTenantAdd, "tenant": *tenant}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("tenant-remove", "remove a tenant and its apps")
+		c := newCommand(api.OpTenantRemove, api.Summary(api.OpTenantRemove))
 		tenant := c.fs.String("tenant", "", "tenant name")
-		c.build = func() (request, error) { return request{"op": "tenant-remove", "tenant": *tenant}, nil }
+		c.build = func() (request, error) { return request{"op": api.OpTenantRemove, "tenant": *tenant}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("traffic", "start a CBR traffic source")
+		c := newCommand(api.OpTraffic, api.Summary(api.OpTraffic))
 		src := c.fs.String("src", "", "traffic source host")
 		dst := c.fs.String("dst", "", "traffic destination IP")
 		pps := c.fs.Float64("pps", 10000, "packets per second")
 		c.build = func() (request, error) {
-			return request{"op": "traffic", "src_host": *src, "dst_ip": *dst, "pps": *pps}, nil
+			return request{"op": api.OpTraffic, "src_host": *src, "dst_ip": *dst, "pps": *pps}, nil
 		}
 		add(c)
 	}
 	{
-		c := newCommand("traffic-stop", "stop all traffic sources")
-		c.build = func() (request, error) { return request{"op": "traffic-stop"}, nil }
+		c := newCommand(api.OpTrafficStop, api.Summary(api.OpTrafficStop))
+		c.build = func() (request, error) { return request{"op": api.OpTrafficStop}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("run", "advance simulated time")
+		c := newCommand(api.OpRun, api.Summary(api.OpRun))
 		ms := c.fs.Int64("ms", 100, "simulated milliseconds to run")
-		c.build = func() (request, error) { return request{"op": "run", "millis": *ms}, nil }
+		c.build = func() (request, error) { return request{"op": api.OpRun, "millis": *ms}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("stats", "telemetry snapshot (all metrics)")
-		c.build = func() (request, error) { return request{"op": "stats"}, nil }
+		c := newCommand(api.OpStats, api.Summary(api.OpStats))
+		c.build = func() (request, error) { return request{"op": api.OpStats}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("trace", "plan execution trace")
+		c := newCommand(api.OpTrace, api.Summary(api.OpTrace))
 		plan := c.fs.String("plan", "", "plan ID (empty = most recent)")
 		c.build = func() (request, error) {
-			req := request{"op": "trace"}
+			req := request{"op": api.OpTrace}
 			if *plan != "" && *plan != "last" {
 				req["plan"] = *plan
 			}
@@ -225,12 +224,12 @@ func commands() map[string]*command {
 		add(c)
 	}
 	{
-		c := newCommand("report", "last executed plan's report")
-		c.build = func() (request, error) { return request{"op": "report"}, nil }
+		c := newCommand(api.OpReport, api.Summary(api.OpReport))
+		c.build = func() (request, error) { return request{"op": api.OpReport}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("faults", "inject a JSON fault schedule")
+		c := newCommand(api.OpFaults, api.Summary(api.OpFaults))
 		file := c.fs.String("file", "", "path to a fault schedule ({\"seed\": N, \"events\": [...]}; \"-\" = stdin)")
 		c.build = func() (request, error) {
 			if *file == "" {
@@ -250,22 +249,87 @@ func commands() map[string]*command {
 			if err := json.Unmarshal(data, &sched); err != nil {
 				return nil, fmt.Errorf("bad schedule JSON: %w", err)
 			}
-			return request{"op": "faults", "faults": sched}, nil
+			return request{"op": api.OpFaults, "faults": sched}, nil
 		}
 		add(c)
 	}
 	{
-		c := newCommand("heal", "start the controller's self-healing loop")
+		c := newCommand(api.OpHeal, api.Summary(api.OpHeal))
 		ms := c.fs.Int64("ms", 5, "reconciliation scan period (simulated milliseconds)")
-		c.build = func() (request, error) { return request{"op": "heal", "millis": *ms}, nil }
+		c.build = func() (request, error) { return request{"op": api.OpHeal, "millis": *ms}, nil }
 		add(c)
 	}
 	{
-		c := newCommand("heal-status", "recoveries, pending crashes, intent drift")
-		c.build = func() (request, error) { return request{"op": "heal-status"}, nil }
+		c := newCommand(api.OpHealStatus, api.Summary(api.OpHealStatus))
+		c.build = func() (request, error) { return request{"op": api.OpHealStatus}, nil }
+		add(c)
+	}
+	{
+		c := newCommand(api.OpSpecApply, api.Summary(api.OpSpecApply))
+		file := c.fs.String("file", "", "declarative spec document (YAML or JSON; \"-\" = stdin)")
+		dry := c.fs.Bool("dry-run", false, "compute the diff and validate without executing")
+		maxPlans := c.fs.Int("max-plans", 0, "bound batched plans per wave (0 = server default)")
+		c.build = func() (request, error) {
+			data, err := readFileArg(*file, "spec apply")
+			if err != nil {
+				return nil, err
+			}
+			req := request{"op": api.OpSpecApply, "spec": string(data)}
+			if *dry {
+				req["dry_run"] = true
+			}
+			if *maxPlans > 0 {
+				req["max_plans"] = *maxPlans
+			}
+			return req, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand(api.OpSpecDiff, api.Summary(api.OpSpecDiff))
+		file := c.fs.String("file", "", "declarative spec document (YAML or JSON; \"-\" = stdin)")
+		c.build = func() (request, error) {
+			data, err := readFileArg(*file, "spec diff")
+			if err != nil {
+				return nil, err
+			}
+			return request{"op": api.OpSpecDiff, "spec": string(data)}, nil
+		}
+		add(c)
+	}
+	{
+		c := newCommand(api.OpSpecStatus, api.Summary(api.OpSpecStatus))
+		c.build = func() (request, error) { return request{"op": api.OpSpecStatus}, nil }
+		add(c)
+	}
+	{
+		c := newCommand(api.OpAudit, api.Summary(api.OpAudit))
+		n := c.fs.Int("n", 10, "number of trailing records to show")
+		c.build = func() (request, error) { return request{"op": api.OpAudit, "limit": *n}, nil }
+		add(c)
+	}
+	{
+		c := newCommand(api.OpAuditVerify, api.Summary(api.OpAuditVerify))
+		c.build = func() (request, error) { return request{"op": api.OpAuditVerify}, nil }
+		add(c)
+	}
+	{
+		c := newCommand(api.OpAuditReplay, api.Summary(api.OpAuditReplay))
+		c.build = func() (request, error) { return request{"op": api.OpAuditReplay}, nil }
 		add(c)
 	}
 	return cmds
+}
+
+// readFileArg reads a -file argument ("-" = stdin).
+func readFileArg(path, what string) ([]byte, error) {
+	if path == "" {
+		return nil, fmt.Errorf("%s needs -file (\"-\" = stdin)", what)
+	}
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }
 
 func usage(cmds map[string]*command) {
@@ -280,6 +344,10 @@ func usage(cmds map[string]*command) {
 	}
 	fmt.Fprintf(os.Stderr, `
 Run "flexctl <command> -h" for that command's flags.
+
+verb groups: "flexctl spec apply|diff|status" and
+             "flexctl audit [verify|replay]" join onto the dashed
+             command names above ("flexctl spec" = "flexctl spec-status")
 
 shortcuts: "flexctl -stats" = "flexctl stats";
            "flexctl -trace ID" = "flexctl trace -plan ID" ("last" = most recent)
@@ -312,6 +380,17 @@ func main() {
 	case len(rest) >= 1:
 		name = rest[0]
 		rest = rest[1:]
+		// Verb groups: "flexctl spec apply" and "flexctl audit verify"
+		// join onto the canonical dashed op names.
+		if (name == "spec" || name == "audit") && len(rest) >= 1 {
+			if sub := name + "-" + rest[0]; cmds[sub] != nil {
+				name = sub
+				rest = rest[1:]
+			}
+		}
+		if name == "spec" {
+			name = api.OpSpecStatus
+		}
 	default:
 		usage(cmds)
 	}
@@ -344,13 +423,17 @@ func main() {
 		os.Exit(1)
 	}
 	var resp struct {
-		OK    bool            `json:"ok"`
-		Error string          `json:"error"`
-		Data  json.RawMessage `json:"data"`
+		OK      bool            `json:"ok"`
+		Error   string          `json:"error"`
+		Data    json.RawMessage `json:"data"`
+		Warning string          `json:"warning"`
 	}
 	if err := json.Unmarshal(line, &resp); err != nil {
 		fmt.Fprintf(os.Stderr, "flexctl: malformed response: %v\n", err)
 		os.Exit(1)
+	}
+	if resp.Warning != "" {
+		fmt.Fprintf(os.Stderr, "flexctl: warning: %s\n", resp.Warning)
 	}
 	if !resp.OK {
 		fmt.Fprintf(os.Stderr, "flexctl: %s\n", resp.Error)

@@ -37,6 +37,8 @@ import (
 	"time"
 
 	"flexnet"
+	"flexnet/internal/api"
+	"flexnet/internal/apps"
 	"flexnet/internal/fabric"
 )
 
@@ -137,6 +139,13 @@ type Request struct {
 	// Faults carries a fault schedule for the "faults" op (seed +
 	// events; see internal/faults for the event format).
 	Faults *flexnet.FaultSchedule `json:"faults,omitempty"`
+	// Spec is the declarative spec document (YAML or JSON) for the
+	// spec-apply and spec-diff ops.
+	Spec string `json:"spec,omitempty"`
+	// MaxPlans bounds batched plans per wave for spec-apply (0 = default).
+	MaxPlans int `json:"max_plans,omitempty"`
+	// Limit bounds list-shaped replies (the audit op's tail length).
+	Limit int `json:"limit,omitempty"`
 }
 
 // Response is one API reply.
@@ -144,6 +153,8 @@ type Response struct {
 	OK    bool        `json:"ok"`
 	Error string      `json:"error,omitempty"`
 	Data  interface{} `json:"data,omitempty"`
+	// Warning flags accepted-but-deprecated requests (legacy op names).
+	Warning string `json:"warning,omitempty"`
 }
 
 // Server wraps a network with a serialized API.
@@ -159,30 +170,25 @@ type Server struct {
 	healer *flexnet.Healer
 }
 
-// builtinApp instantiates one of the library apps by name.
-func builtinApp(name string, args []uint64) (*flexnet.Program, error) {
-	a := func(i int, def uint64) uint64 {
-		if i < len(args) {
-			return args[i]
-		}
-		return def
+// builtinSegName is the default segment name each builtin kind deploys
+// under (the declarative spec path names segments explicitly instead).
+var builtinSegName = map[string]string{
+	"syn-defense":  "syn",
+	"heavy-hitter": "hh",
+	"rate-limiter": "rl",
+	"firewall":     "fw",
+	"l2":           "l2",
+	"int":          "int",
+}
+
+// builtinApp instantiates one of the library apps by kind, via the
+// shared builtin table also used by declarative specs.
+func builtinApp(kind string, args []uint64) (*flexnet.Program, error) {
+	name, ok := builtinSegName[kind]
+	if !ok {
+		name = kind
 	}
-	switch name {
-	case "syn-defense":
-		return flexnet.SYNDefense("syn", int(a(0, 1024)), a(1, 10)), nil
-	case "heavy-hitter":
-		return flexnet.HeavyHitter("hh", int(a(0, 2)), int(a(1, 512)), a(2, 1000)), nil
-	case "rate-limiter":
-		return flexnet.RateLimiter("rl", int(a(0, 8)), a(1, 1_000_000), a(2, 2_000_000)), nil
-	case "firewall":
-		return flexnet.Firewall("fw", int(a(0, 64)), int(a(1, 1024)), a(2, 0)), nil
-	case "l2":
-		return flexnet.L2Forwarder("l2", int(a(0, 256))), nil
-	case "int":
-		return flexnet.INTTelemetry("int", a(0, 1)), nil
-	default:
-		return nil, fmt.Errorf("unknown builtin app %q (have: syn-defense, heavy-hitter, rate-limiter, firewall, l2, int)", name)
-	}
+	return apps.Builtin(kind, name, args)
 }
 
 // planData serializes a dry-run plan report for the wire: every step
@@ -217,18 +223,34 @@ func planData(rep *flexnet.PlanReport) Response {
 	return Response{OK: true, Data: data}
 }
 
+// handle canonicalizes the op name via the shared table and
+// dispatches. Legacy spellings still work for one release; their
+// responses carry a deprecation warning.
 func (s *Server) handle(req *Request) Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	op, wasLegacy, known := api.Canonical(req.Op)
+	if !known {
+		return Response{OK: false, Error: fmt.Sprintf("unknown op %q (have: %s)", req.Op, strings.Join(api.Names(), ", "))}
+	}
+	resp := s.dispatch(op, req)
+	if wasLegacy {
+		resp.Warning = fmt.Sprintf("op %q is deprecated; use %q", req.Op, op)
+		log.Printf("flexnetd: deprecated op %q (use %q)", req.Op, op)
+	}
+	return resp
+}
+
+func (s *Server) dispatch(op string, req *Request) Response {
 	fail := func(err error) Response { return Response{OK: false, Error: err.Error()} }
-	switch req.Op {
-	case "status":
+	switch op {
+	case api.OpStatus:
 		return Response{OK: true, Data: map[string]interface{}{
 			"sim_time_ms": s.net.Now().Milliseconds(),
 			"apps":        s.net.Controller().Apps(),
 			"drops":       s.net.InfrastructureDrops(),
 		}}
-	case "devices":
+	case api.OpDevices:
 		var out []map[string]interface{}
 		for _, r := range s.net.Controller().ResourceView() {
 			out = append(out, map[string]interface{}{
@@ -240,7 +262,7 @@ func (s *Server) handle(req *Request) Response {
 			})
 		}
 		return Response{OK: true, Data: out}
-	case "deploy":
+	case api.OpDeploy:
 		prog, err := builtinApp(req.App, req.Args)
 		if err != nil {
 			return fail(err)
@@ -259,7 +281,7 @@ func (s *Server) handle(req *Request) Response {
 			return planData(rep)
 		}
 		return Response{OK: true, Data: map[string]string{"uri": req.URI}}
-	case "remove":
+	case api.OpRemove:
 		rep, err := s.net.Remove(context.Background(), req.URI,
 			flexnet.RemoveOptions{DryRun: req.DryRun})
 		if err != nil {
@@ -269,7 +291,7 @@ func (s *Server) handle(req *Request) Response {
 			return planData(rep)
 		}
 		return Response{OK: true}
-	case "migrate":
+	case api.OpMigrate:
 		rep, planRep, err := s.net.Migrate(context.Background(), flexnet.MigrateRequest{
 			URI: req.URI, Segment: req.Segment, Dst: req.Device,
 			DataPlane: req.DataPlane, DryRun: req.DryRun,
@@ -285,9 +307,9 @@ func (s *Server) handle(req *Request) Response {
 			"chunks":       rep.ChunksSent,
 			"duration_ms":  (rep.Done - rep.Started).Milliseconds(),
 		}}
-	case "scale-out", "scale-in":
+	case api.OpScaleOut, api.OpScaleIn:
 		dir := flexnet.ScaleDirOut
-		if req.Op == "scale-in" {
+		if op == api.OpScaleIn {
 			dir = flexnet.ScaleDirIn
 		}
 		rep, err := s.net.Scale(context.Background(), flexnet.ScaleRequest{
@@ -301,18 +323,18 @@ func (s *Server) handle(req *Request) Response {
 			return planData(rep)
 		}
 		return Response{OK: true}
-	case "tenant-add":
+	case api.OpTenantAdd:
 		tn, err := s.net.AddTenant(req.Tenant)
 		if err != nil {
 			return fail(err)
 		}
 		return Response{OK: true, Data: map[string]uint64{"vlan": tn.VLAN}}
-	case "tenant-remove":
+	case api.OpTenantRemove:
 		if err := s.net.DeleteTenant(context.Background(), req.Tenant); err != nil {
 			return fail(err)
 		}
 		return Response{OK: true}
-	case "traffic":
+	case api.OpTraffic:
 		dst, err := flexnet.ParseIP(req.DstIP)
 		if err != nil {
 			return fail(err)
@@ -328,22 +350,22 @@ func (s *Server) handle(req *Request) Response {
 		id := fmt.Sprintf("src%d", s.nextSrc)
 		s.sources[id] = src
 		return Response{OK: true, Data: map[string]string{"source": id}}
-	case "traffic-stop":
+	case api.OpTrafficStop:
 		for _, src := range s.sources {
 			src.Stop()
 		}
 		s.sources = map[string]*flexnet.Source{}
 		return Response{OK: true}
-	case "run":
+	case api.OpRun:
 		ms := req.Millis
 		if ms <= 0 {
 			ms = 100
 		}
 		s.net.RunFor(time.Duration(ms) * time.Millisecond)
 		return Response{OK: true, Data: map[string]int64{"sim_time_ms": s.net.Now().Milliseconds()}}
-	case "stats":
+	case api.OpStats:
 		return Response{OK: true, Data: s.net.Stats()}
-	case "trace":
+	case api.OpTrace:
 		tr := s.net.Tracer()
 		id := req.Plan
 		if id == "" {
@@ -358,13 +380,13 @@ func (s *Server) handle(req *Request) Response {
 			return fail(fmt.Errorf("no trace for plan %q (retained: %v)", id, tr.IDs()))
 		}
 		return Response{OK: true, Data: t.Snapshot()}
-	case "report":
+	case api.OpReport:
 		rep := s.net.LastPlanReport()
 		if rep == nil {
 			return fail(fmt.Errorf("no plans executed yet"))
 		}
 		return planData(rep)
-	case "faults":
+	case api.OpFaults:
 		if req.Faults == nil || len(req.Faults.Events) == 0 {
 			return fail(fmt.Errorf("faults op needs a schedule (\"faults\": {\"seed\": N, \"events\": [...]})"))
 		}
@@ -375,7 +397,7 @@ func (s *Server) handle(req *Request) Response {
 			return fail(err)
 		}
 		return Response{OK: true, Data: map[string]int{"scheduled": len(req.Faults.Events)}}
-	case "heal":
+	case api.OpHeal:
 		if s.healer != nil {
 			return fail(fmt.Errorf("healer already running"))
 		}
@@ -385,7 +407,7 @@ func (s *Server) handle(req *Request) Response {
 		}
 		s.healer = s.net.StartSelfHealing(time.Duration(ms) * time.Millisecond)
 		return Response{OK: true, Data: map[string]int64{"period_ms": ms}}
-	case "heal-status":
+	case api.OpHealStatus:
 		if s.healer == nil {
 			return fail(fmt.Errorf("healer not running (use the heal op first)"))
 		}
@@ -403,8 +425,91 @@ func (s *Server) handle(req *Request) Response {
 			"intent_drift": drift,
 			"mttr_ns":      s.healer.MTTRs,
 		}}
+	case api.OpSpecApply:
+		if req.Spec == "" {
+			return fail(fmt.Errorf("spec-apply needs a spec document (\"spec\": \"...\")"))
+		}
+		rep, err := s.net.ApplySpec(context.Background(), flexnet.SpecApplyRequest{
+			Source: []byte(req.Spec), DryRun: req.DryRun, MaxPlans: req.MaxPlans,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"version":        rep.Version,
+			"plans_emitted":  rep.PlansEmitted,
+			"imperative_ops": rep.Ops,
+			"elapsed_ms":     rep.Elapsed.Milliseconds(),
+			"diff":           rep.Diff.Summary(),
+			"dry_run":        req.DryRun,
+		}}
+	case api.OpSpecDiff:
+		if req.Spec == "" {
+			return fail(fmt.Errorf("spec-diff needs a spec document (\"spec\": \"...\")"))
+		}
+		d, err := s.net.DiffSpec(flexnet.SpecDiffRequest{Source: []byte(req.Spec)})
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"version":        d.Version,
+			"in_sync":        d.Empty(),
+			"imperative_ops": d.Ops(),
+			"diff":           d.Summary(),
+		}}
+	case api.OpSpecStatus:
+		st := s.net.SpecStatus()
+		drift := st.Drift
+		if drift == nil {
+			drift = []string{}
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"version":       st.Version,
+			"applied_at_ms": st.AppliedAt.Milliseconds(),
+			"in_sync":       st.InSync,
+			"drift":         drift,
+			"audit_records": st.AuditRecords,
+			"audit_head":    st.AuditHead,
+		}}
+	case api.OpAudit:
+		records := s.net.Audit().Records()
+		limit := req.Limit
+		if limit <= 0 {
+			limit = 10
+		}
+		if limit < len(records) {
+			records = records[len(records)-limit:]
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"total":   s.net.Audit().Len(),
+			"records": records,
+		}}
+	case api.OpAuditVerify:
+		if err := s.net.Audit().Verify(); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"records": s.net.Audit().Len(),
+			"head":    s.net.Audit().Head(),
+		}}
+	case api.OpAuditReplay:
+		st, err := flexnet.ReplayAudit(s.net.Audit().Records())
+		if err != nil {
+			return fail(err)
+		}
+		replayed := st.Canonical()
+		live := s.net.CanonicalIntent()
+		data := map[string]interface{}{
+			"records": s.net.Audit().Len(),
+			"match":   replayed == live,
+		}
+		if replayed != live {
+			data["replayed"] = replayed
+			data["live"] = live
+		}
+		return Response{OK: true, Data: data}
 	default:
-		return fail(fmt.Errorf("unknown op %q", req.Op))
+		return fail(fmt.Errorf("unknown op %q", op))
 	}
 }
 

@@ -247,3 +247,100 @@ func TestHandleTelemetryOps(t *testing.T) {
 		t.Fatalf("report = %+v", rep)
 	}
 }
+
+// TestLegacyOpNamesWarn asserts the old op spellings still dispatch —
+// with a deprecation warning — while canonical names stay silent.
+func TestLegacyOpNamesWarn(t *testing.T) {
+	s := demoServer(t)
+	r := s.handle(&Request{Op: "tenant_add", Tenant: "acme"})
+	if !r.OK {
+		t.Fatalf("legacy tenant_add: %v", r.Error)
+	}
+	if !strings.Contains(r.Warning, "deprecated") || !strings.Contains(r.Warning, "tenant-add") {
+		t.Fatalf("legacy op warning = %q", r.Warning)
+	}
+	r = s.handle(&Request{Op: "remove-tenant", Tenant: "acme"})
+	if !r.OK || r.Warning == "" {
+		t.Fatalf("legacy remove-tenant: %+v", r)
+	}
+	if r = s.handle(&Request{Op: "status"}); !r.OK || r.Warning != "" {
+		t.Fatalf("canonical op carried a warning: %+v", r)
+	}
+}
+
+const demoSpec = `
+version: v1
+apps:
+  - uri: flexnet://infra/defense
+    segments:
+      - name: syn
+        app: syn-defense
+        args: [128, 5]
+`
+
+// TestHandleSpecAndAuditOps drives the declarative surface end to end
+// over the daemon API: diff, apply, status, audit tail/verify/replay.
+func TestHandleSpecAndAuditOps(t *testing.T) {
+	s := demoServer(t)
+
+	r := s.handle(&Request{Op: "spec-diff", Spec: demoSpec})
+	if !r.OK {
+		t.Fatalf("spec-diff: %v", r.Error)
+	}
+	raw, _ := json.Marshal(r.Data)
+	var diff struct {
+		InSync bool     `json:"in_sync"`
+		Ops    int      `json:"imperative_ops"`
+		Diff   []string `json:"diff"`
+	}
+	if err := json.Unmarshal(raw, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if diff.InSync || diff.Ops == 0 || len(diff.Diff) == 0 {
+		t.Fatalf("diff = %+v", diff)
+	}
+
+	if r = s.handle(&Request{Op: "spec-apply", Spec: demoSpec}); !r.OK {
+		t.Fatalf("spec-apply: %v", r.Error)
+	}
+	if r = s.handle(&Request{Op: "spec-status"}); !r.OK {
+		t.Fatalf("spec-status: %v", r.Error)
+	}
+	raw, _ = json.Marshal(r.Data)
+	var st struct {
+		Version string `json:"version"`
+		InSync  bool   `json:"in_sync"`
+		Records int    `json:"audit_records"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != "v1" || !st.InSync || st.Records == 0 {
+		t.Fatalf("spec-status = %+v", st)
+	}
+
+	if r = s.handle(&Request{Op: "audit", Limit: 5}); !r.OK {
+		t.Fatalf("audit: %v", r.Error)
+	}
+	if r = s.handle(&Request{Op: "audit-verify"}); !r.OK {
+		t.Fatalf("audit-verify: %v", r.Error)
+	}
+	r = s.handle(&Request{Op: "audit-replay"})
+	if !r.OK {
+		t.Fatalf("audit-replay: %v", r.Error)
+	}
+	raw, _ = json.Marshal(r.Data)
+	var rp struct {
+		Match bool `json:"match"`
+	}
+	if err := json.Unmarshal(raw, &rp); err != nil {
+		t.Fatal(err)
+	}
+	if !rp.Match {
+		t.Fatalf("audit replay does not match live intent: %s", raw)
+	}
+
+	if r = s.handle(&Request{Op: "spec-apply"}); r.OK {
+		t.Fatal("spec-apply without a document succeeded")
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,10 +32,10 @@ func buildNet() (*flexnet.Network, *flexnet.Source) {
 		log.Fatal(err)
 	}
 	// The monitor: a count-min sketch updated by every packet.
-	if err := net.DeployApp("flexnet://infra/monitor", flexnet.AppSpec{
+	if _, err := net.Deploy(context.Background(), "flexnet://infra/monitor", flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.HeavyHitter("hh", 2, 512, 1<<60)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, flexnet.DeployOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	src, err := net.NewSource("h1", flexnet.FlowSpec{
@@ -51,7 +52,7 @@ func run(dataPlane bool) flexnet.MigrationReport {
 	net, src := buildNet()
 	src.StartCBR(100000) // 100k pps: the sketch mutates every 10µs
 	net.RunFor(50 * time.Millisecond)
-	rep, err := net.MigrateApp("flexnet://infra/monitor", "hh", "s2", dataPlane)
+	rep, _, err := net.Migrate(context.Background(), flexnet.MigrateRequest{URI: "flexnet://infra/monitor", Segment: "hh", Dst: "s2", DataPlane: dataPlane})
 	src.Stop()
 	if err != nil {
 		log.Fatal(err)

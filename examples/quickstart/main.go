@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -44,9 +45,9 @@ func main() {
 	// compiles it, reserves resources, and commits it atomically between
 	// packets — no drain, no reflash, no downtime.
 	start := net.Now()
-	if err := net.DeployApp("flexnet://infra/defense", flexnet.AppSpec{
+	if _, err := net.Deploy(context.Background(), "flexnet://infra/defense", flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.SYNDefense("syn", 1024, 5)},
-	}); err != nil {
+	}, flexnet.DeployOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("t=%-6v defense deployed in %v of simulated time\n", net.Now(), net.Now()-start)
@@ -66,7 +67,7 @@ func main() {
 	fmt.Printf("t=%-6v attack: 100 SYNs sent, ~%d reached the victim\n", net.Now(), attackThrough)
 
 	// Attack over: retire the defense and reclaim its resources.
-	if err := net.RemoveApp("flexnet://infra/defense"); err != nil {
+	if _, err := net.Remove(context.Background(), "flexnet://infra/defense", flexnet.RemoveOptions{}); err != nil {
 		log.Fatal(err)
 	}
 	src.Stop()

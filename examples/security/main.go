@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -77,10 +78,10 @@ func main() {
 			deployed = true
 			deployedAt = net.Now()
 			fmt.Printf("t=%-8v attack detected (%.0f SYN/s at victim) — summoning defense\n", net.Now(), rate)
-			if err := net.DeployApp("flexnet://infra/defense", flexnet.AppSpec{
+			if _, err := net.Deploy(context.Background(), "flexnet://infra/defense", flexnet.AppSpec{
 				Programs: []*flexnet.Program{flexnet.SYNDefense("syn", 4096, 3)},
 				Path:     []string{"ingress"},
-			}); err != nil {
+			}, flexnet.DeployOptions{}); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("t=%-8v defense live at ingress\n", net.Now())
@@ -89,7 +90,7 @@ func main() {
 			lastDrops = 0
 			uptime += net.Now() - deployedAt
 			fmt.Printf("t=%-8v attack subsided (%.0f SYN/s) — retiring defense\n", net.Now(), rate)
-			if err := net.RemoveApp("flexnet://infra/defense"); err != nil {
+			if _, err := net.Remove(context.Background(), "flexnet://infra/defense", flexnet.RemoveOptions{}); err != nil {
 				log.Fatal(err)
 			}
 		}

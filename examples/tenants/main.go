@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,11 +62,11 @@ func main() {
 		}
 		fmt.Printf("t=%-6v tenant %-8s admitted (VLAN %d)\n", net.Now(), spec.name, tn.VLAN)
 		for _, a := range spec.apps {
-			if err := net.DeployApp(a.uri, flexnet.AppSpec{
+			if _, err := net.Deploy(context.Background(), a.uri, flexnet.AppSpec{
 				Programs: []*flexnet.Program{a.prog},
 				Tenant:   spec.name,
 				Path:     []string{"tor"},
-			}); err != nil {
+			}, flexnet.DeployOptions{}); err != nil {
 				log.Fatal(err)
 			}
 			fmt.Printf("t=%-6v   deployed %s (isolated to VLAN %d)\n", net.Now(), a.uri, tn.VLAN)
@@ -84,7 +85,7 @@ func main() {
 
 	// Tenants depart in reverse order; every departure reclaims memory.
 	for i := len(specs) - 1; i >= 0; i-- {
-		if err := net.RemoveTenant(specs[i].name); err != nil {
+		if err := net.DeleteTenant(context.Background(), specs[i].name); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("t=%-6v tenant %-8s departed — SRAM free: %d bits\n",

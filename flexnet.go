@@ -22,9 +22,9 @@
 //		Build()
 //
 //	defense := flexnet.SYNDefense("syn", 1024, 10)
-//	net.DeployApp("flexnet://infra/defense", flexnet.AppSpec{
+//	net.Deploy(context.Background(), "flexnet://infra/defense", flexnet.AppSpec{
 //		Programs: []*flexnet.Program{defense},
-//	})
+//	}, flexnet.DeployOptions{})
 //	net.RunFor(time.Second)
 //
 // Programs are written in FlexBPF (see NewProgram and NewAsm), verified
@@ -34,7 +34,6 @@
 package flexnet
 
 import (
-	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -451,61 +450,8 @@ type AppSpec struct {
 	SLA SLA
 }
 
-// DeployApp synchronously deploys an application (advancing simulated
-// time until the deployment commits) and returns the placement error.
-//
-// Deprecated: use Deploy.
-func (n *Network) DeployApp(uri string, spec AppSpec) error {
-	_, err := n.Deploy(context.Background(), uri, spec, DeployOptions{})
-	return err
-}
-
-// RemoveApp synchronously removes an application.
-//
-// Deprecated: use Remove.
-func (n *Network) RemoveApp(uri string) error {
-	_, err := n.Remove(context.Background(), uri, RemoveOptions{})
-	return err
-}
-
-// MigrateApp synchronously migrates an app segment to another device
-// using data-plane state migration (or the control-plane baseline).
-//
-// Deprecated: use Migrate, whose MigrateRequest names the dataPlane
-// choice at the call site.
-func (n *Network) MigrateApp(uri, segment, dst string, dataPlane bool) (MigrationReport, error) {
-	rep, _, err := n.Migrate(context.Background(),
-		MigrateRequest{URI: uri, Segment: segment, Dst: dst, DataPlane: dataPlane})
-	return rep, err
-}
-
-// ScaleOut synchronously adds an app replica on a device.
-//
-// Deprecated: use Scale with ScaleDirOut.
-func (n *Network) ScaleOut(uri, segment, device string) error {
-	_, err := n.Scale(context.Background(),
-		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirOut})
-	return err
-}
-
-// ScaleIn synchronously removes an app replica from a device.
-//
-// Deprecated: use Scale with ScaleDirIn.
-func (n *Network) ScaleIn(uri, segment, device string) error {
-	_, err := n.Scale(context.Background(),
-		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirIn})
-	return err
-}
-
 // AddTenant admits a tenant and returns its VLAN allocation.
 func (n *Network) AddTenant(name string) (*Tenant, error) { return n.ctl.AddTenant(name) }
-
-// RemoveTenant synchronously removes a tenant and all its apps.
-//
-// Deprecated: use DeleteTenant.
-func (n *Network) RemoveTenant(name string) error {
-	return n.DeleteTenant(context.Background(), name)
-}
 
 // LastPlanReport returns the report of the most recently executed
 // change plan (nil before the first operation). Every operation —
@@ -530,57 +476,6 @@ func (n *Network) Stats() TelemetrySnapshot { return n.fab.Metrics.Snapshot() }
 // PlanTrace returns the execution trace for a plan ID (see
 // PlanReport.ID), or a zero snapshot if the ID is unknown or evicted.
 func (n *Network) PlanTrace(id string) TraceSnapshot { return n.fab.Tracer.Trace(id).Snapshot() }
-
-// DryRunDeploy compiles and validates a deployment without touching the
-// network: the report lists every step with its estimated cost. The
-// error is non-nil if the plan could not even be built (bad URI,
-// placement failure).
-//
-// Deprecated: use Deploy with DeployOptions{DryRun: true}.
-func (n *Network) DryRunDeploy(uri string, spec AppSpec) (*PlanReport, error) {
-	return n.Deploy(context.Background(), uri, spec, DeployOptions{DryRun: true})
-}
-
-// DryRunRemove validates an app removal without executing it.
-//
-// Deprecated: use Remove with RemoveOptions{DryRun: true}.
-func (n *Network) DryRunRemove(uri string) (*PlanReport, error) {
-	return n.Remove(context.Background(), uri, RemoveOptions{DryRun: true})
-}
-
-// DryRunMigrate validates a migration without executing it.
-//
-// Deprecated: use Migrate with MigrateRequest.DryRun set.
-func (n *Network) DryRunMigrate(uri, segment, dst string, dataPlane bool) (*PlanReport, error) {
-	_, rep, err := n.Migrate(context.Background(),
-		MigrateRequest{URI: uri, Segment: segment, Dst: dst, DataPlane: dataPlane, DryRun: true})
-	return rep, err
-}
-
-// DryRunScaleOut validates adding a replica without executing it.
-//
-// Deprecated: use Scale with ScaleRequest.DryRun set.
-func (n *Network) DryRunScaleOut(uri, segment, device string) (*PlanReport, error) {
-	return n.Scale(context.Background(),
-		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirOut, DryRun: true})
-}
-
-// DryRunScaleIn validates removing a replica without executing it.
-//
-// Deprecated: use Scale with ScaleRequest.DryRun set.
-func (n *Network) DryRunScaleIn(uri, segment, device string) (*PlanReport, error) {
-	return n.Scale(context.Background(),
-		ScaleRequest{URI: uri, Segment: segment, Device: device, Direction: ScaleDirIn, DryRun: true})
-}
-
-// DryRunUpdate validates an incremental update without executing it.
-//
-// Deprecated: use Update with UpdateRequest.DryRun set.
-func (n *Network) DryRunUpdate(uri, segment string, d *Delta) (*PlanReport, error) {
-	_, rep, err := n.Update(context.Background(),
-		UpdateRequest{URI: uri, Segment: segment, Delta: d, DryRun: true})
-	return rep, err
-}
 
 // waitFor advances simulation until *done or the budget elapses.
 func (n *Network) waitFor(done *bool, budget time.Duration) {
@@ -655,13 +550,3 @@ type Delta = delta.Delta
 
 // DeltaOp is one operation within a Delta.
 type DeltaOp = delta.Op
-
-// UpdateApp applies an incremental change to a deployed app segment,
-// live and state-preserving. Returns the touch report.
-//
-// Deprecated: use Update.
-func (n *Network) UpdateApp(uri, segment string, d *Delta) (*delta.Report, error) {
-	rep, _, err := n.Update(context.Background(),
-		UpdateRequest{URI: uri, Segment: segment, Delta: d})
-	return rep, err
-}

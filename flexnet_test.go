@@ -1,6 +1,7 @@
 package flexnet
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -68,16 +69,16 @@ func TestEndToEndTraffic(t *testing.T) {
 
 func TestDeployRemoveAppLifecycle(t *testing.T) {
 	n := smallNet(t)
-	if err := n.DeployApp("flexnet://infra/defense", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/defense", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 512, 5)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Device("s1").Instance("flexnet://infra/defense#syn") == nil {
 		t.Fatal("program not on s1")
 	}
-	if err := n.RemoveApp("flexnet://infra/defense"); err != nil {
+	if _, err := n.Remove(context.Background(), "flexnet://infra/defense", RemoveOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Device("s1").Instance("flexnet://infra/defense#syn") != nil {
@@ -87,10 +88,10 @@ func TestDeployRemoveAppLifecycle(t *testing.T) {
 
 func TestDefenseDropsAttack(t *testing.T) {
 	n := smallNet(t)
-	if err := n.DeployApp("flexnet://infra/defense", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/defense", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 512, 5)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Attack: SYN flood from one source.
@@ -107,16 +108,16 @@ func TestDefenseDropsAttack(t *testing.T) {
 
 func TestMigrateAppViaFacade(t *testing.T) {
 	n := smallNet(t)
-	if err := n.DeployApp("flexnet://infra/mon", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/mon", AppSpec{
 		Programs: []*Program{HeavyHitter("hh", 2, 128, 1<<60)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	src, _ := n.NewSource("h1", FlowSpec{Dst: MustParseIP("10.0.0.2"), Proto: 6, SrcPort: 5, DstPort: 80, PacketLen: 100})
 	src.StartCBR(50000)
 	n.RunFor(20 * time.Millisecond)
-	rep, err := n.MigrateApp("flexnet://infra/mon", "hh", "s2", true)
+	rep, _, err := n.Migrate(context.Background(), MigrateRequest{URI: "flexnet://infra/mon", Segment: "hh", Dst: "s2", DataPlane: true})
 	src.Stop()
 	if err != nil {
 		t.Fatal(err)
@@ -138,15 +139,15 @@ func TestTenantLifecycleViaFacade(t *testing.T) {
 	if tn.VLAN == 0 {
 		t.Fatal("no VLAN allocated")
 	}
-	if err := n.DeployApp("flexnet://acme/rl", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://acme/rl", AppSpec{
 		Programs: []*Program{RateLimiter("rl", 4, 1_000_000, 2_000_000)},
 		Tenant:   "acme",
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	before := n.Device("s1").Free()
-	if err := n.RemoveTenant("acme"); err != nil {
+	if err := n.DeleteTenant(context.Background(), "acme"); err != nil {
 		t.Fatal(err)
 	}
 	if n.Device("s1").Free().SRAMBits <= before.SRAMBits {
@@ -156,29 +157,29 @@ func TestTenantLifecycleViaFacade(t *testing.T) {
 
 func TestScaleOutInViaFacade(t *testing.T) {
 	n := smallNet(t)
-	if err := n.DeployApp("flexnet://infra/d", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/d", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 256, 5)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.ScaleOut("flexnet://infra/d", "syn", "s2"); err != nil {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: "flexnet://infra/d", Segment: "syn", Device: "s2", Direction: ScaleDirOut}); err != nil {
 		t.Fatal(err)
 	}
 	if n.Device("s2").Instance("flexnet://infra/d#syn") == nil {
 		t.Fatal("replica missing")
 	}
-	if err := n.ScaleIn("flexnet://infra/d", "syn", "s2"); err != nil {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: "flexnet://infra/d", Segment: "syn", Device: "s2", Direction: ScaleDirIn}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestSLARejection(t *testing.T) {
 	n := smallNet(t)
-	err := n.DeployApp("flexnet://infra/x", AppSpec{
+	_, err := n.Deploy(context.Background(), "flexnet://infra/x", AppSpec{
 		Programs: []*Program{SYNDefense("syn", 256, 5)},
 		SLA:      SLA{MaxLatencyNs: 1}, // impossible
-	})
+	}, DeployOptions{})
 	if err == nil {
 		t.Fatal("impossible SLA accepted")
 	}

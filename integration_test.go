@@ -6,6 +6,7 @@ package flexnet
 // the paper in one run.
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -68,24 +69,24 @@ func TestIntegrationFullScenario(t *testing.T) {
 
 	// 2. Deploy infrastructure monitoring plus per-tenant extensions,
 	//    all at runtime, all while traffic flows.
-	if err := n.DeployApp("flexnet://infra/monitor", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/monitor", AppSpec{
 		Programs: []*Program{HeavyHitter("hh", 2, 512, 1<<60)},
 		Path:     []string{"torA"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.DeployApp("flexnet://acme/defense", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://acme/defense", AppSpec{
 		Programs: []*Program{SYNDefense("sd", 512, 5)},
 		Tenant:   "acme",
 		Path:     []string{"torA"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.DeployApp("flexnet://globex/limiter", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://globex/limiter", AppSpec{
 		Programs: []*Program{RateLimiter("rl", 8, 1_000_000, 2_000_000)},
 		Tenant:   "globex",
 		Path:     []string{"torB"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(n.Controller().Apps()); got != 3 {
@@ -93,7 +94,7 @@ func TestIntegrationFullScenario(t *testing.T) {
 	}
 
 	// 3. Elastic scale-out of the monitor to the other ToR.
-	if err := n.ScaleOut("flexnet://infra/monitor", "hh", "torB"); err != nil {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: "flexnet://infra/monitor", Segment: "hh", Device: "torB", Direction: ScaleDirOut}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -101,10 +102,10 @@ func TestIntegrationFullScenario(t *testing.T) {
 	//    plane; its per-packet state must survive intact... primary is
 	//    torA; migrate it (replica already on torB under the same name
 	//    would collide — scale back in first).
-	if err := n.ScaleIn("flexnet://infra/monitor", "hh", "torB"); err != nil {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: "flexnet://infra/monitor", Segment: "hh", Device: "torB", Direction: ScaleDirIn}); err != nil {
 		t.Fatal(err)
 	}
-	rep, err := n.MigrateApp("flexnet://infra/monitor", "hh", "torB", true)
+	rep, _, err := n.Migrate(context.Background(), MigrateRequest{URI: "flexnet://infra/monitor", Segment: "hh", Dst: "torB", DataPlane: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestIntegrationFullScenario(t *testing.T) {
 
 	// 5. Tenant departure reclaims resources.
 	before := n.Device("torA").Free()
-	if err := n.RemoveTenant("acme"); err != nil {
+	if err := n.DeleteTenant(context.Background(), "acme"); err != nil {
 		t.Fatal(err)
 	}
 	if n.Device("torA").Free().SRAMBits <= before.SRAMBits {
@@ -152,16 +153,16 @@ func TestIntegrationHeterogeneousPlacement(t *testing.T) {
 		MustBuild()
 	// No device in this fabric offers Transport, so placement must fail
 	// loudly for the transport segment...
-	err := n.DeployApp("flexnet://infra/vertical", AppSpec{
+	_, err := n.Deploy(context.Background(), "flexnet://infra/vertical", AppSpec{
 		Programs: []*Program{ccMonitor, aclProg},
-	})
+	}, DeployOptions{})
 	if err == nil {
 		t.Fatal("transport-requiring segment placed on a switch fabric")
 	}
 	// The ACL program alone places fine (on a TCAM-capable device).
-	if err := n.DeployApp("flexnet://infra/acl", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/acl", AppSpec{
 		Programs: []*Program{aclProg},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	dev := n.Controller().App("flexnet://infra/acl").Replicas["acl"][0]
@@ -175,7 +176,7 @@ func TestIntegrationExperimentSuiteRuns(t *testing.T) {
 		t.Skip("experiment suite is slow")
 	}
 	tables := experiments.All(1)
-	if len(tables) != 18 {
+	if len(tables) != 19 {
 		t.Fatalf("suite produced %d tables", len(tables))
 	}
 	for _, tab := range tables {

@@ -1,0 +1,57 @@
+package api
+
+import "testing"
+
+func TestCanonical(t *testing.T) {
+	cases := []struct {
+		in     string
+		want   string
+		legacy bool
+		ok     bool
+	}{
+		{"status", "status", false, true},
+		{"spec-apply", "spec-apply", false, true},
+		{"scale_out", "scale-out", true, true},
+		{"tenant_add", "tenant-add", true, true},
+		{"deploy-app", "deploy", true, true},
+		{"remove-tenant", "tenant-remove", true, true},
+		{"heal_status", "heal-status", true, true},
+		{"bogus", "", false, false},
+		{"", "", false, false},
+	}
+	for _, tc := range cases {
+		got, legacy, ok := Canonical(tc.in)
+		if got != tc.want || legacy != tc.legacy || ok != tc.ok {
+			t.Errorf("Canonical(%q) = (%q, %v, %v), want (%q, %v, %v)",
+				tc.in, got, legacy, ok, tc.want, tc.legacy, tc.ok)
+		}
+	}
+}
+
+func TestTableConsistency(t *testing.T) {
+	// Every legacy spelling must resolve to a canonical op, and no
+	// legacy spelling may shadow a canonical name.
+	for old, canon := range legacy {
+		if _, ok := Ops[canon]; !ok {
+			t.Errorf("legacy %q maps to unknown op %q", old, canon)
+		}
+		if _, clash := Ops[old]; clash {
+			t.Errorf("legacy spelling %q is also a canonical op", old)
+		}
+	}
+	// Every canonical op has a non-empty summary and Names() covers all.
+	names := Names()
+	if len(names) != len(Ops) {
+		t.Fatalf("Names() returned %d of %d ops", len(names), len(Ops))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted at %q", names[i])
+		}
+	}
+	for _, n := range names {
+		if Summary(n) == "" {
+			t.Errorf("op %q has no summary", n)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+)
+
+// testLog returns a log on a fake monotonic clock.
+func testLog() *Log {
+	var t int64
+	return NewLog(func() int64 { t += 100; return t })
+}
+
+func TestChainAppendAndVerify(t *testing.T) {
+	l := testLog()
+	if l.Len() != 1 {
+		t.Fatalf("new log len = %d, want 1 (genesis)", l.Len())
+	}
+	l.Append(Record{Kind: "tenant-add", Tenant: "acme"})
+	l.Append(Record{Kind: "plan", PlanID: "p1", Label: "deploy", Outcome: "succeeded",
+		Steps: []StepRecord{{Op: "install", Device: "s1", Instance: "flexnet://acme/a#x", Status: "committed"}}})
+	if err := l.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	recs := l.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Prev != recs[i-1].Hash {
+			t.Fatalf("record %d prev link broken", i)
+		}
+		if recs[i].Seq != recs[i-1].Seq+1 {
+			t.Fatalf("record %d seq gap", i)
+		}
+		if recs[i].AtNs <= recs[i-1].AtNs {
+			t.Fatalf("record %d timestamp not monotonic", i)
+		}
+	}
+	if l.Head() != recs[2].Hash {
+		t.Fatal("Head is not the last record's hash")
+	}
+}
+
+func TestChainTamperDetection(t *testing.T) {
+	l := testLog()
+	l.Append(Record{Kind: "tenant-add", Tenant: "acme"})
+	l.Append(Record{Kind: "tenant-add", Tenant: "globex"})
+
+	// Retroactive edit: flip a field without recomputing hashes.
+	recs := l.Records()
+	recs[1].Tenant = "evil"
+	if err := VerifyRecords(recs); err == nil || !strings.Contains(err.Error(), "hash mismatch") {
+		t.Fatalf("edited record not caught: %v", err)
+	}
+
+	// Consistent rewrite of one record: its own hash matches but the
+	// next record's prev link breaks.
+	recs = l.Records()
+	recs[1].Tenant = "evil"
+	recs[1].Hash = hashOf(recs[1])
+	if err := VerifyRecords(recs); err == nil || !strings.Contains(err.Error(), "chain broken") {
+		t.Fatalf("rewritten record not caught: %v", err)
+	}
+
+	// Dropped record: sequence gap.
+	recs = l.Records()
+	if err := VerifyRecords(append(recs[:1:1], recs[2])); err == nil {
+		t.Fatal("dropped record not caught")
+	}
+
+	// Truncation from the front: no genesis.
+	if err := VerifyRecords(l.Records()[1:]); err == nil {
+		t.Fatal("missing genesis not caught")
+	}
+}
+
+func TestReplayFoldsIntent(t *testing.T) {
+	l := testLog()
+	l.Append(Record{Kind: "tenant-add", Tenant: "acme"})
+	l.Append(Record{Kind: "plan", Outcome: "succeeded", Steps: []StepRecord{
+		{Op: "install", Device: "s1", Instance: "flexnet://acme/a#x", Status: "committed"},
+		{Op: "install", Device: "s2", Instance: "flexnet://acme/a#x", Status: "committed"},
+	}})
+	// Rolled-back plans touched nothing durable.
+	l.Append(Record{Kind: "plan", Outcome: "rolled-back", Steps: []StepRecord{
+		{Op: "install", Device: "s3", Instance: "flexnet://acme/a#x", Status: "committed"},
+	}})
+	// Migration moves the instance.
+	l.Append(Record{Kind: "plan", Outcome: "succeeded", Steps: []StepRecord{
+		{Op: "migrate-state", Src: "s2", Device: "s4", Instance: "flexnet://acme/a#x", Status: "committed"},
+	}})
+	// Degraded removal: the skipped remove still drops the replica from
+	// intent (the device is gone, and so is its copy).
+	l.Append(Record{Kind: "plan", Outcome: "degraded", Steps: []StepRecord{
+		{Op: "remove", Device: "s4", Instance: "flexnet://acme/a#x", Status: "skipped"},
+	}})
+	// Healer infrastructure repair: not an app instance, not intent.
+	l.Append(Record{Kind: "plan", Outcome: "succeeded", Origin: "heal", Steps: []StepRecord{
+		{Op: "install", Device: "s1", Instance: "routing", Status: "committed"},
+	}})
+	l.Append(Record{Kind: "tenant-remove", Tenant: "acme"})
+	l.Append(Record{Kind: "tenant-add", Tenant: "globex"})
+
+	st, err := Replay(l.Records())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	want := "tenant globex\ninstance flexnet://acme/a#x @ s1\n"
+	if got := st.Canonical(); got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+}
+
+func TestReplayIdempotentAdds(t *testing.T) {
+	l := testLog()
+	// A healer reinstall replays over an existing install: same final set.
+	for i := 0; i < 3; i++ {
+		l.Append(Record{Kind: "plan", Outcome: "succeeded", Steps: []StepRecord{
+			{Op: "install", Device: "s1", Instance: "flexnet://infra/m#x", Status: "committed"},
+		}})
+	}
+	st, err := Replay(l.Records())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if got := st.Canonical(); got != "instance flexnet://infra/m#x @ s1\n" {
+		t.Fatalf("canonical = %q", got)
+	}
+}
+
+func TestReplayRejectsTamperedChain(t *testing.T) {
+	l := testLog()
+	l.Append(Record{Kind: "tenant-add", Tenant: "acme"})
+	recs := l.Records()
+	recs[1].Tenant = "evil"
+	if _, err := Replay(recs); err == nil {
+		t.Fatal("tampered chain replayed")
+	}
+}
+
+func TestDeterministicHashes(t *testing.T) {
+	mk := func() []Record {
+		l := testLog()
+		l.Append(Record{Kind: "tenant-add", Tenant: "acme"})
+		l.Append(Record{Kind: "plan", PlanID: "p1", Outcome: "succeeded", Origin: "spec:v1",
+			Steps: []StepRecord{{Op: "install", Device: "s1", Instance: "a#x", Status: "committed"}}})
+		return l.Records()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i].Hash != b[i].Hash {
+			t.Fatalf("record %d hash differs across identical runs", i)
+		}
+	}
+}

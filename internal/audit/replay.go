@@ -1,0 +1,144 @@
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// IntentState is the controller-level intent reconstructed from the
+// trail: which tenants exist and which devices carry each app
+// instance ("uri#segment"). It deliberately models *intent*, not
+// device inventory — infrastructure programs (routing tables installed
+// at build time) predate the chain and are not control-plane
+// mutations.
+type IntentState struct {
+	Tenants   map[string]bool
+	Instances map[string]map[string]bool // instance -> device set
+}
+
+// NewIntentState returns an empty state.
+func NewIntentState() *IntentState {
+	return &IntentState{Tenants: map[string]bool{}, Instances: map[string]map[string]bool{}}
+}
+
+// Replay folds the chain into intent state. Semantics are a CRDT-ish
+// idempotent set fold, which is what makes replay robust to the
+// self-healer's reconciliation plans:
+//
+//   - only records for committed work mutate state: plans with outcome
+//     "succeeded" or "degraded"; rolled-back and failed plans touched
+//     nothing durable and are skipped whole
+//   - install adds (device, instance) — a no-op if already present, so
+//     a healer reinstall after a crash replays cleanly
+//   - remove deletes it; a remove step with status "skipped" ALSO
+//     deletes — degraded removals skip devices that are down, but the
+//     dead device's copy is gone and the controller has dropped the
+//     replica from intent
+//   - migrate-state moves the instance from Src to the step's device
+//   - swap and route-update change no placement
+//
+// The chain is verified first; a tampered chain does not replay.
+func Replay(records []Record) (*IntentState, error) {
+	if err := VerifyRecords(records); err != nil {
+		return nil, err
+	}
+	st := NewIntentState()
+	for _, r := range records {
+		switch r.Kind {
+		case "genesis", "spec-apply":
+			// markers; no state
+		case "tenant-add":
+			st.Tenants[r.Tenant] = true
+		case "tenant-remove":
+			delete(st.Tenants, r.Tenant)
+		case "plan":
+			if r.Outcome != "succeeded" && r.Outcome != "degraded" {
+				continue
+			}
+			for _, s := range r.Steps {
+				applied := s.Status == "committed" ||
+					(s.Status == "skipped" && s.Op == "remove")
+				if !applied {
+					continue
+				}
+				// App instances are "uri#segment"; anything else is
+				// infrastructure repair (the healer reinstalling the
+				// routing program), which is device inventory, not
+				// intent.
+				if s.Instance != "" && !strings.Contains(s.Instance, "#") {
+					continue
+				}
+				switch s.Op {
+				case "install":
+					st.Add(s.Instance, s.Device)
+				case "remove":
+					st.Remove(s.Instance, s.Device)
+				case "migrate-state":
+					st.Remove(s.Instance, s.Src)
+					st.Add(s.Instance, s.Device)
+				case "swap", "route-update":
+					// placement unchanged
+				default:
+					return nil, fmt.Errorf("audit: record %d: unknown step op %q", r.Seq, s.Op)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("audit: record %d: unknown kind %q", r.Seq, r.Kind)
+		}
+	}
+	return st, nil
+}
+
+func (st *IntentState) Add(instance, device string) {
+	if instance == "" || device == "" {
+		return
+	}
+	devs := st.Instances[instance]
+	if devs == nil {
+		devs = map[string]bool{}
+		st.Instances[instance] = devs
+	}
+	devs[device] = true
+}
+
+func (st *IntentState) Remove(instance, device string) {
+	if devs, ok := st.Instances[instance]; ok {
+		delete(devs, device)
+		if len(devs) == 0 {
+			delete(st.Instances, instance)
+		}
+	}
+}
+
+// Canonical renders the state as sorted text — one line per tenant,
+// one line per instance with its device set sorted — so two states are
+// equal iff their renderings are byte-identical. The controller
+// renders its live state the same way (Controller.CanonicalIntent) for
+// the replay assertions.
+func (st *IntentState) Canonical() string {
+	tenants := make([]string, 0, len(st.Tenants))
+	for t := range st.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	instances := make([]string, 0, len(st.Instances))
+	for i := range st.Instances {
+		instances = append(instances, i)
+	}
+	sort.Strings(instances)
+
+	var b strings.Builder
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "tenant %s\n", t)
+	}
+	for _, inst := range instances {
+		devs := make([]string, 0, len(st.Instances[inst]))
+		for d := range st.Instances[inst] {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		fmt.Fprintf(&b, "instance %s @ %s\n", inst, strings.Join(devs, ","))
+	}
+	return b.String()
+}

@@ -1,0 +1,28 @@
+package audit
+
+import "flexnet/internal/plan"
+
+// FromReport converts an executed plan's report into an (unchained)
+// plan record — the executor's audit sink appends it. Step programs
+// and filters are deliberately dropped: the trail records *what
+// changed where with what outcome*, and program content is recoverable
+// from the spec/app registry by fingerprint.
+func FromReport(r *plan.Report) Record {
+	rec := Record{
+		Kind:    "plan",
+		PlanID:  r.ID,
+		Label:   r.Label,
+		Origin:  r.Origin,
+		Outcome: r.Outcome.String(),
+	}
+	for _, sr := range r.Steps {
+		rec.Steps = append(rec.Steps, StepRecord{
+			Op:       sr.Step.Op.String(),
+			Device:   sr.Step.Device,
+			Src:      sr.Step.Src,
+			Instance: sr.Step.Instance,
+			Status:   sr.Status.String(),
+		})
+	}
+	return rec
+}

@@ -24,8 +24,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
+	"flexnet/internal/audit"
 	"flexnet/internal/compiler"
 	"flexnet/internal/errdefs"
 	"flexnet/internal/fabric"
@@ -35,6 +37,7 @@ import (
 	"flexnet/internal/packet"
 	"flexnet/internal/plan"
 	"flexnet/internal/runtime"
+	"flexnet/internal/spec"
 	"flexnet/internal/telemetry"
 )
 
@@ -134,6 +137,20 @@ type Controller struct {
 	Punts *PuntRing
 	// OnPunt, when set, is called for each punted packet.
 	OnPunt func(dev string, pkt *packet.Packet)
+
+	// audit is the append-only hash-chained trail of every control-plane
+	// mutation: the executor's audit sink records each executed plan,
+	// and tenant admissions/departures append their own records. Always
+	// on; timestamps come from the simulated clock, so the chain is
+	// byte-identical at a seed.
+	audit *audit.Log
+
+	// Declarative spec state (spec.go): the last successfully applied
+	// spec and when, plus the reconcile counter.
+	specMu     sync.Mutex
+	lastSpec   *spec.Resolved
+	lastSpecAt netsim.Time
+	specApply  bool // an ApplySpec is in flight
 }
 
 // PuntRecord is one packet punted to the controller.
@@ -169,6 +186,12 @@ func New(fab *fabric.Fabric, eng *runtime.Engine, strategy compiler.Strategy) *C
 	}
 	c.exec = runtime.NewExecutor(eng, fab.Device, c.mig, fab)
 	c.exec.SetTelemetry(fab.Metrics, fab.Tracer)
+	c.audit = audit.NewLog(func() int64 { return int64(fab.Sim.Now()) })
+	auditRecords := fab.Metrics.Counter("ctl.audit.records")
+	c.audit.OnAppend(func() { auditRecords.Inc() })
+	c.exec.SetAuditSink(func(r *plan.Report) {
+		c.audit.Append(audit.FromReport(r))
+	})
 	fab.Punted = func(dev string, pkt *packet.Packet) {
 		c.Punts.Append(PuntRecord{Device: dev, At: fab.Sim.Now(), FlowID: pkt.FlowKey().Hash()})
 		if c.OnPunt != nil {
@@ -272,8 +295,12 @@ func (c *Controller) AddTenant(name string) (*Tenant, error) {
 	t := &Tenant{Name: name, VLAN: atomic.AddUint64(&c.nextVLAN, 1) - 1}
 	sh.tenants[name] = t
 	sh.mu.Unlock()
+	c.audit.Append(audit.Record{Kind: "tenant-add", Tenant: name})
 	return t, nil
 }
+
+// Audit exposes the controller's append-only mutation trail.
+func (c *Controller) Audit() *audit.Log { return c.audit }
 
 // Tenant returns an admitted tenant, or nil.
 func (c *Controller) Tenant(name string) *Tenant { return c.state.tenant(name) }
@@ -293,6 +320,7 @@ func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(er
 	remaining := len(uris)
 	if remaining == 0 {
 		c.state.deleteTenant(name)
+		c.audit.Append(audit.Record{Kind: "tenant-remove", Tenant: name})
 		done(nil)
 		return
 	}
@@ -305,6 +333,7 @@ func (c *Controller) RemoveTenant(ctx context.Context, name string, done func(er
 			remaining--
 			if remaining == 0 {
 				c.state.deleteTenant(name)
+				c.audit.Append(audit.Record{Kind: "tenant-remove", Tenant: name})
 				done(firstErr)
 			}
 		})

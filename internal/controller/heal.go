@@ -140,6 +140,7 @@ func (h *Healer) reconcile(name string, d *dataplane.Device, gen uint64) {
 // for determinism.
 func (h *Healer) desiredPlan(name string, d *dataplane.Device) *plan.ChangePlan {
 	cp := plan.New("reconcile " + name)
+	cp.Origin = "heal"
 	have := map[string]bool{}
 	for _, p := range d.Programs() {
 		have[p] = true

@@ -101,6 +101,21 @@ func (s *shardedState) appURIs() []string {
 	return out
 }
 
+// tenantNames returns every admitted tenant in sorted order (all-shard
+// scan) — the spec differ's live-tenant view.
+func (s *shardedState) tenantNames() []string {
+	var out []string
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for n := range sh.tenants {
+			out = append(out, n)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (s *shardedState) tenant(name string) *Tenant {
 	sh := s.shardFor(name)
 	sh.mu.Lock()

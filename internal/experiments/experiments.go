@@ -107,5 +107,6 @@ func All(seed int64) []*Table {
 		E16ScaleOut(seed),
 		E17FastPath(seed),
 		E18ControlPlane(seed),
+		E19SpecReconcile(seed),
 	}
 }

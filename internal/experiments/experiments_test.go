@@ -269,6 +269,37 @@ func TestE14Shape(t *testing.T) {
 	}
 }
 
+func TestE19Shape(t *testing.T) {
+	tab := E19SpecReconcile(1)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Rows alternate spec/imperative per k; k=16 is rows 2 and 3.
+	specPlans := cell(t, tab, 2, 4)
+	imperPlans := cell(t, tab, 3, 4)
+	if specPlans > 0.10*imperPlans {
+		t.Fatalf("spec apply emitted %v plans, more than 10%% of the %v imperative plans", specPlans, imperPlans)
+	}
+	specConv := parseNs(t, tab.Rows[2][6])
+	imperConv := parseNs(t, tab.Rows[3][6])
+	if specConv >= imperConv {
+		t.Fatalf("spec convergence %v not below imperative %v", specConv, imperConv)
+	}
+	for _, i := range []int{0, 2} { // spec rows must be hitless with zero drift
+		if drops := cell(t, tab, i, 7); drops != 0 {
+			t.Fatalf("spec apply on %s dropped %v packets", tab.Rows[i][0], drops)
+		}
+		if drift := cell(t, tab, i, 8); drift != 0 {
+			t.Fatalf("spec apply on %s left %v drifted instances", tab.Rows[i][0], drift)
+		}
+	}
+	for i, row := range tab.Rows { // both modes must replay to live intent
+		if row[9] != "match" {
+			t.Fatalf("row %d audit replay = %q, want match", i, row[9])
+		}
+	}
+}
+
 func TestRender(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "t", Claim: "c",

@@ -128,6 +128,10 @@ type ChangePlan struct {
 	// Validate so control-plane latency reflects planning work, not just
 	// device churn.
 	PlanningLat netsim.Time
+	// Origin attributes the plan in reports and the audit trail: ""
+	// for imperative API calls, "spec:<version>" for declarative
+	// applies, "heal" for self-healer reconciliation.
+	Origin string
 }
 
 // New starts an empty plan.
@@ -300,7 +304,9 @@ type Report struct {
 	// dry runs, which execute nothing and leave no trace.
 	ID    string
 	Label string
-	Steps []StepReport
+	// Origin is copied from the plan ("", "spec:<version>", "heal").
+	Origin string
+	Steps  []StepReport
 	// Phase is the phase reached (PhaseDone on success; the failing
 	// phase otherwise).
 	Phase   Phase

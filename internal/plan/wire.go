@@ -1,0 +1,67 @@
+package plan
+
+import "encoding/json"
+
+// Report crosses the dRPC boundary (flexnetd's plan-returning ops, spec
+// apply/status), so its JSON shape is a wire contract: stable
+// snake_case field names, enums as their String() forms, errors as
+// strings. The golden test in wire_test.go pins the encoding — a field
+// rename or reorder is a wire break and must fail review.
+
+type stepWire struct {
+	Op        string `json:"op"`
+	Device    string `json:"device,omitempty"`
+	Instance  string `json:"instance,omitempty"`
+	Src       string `json:"src,omitempty"`
+	DataPlane bool   `json:"data_plane,omitempty"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+}
+
+type reportWire struct {
+	ID          string     `json:"id,omitempty"`
+	Label       string     `json:"label"`
+	Origin      string     `json:"origin,omitempty"`
+	Phase       string     `json:"phase"`
+	Outcome     string     `json:"outcome"`
+	EstimatedNs int64      `json:"estimated_ns"`
+	ActualNs    int64      `json:"actual_ns"`
+	RolledBack  bool       `json:"rolled_back,omitempty"`
+	Degraded    []string   `json:"degraded,omitempty"`
+	Steps       []stepWire `json:"steps"`
+	Error       string     `json:"error,omitempty"`
+}
+
+// MarshalJSON implements the stable wire encoding.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	w := reportWire{
+		ID:          r.ID,
+		Label:       r.Label,
+		Origin:      r.Origin,
+		Phase:       r.Phase.String(),
+		Outcome:     r.Outcome.String(),
+		EstimatedNs: int64(r.Estimated),
+		ActualNs:    int64(r.Actual),
+		RolledBack:  r.RolledBack,
+		Degraded:    r.Degraded,
+		Steps:       make([]stepWire, 0, len(r.Steps)),
+	}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+	}
+	for _, sr := range r.Steps {
+		sw := stepWire{
+			Op:        sr.Step.Op.String(),
+			Device:    sr.Step.Device,
+			Instance:  sr.Step.Instance,
+			Src:       sr.Step.Src,
+			DataPlane: sr.Step.UseDataPlane,
+			Status:    sr.Status.String(),
+		}
+		if sr.Err != nil {
+			sw.Error = sr.Err.Error()
+		}
+		w.Steps = append(w.Steps, sw)
+	}
+	return json.Marshal(w)
+}

@@ -1,0 +1,79 @@
+package plan
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// TestReportWireGolden pins Report's JSON wire format byte-for-byte.
+// The encoding crosses the dRPC boundary (flexnetd plan ops, spec
+// apply/status), so a field rename, reorder, or enum-string change is a
+// wire break: update this golden only alongside a deliberate,
+// documented protocol change.
+func TestReportWireGolden(t *testing.T) {
+	rep := &Report{
+		ID:     "plan-3",
+		Label:  "migrate hh",
+		Origin: "spec:v2",
+		Steps: []StepReport{
+			{
+				Step:   Step{Op: OpInstallInstance, Device: "s2", Instance: "flexnet://acme/a#hh"},
+				Status: StepCommitted,
+			},
+			{
+				Step:   Step{Op: OpMigrateState, Device: "s2", Src: "s1", Instance: "flexnet://acme/a#hh", UseDataPlane: true},
+				Status: StepCommitted,
+			},
+			{
+				Step:   Step{Op: OpRemoveInstance, Device: "s1", Instance: "flexnet://acme/a#hh"},
+				Status: StepSkipped,
+				Err:    errors.New("device s1 down"),
+			},
+		},
+		Phase:      PhaseDone,
+		Outcome:    OutcomeDegraded,
+		Estimated:  1500,
+		Actual:     2250,
+		Degraded:   []string{"skipped remove s1: device down"},
+		RolledBack: false,
+	}
+
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"id":"plan-3","label":"migrate hh","origin":"spec:v2","phase":"done","outcome":"degraded","estimated_ns":1500,"actual_ns":2250,"degraded":["skipped remove s1: device down"],"steps":[{"op":"install","device":"s2","instance":"flexnet://acme/a#hh","status":"committed"},{"op":"migrate-state","device":"s2","instance":"flexnet://acme/a#hh","src":"s1","data_plane":true,"status":"committed"},{"op":"remove","device":"s1","instance":"flexnet://acme/a#hh","status":"skipped","error":"device s1 down"}]}`
+	if string(got) != golden {
+		t.Fatalf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestReportWireMinimal pins the omitempty behaviour: a bare dry-run
+// report carries only the always-present fields.
+func TestReportWireMinimal(t *testing.T) {
+	rep := &Report{
+		Label:   "deploy",
+		Phase:   PhaseValidate,
+		Outcome: OutcomePlanned,
+		Steps:   []StepReport{{Step: Step{Op: OpRouteUpdate}, Status: StepValidated}},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"label":"deploy","phase":"validate","outcome":"planned","estimated_ns":0,"actual_ns":0,"steps":[{"op":"route-update","status":"validated"}]}`
+	if string(got) != golden {
+		t.Fatalf("wire format drifted:\n got: %s\nwant: %s", got, golden)
+	}
+	// Errors surface as strings.
+	rep.Err = errors.New("no capacity")
+	got, _ = json.Marshal(rep)
+	var back map[string]any
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["error"] != "no capacity" {
+		t.Fatalf("error field = %v", back["error"])
+	}
+}

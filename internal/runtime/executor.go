@@ -62,6 +62,20 @@ type Executor struct {
 	// counter that only exists once a degraded plan actually happens, so
 	// fault-free runs export an unchanged snapshot.
 	reg *telemetry.Registry
+
+	// auditFn, when set, receives every executed plan's final report —
+	// committed, degraded, failed or rolled back — at the instant the
+	// pipeline finishes. The controller hangs the audit trail here
+	// (internal/audit); dry runs go through Validate only and leave no
+	// record, matching the trail's "mutations only" contract.
+	auditFn func(*plan.Report)
+}
+
+// SetAuditSink registers the per-plan audit callback. It fires inside
+// the executor's completion path, before the plan's done callback, so
+// the trail orders records exactly as outcomes became visible.
+func (x *Executor) SetAuditSink(fn func(*plan.Report)) {
+	x.auditFn = fn
 }
 
 // execMetrics are the executor's instruments; nil handles are no-ops.
@@ -271,6 +285,7 @@ func (x *Executor) estimate(p *plan.ChangePlan) netsim.Time {
 func (x *Executor) Validate(p *plan.ChangePlan) *plan.Report {
 	rep := &plan.Report{
 		Label:   p.Label,
+		Origin:  p.Origin,
 		Steps:   make([]plan.StepReport, len(p.Steps)),
 		Phase:   plan.PhaseValidate,
 		Outcome: plan.OutcomePlanned,
@@ -535,6 +550,9 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		}
 		x.met.execNs.Observe(int64(rep.Actual))
 		trace.Finish(outcome.String())
+		if x.auditFn != nil {
+			x.auditFn(rep)
+		}
 		done(rep)
 	}
 	if rep.Err == nil && ctx.Err() != nil {

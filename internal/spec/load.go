@@ -1,0 +1,87 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Load parses a spec document. JSON documents (first non-space byte
+// '{') decode directly; everything else goes through the YAML-subset
+// parser and is round-tripped through JSON so both formats share one
+// schema and identical type checking. The returned spec is validated
+// and normalized (tenants and apps in canonical order, default scale
+// counts filled in).
+func Load(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("spec: empty document")
+	}
+	var raw []byte
+	if trimmed[0] == '{' {
+		raw = trimmed
+	} else {
+		v, err := parseYAML(data)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+		raw, err = json.Marshal(v)
+		if err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	s := &Spec{}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("spec: %v", translateDecodeErr(err))
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s.normalize()
+	return s, nil
+}
+
+// LoadFile reads and parses a spec document from disk.
+func LoadFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Canonical emits the normalized spec as indented JSON with a trailing
+// newline — the round-trip target for golden tests and the "spec
+// status" wire format. Loading the output yields an identical spec.
+func (s *Spec) Canonical() []byte {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Spec has no unmarshalable fields; this cannot happen.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// translateDecodeErr makes encoding/json's type errors readable for
+// spec authors ("apps[0].segments" instead of Go struct paths).
+func translateDecodeErr(err error) error {
+	if te, ok := err.(*json.UnmarshalTypeError); ok {
+		field := te.Field
+		if field == "" {
+			field = "document"
+		}
+		return fmt.Errorf("field %q: want %s, got %s", field, te.Type, te.Value)
+	}
+	if strings.Contains(err.Error(), "unknown field") {
+		return err
+	}
+	return err
+}

@@ -1,0 +1,114 @@
+package spec
+
+import (
+	"fmt"
+
+	"flexnet/internal/apps"
+	"flexnet/internal/compiler"
+	"flexnet/internal/flexbpf"
+)
+
+// Resolved is a spec with every segment's builtin app kind instantiated
+// into a concrete program and fingerprinted. Fingerprints are what the
+// differ compares against live state: they ignore program identity
+// (compiler.Fingerprint), so "same kind, same args" matches regardless
+// of who built the program, while an arg change (a table resize, a new
+// QoS rate) produces a new fingerprint and therefore a hitless swap.
+type Resolved struct {
+	Version string
+	Source  *Spec
+	// Tenants is sorted.
+	Tenants []string
+	// Apps is keyed by URI; AppURIs gives deterministic order.
+	Apps map[string]*ResolvedApp
+}
+
+// AppURIs returns the app URIs in sorted order.
+func (r *Resolved) AppURIs() []string {
+	uris := make([]string, 0, len(r.Apps))
+	for u := range r.Apps {
+		uris = append(uris, u)
+	}
+	sortStrings(uris)
+	return uris
+}
+
+// ResolvedApp is one app with instantiated segment programs.
+type ResolvedApp struct {
+	URI      string
+	Tenant   string
+	Path     []string
+	Segments []ResolvedSegment
+}
+
+// Segment returns the resolved segment by name, or nil.
+func (a *ResolvedApp) Segment(name string) *ResolvedSegment {
+	for i := range a.Segments {
+		if a.Segments[i].Name == name {
+			return &a.Segments[i]
+		}
+	}
+	return nil
+}
+
+// Datapath builds the app's flexbpf datapath from the resolved segment
+// programs (cloned, so callers may mutate freely).
+func (a *ResolvedApp) Datapath() *flexbpf.Datapath {
+	segs := make([]*flexbpf.Program, len(a.Segments))
+	for i := range a.Segments {
+		segs[i] = a.Segments[i].Program.Clone()
+	}
+	return &flexbpf.Datapath{Name: a.URI, Owner: a.Tenant, Segments: segs}
+}
+
+// ResolvedSegment is one segment with its instantiated program.
+type ResolvedSegment struct {
+	Name    string
+	Kind    string
+	Args    []uint64
+	Scale   int
+	Program *flexbpf.Program
+	// FP is compiler.Fingerprint(Program) — the identity the differ
+	// compares against live segments.
+	FP uint64
+}
+
+// Resolve validates the spec and instantiates every segment's builtin
+// app kind into a program named after the segment.
+func Resolve(s *Spec) (*Resolved, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Resolved{
+		Version: s.Version,
+		Source:  s,
+		Apps:    make(map[string]*ResolvedApp, len(s.Apps)),
+	}
+	for _, t := range s.Tenants {
+		r.Tenants = append(r.Tenants, t.Name)
+	}
+	sortStrings(r.Tenants)
+	for _, a := range s.Apps {
+		ra := &ResolvedApp{URI: a.URI, Tenant: a.Tenant, Path: append([]string(nil), a.Path...)}
+		for _, g := range a.Segments {
+			prog, err := apps.Builtin(g.App, g.Name, g.Args)
+			if err != nil {
+				return nil, fmt.Errorf("spec %s: app %s segment %s: %w", s.Version, a.URI, g.Name, err)
+			}
+			scale := g.Scale
+			if scale == 0 {
+				scale = 1
+			}
+			ra.Segments = append(ra.Segments, ResolvedSegment{
+				Name:    g.Name,
+				Kind:    g.App,
+				Args:    append([]uint64(nil), g.Args...),
+				Scale:   scale,
+				Program: prog,
+				FP:      compiler.Fingerprint(prog),
+			})
+		}
+		r.Apps[a.URI] = ra
+	}
+	return r, nil
+}

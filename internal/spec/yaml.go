@@ -1,0 +1,281 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FlexNet specs accept a small YAML subset so documents read naturally
+// without pulling in a YAML dependency (the repo is stdlib-only):
+//
+//   - block mappings ("key: value", "key:" + indented block)
+//   - block sequences ("- item", "- key: value" inline-map items)
+//   - flow sequences of scalars ("[64, 1024, 0]")
+//   - scalars: integers, booleans, null/~, quoted and bare strings
+//   - "#" comments and blank lines
+//
+// Anchors, aliases, multi-line strings, flow mappings and tags are
+// intentionally out of scope; JSON input covers anything exotic.
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+// parseYAML decodes the subset into nested map[string]any / []any /
+// scalar values, which load.go then round-trips through encoding/json
+// into the Spec struct so YAML and JSON share one schema and one set of
+// type checks.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		if strings.ContainsRune(text, '\t') {
+			return nil, fmt.Errorf("yaml line %d: tabs are not allowed for indentation", i+1)
+		}
+		lines = append(lines, yamlLine{
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+			num:    i + 1,
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	v, n, err := parseNode(lines, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(lines) {
+		return nil, fmt.Errorf("yaml line %d: unexpected de-indent", lines[n].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a "#" comment unless the "#" sits inside a
+// quoted scalar.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch {
+		case r == '\'' && !inDouble:
+			inSingle = !inSingle
+		case r == '"' && !inSingle:
+			inDouble = !inDouble
+		case r == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseNode parses one block node (mapping or sequence) whose lines all
+// sit at exactly `indent`. It returns the value and how many lines of
+// ls it consumed.
+func parseNode(ls []yamlLine, indent int) (any, int, error) {
+	if len(ls) == 0 {
+		return nil, 0, fmt.Errorf("yaml: empty node")
+	}
+	if ls[0].indent != indent {
+		return nil, 0, fmt.Errorf("yaml line %d: bad indentation (got %d, want %d)", ls[0].num, ls[0].indent, indent)
+	}
+	if ls[0].text == "-" || strings.HasPrefix(ls[0].text, "- ") {
+		return parseSequence(ls, indent)
+	}
+	return parseMapping(ls, indent)
+}
+
+func parseSequence(ls []yamlLine, indent int) (any, int, error) {
+	seq := []any{}
+	pos := 0
+	for pos < len(ls) && ls[pos].indent == indent {
+		l := ls[pos]
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			return nil, 0, fmt.Errorf("yaml line %d: expected sequence item", l.num)
+		}
+		content := strings.TrimLeft(strings.TrimPrefix(l.text, "-"), " ")
+		// Lines indented past the dash belong to this item.
+		end := pos + 1
+		for end < len(ls) && ls[end].indent > indent {
+			end++
+		}
+		body := ls[pos+1 : end]
+		switch {
+		case content == "" && len(body) == 0:
+			seq = append(seq, nil)
+		case content == "":
+			v, n, err := parseNode(body, body[0].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n != len(body) {
+				return nil, 0, fmt.Errorf("yaml line %d: unexpected de-indent", body[n].num)
+			}
+			seq = append(seq, v)
+		case isMappingLine(content):
+			// "- key: value" opens an inline mapping: re-anchor the
+			// content at its own column and parse it plus the body as
+			// one mapping block.
+			head := yamlLine{indent: l.indent + (len(l.text) - len(content)), text: content, num: l.num}
+			sub := append([]yamlLine{head}, body...)
+			v, n, err := parseMapping(sub, head.indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n != len(sub) {
+				return nil, 0, fmt.Errorf("yaml line %d: unexpected de-indent", sub[n].num)
+			}
+			seq = append(seq, v)
+		default:
+			if len(body) != 0 {
+				return nil, 0, fmt.Errorf("yaml line %d: scalar item cannot have nested block", l.num)
+			}
+			v, err := parseScalarOrFlow(content, l.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			seq = append(seq, v)
+		}
+		pos = end
+	}
+	return seq, pos, nil
+}
+
+func parseMapping(ls []yamlLine, indent int) (any, int, error) {
+	m := map[string]any{}
+	pos := 0
+	for pos < len(ls) && ls[pos].indent == indent {
+		l := ls[pos]
+		key, val, ok := splitKeyValue(l.text)
+		if !ok {
+			return nil, 0, fmt.Errorf("yaml line %d: expected \"key: value\"", l.num)
+		}
+		if _, dup := m[key]; dup {
+			return nil, 0, fmt.Errorf("yaml line %d: duplicate key %q", l.num, key)
+		}
+		end := pos + 1
+		for end < len(ls) && ls[end].indent > indent {
+			end++
+		}
+		body := ls[pos+1 : end]
+		switch {
+		case val == "" && len(body) == 0:
+			m[key] = nil
+		case val == "":
+			v, n, err := parseNode(body, body[0].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			if n != len(body) {
+				return nil, 0, fmt.Errorf("yaml line %d: unexpected de-indent", body[n].num)
+			}
+			m[key] = v
+		default:
+			if len(body) != 0 {
+				return nil, 0, fmt.Errorf("yaml line %d: scalar value cannot have nested block", l.num)
+			}
+			v, err := parseScalarOrFlow(val, l.num)
+			if err != nil {
+				return nil, 0, err
+			}
+			m[key] = v
+		}
+		pos = end
+	}
+	return m, pos, nil
+}
+
+// isMappingLine reports whether a sequence item's inline content opens
+// a mapping ("key: value" / "key:") rather than being a scalar.
+func isMappingLine(s string) bool {
+	_, _, ok := splitKeyValue(s)
+	return ok
+}
+
+// splitKeyValue splits "key: value" at the first colon that terminates
+// a key (followed by a space or end of line) — so values like
+// "flexnet://blue/fw" survive intact.
+func splitKeyValue(s string) (key, val string, ok bool) {
+	if strings.HasPrefix(s, "\"") || strings.HasPrefix(s, "'") || strings.HasPrefix(s, "[") {
+		return "", "", false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != ':' {
+			continue
+		}
+		if i == len(s)-1 {
+			return strings.TrimSpace(s[:i]), "", s[:i] != ""
+		}
+		if s[i+1] == ' ' {
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), s[:i] != ""
+		}
+	}
+	return "", "", false
+}
+
+// parseScalarOrFlow parses a scalar or a "[a, b, c]" flow sequence of
+// scalars.
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "[") {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("yaml line %d: unterminated flow sequence %q", line, s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []any{}, nil
+		}
+		parts := strings.Split(inner, ",")
+		out := make([]any, 0, len(parts))
+		for _, p := range parts {
+			v, err := parseScalar(strings.TrimSpace(p), line)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	return parseScalar(s, line)
+}
+
+func parseScalar(s string, line int) (any, error) {
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if strings.HasPrefix(s, "\"") {
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("yaml line %d: bad quoted string %s", line, s)
+		}
+		return v, nil
+	}
+	if strings.HasPrefix(s, "'") {
+		if !strings.HasSuffix(s, "'") || len(s) < 2 {
+			return nil, fmt.Errorf("yaml line %d: bad quoted string %s", line, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	if u, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return u, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -17,8 +17,9 @@ import (
 // set, the plan is built and validated but never executed, and the
 // returned PlanReport lists every step with its estimated cost.
 //
-// The old methods (DeployApp, MigrateApp, DryRunDeploy, ...) remain as
-// thin deprecated wrappers in flexnet.go.
+// This is the only control surface: the pre-context wrapper methods
+// (DeployApp, MigrateApp, DryRunDeploy, ...) were removed after one
+// deprecation cycle. Declarative alternatives live in spec_ops.go.
 
 // DeployOptions controls Deploy. The zero value deploys for real with
 // unrestricted placement.

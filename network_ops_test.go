@@ -21,14 +21,14 @@ func deployHH(t *testing.T, n *Network, uri string) {
 	}
 }
 
-// TestOptionsAPIMatchesDeprecated drives the same control-path scenario
-// through the deprecated method names and through the context-first
-// options-struct API (zero-value options) on two identical networks:
-// the resulting telemetry must be byte-identical, proving the new
-// surface is behaviourally the old one.
-func TestOptionsAPIMatchesDeprecated(t *testing.T) {
+// TestOptionsAPIDeterministic drives a full control-path scenario —
+// deploy, scale out, scale in, migrate, remove — through the
+// context-first options-struct API on two identical networks: the
+// resulting telemetry must be byte-identical, pinning the control
+// surface's determinism at a seed.
+func TestOptionsAPIDeterministic(t *testing.T) {
 	uri := "flexnet://infra/mon"
-	scenario := func(t *testing.T, useNew bool) string {
+	scenario := func(t *testing.T) string {
 		n := smallNet(t)
 		ctx := context.Background()
 		spec := AppSpec{
@@ -37,49 +37,39 @@ func TestOptionsAPIMatchesDeprecated(t *testing.T) {
 		}
 		steps := []struct {
 			name string
-			old  func() error
-			new  func() error
+			run  func() error
 		}{
 			{"deploy",
-				func() error { return n.DeployApp(uri, spec) },
 				func() error { _, err := n.Deploy(ctx, uri, spec, DeployOptions{}); return err }},
 			{"scale-out",
-				func() error { return n.ScaleOut(uri, "hh", "s2") },
 				func() error {
 					_, err := n.Scale(ctx, ScaleRequest{URI: uri, Segment: "hh", Device: "s2"})
 					return err
 				}},
 			{"scale-in",
-				func() error { return n.ScaleIn(uri, "hh", "s2") },
 				func() error {
 					_, err := n.Scale(ctx, ScaleRequest{URI: uri, Segment: "hh", Device: "s2", Direction: ScaleDirIn})
 					return err
 				}},
 			{"migrate",
-				func() error { _, err := n.MigrateApp(uri, "hh", "s2", true); return err },
 				func() error {
 					_, _, err := n.Migrate(ctx, MigrateRequest{URI: uri, Segment: "hh", Dst: "s2", DataPlane: true})
 					return err
 				}},
 			{"remove",
-				func() error { return n.RemoveApp(uri) },
 				func() error { _, err := n.Remove(ctx, uri, RemoveOptions{}); return err }},
 		}
 		for _, s := range steps {
-			run := s.old
-			if useNew {
-				run = s.new
-			}
-			if err := run(); err != nil {
+			if err := s.run(); err != nil {
 				t.Fatalf("%s: %v", s.name, err)
 			}
 		}
 		return n.Stats().Format()
 	}
-	old := scenario(t, false)
-	neu := scenario(t, true)
-	if old != neu {
-		t.Fatalf("options API diverges from deprecated API:\n--- deprecated ---\n%s--- options ---\n%s", old, neu)
+	a := scenario(t)
+	b := scenario(t)
+	if a != b {
+		t.Fatalf("options API not deterministic:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
 	}
 }
 

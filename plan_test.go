@@ -6,6 +6,7 @@ package flexnet
 // deterministic replay under a fixed seed.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -77,10 +78,10 @@ func startUDP(t *testing.T, n *Network, pps float64) *Source {
 func TestCommitFaultNeverMixesConfigurations(t *testing.T) {
 	n := twoSwitchNet(t, 5)
 	uri := "flexnet://infra/marker"
-	if err := n.DeployApp(uri, AppSpec{Programs: []*Program{markerProgram(1)}, Path: []string{"s1"}}); err != nil {
+	if _, err := n.Deploy(context.Background(), uri, AppSpec{Programs: []*Program{markerProgram(1)}, Path: []string{"s1"}}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.ScaleOut(uri, "mark", "s2"); err != nil {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: uri, Segment: "mark", Device: "s2", Direction: ScaleDirOut}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -165,7 +166,7 @@ func TestCommitFaultNeverMixesConfigurations(t *testing.T) {
 func TestMigrateFaultRollsBackToSource(t *testing.T) {
 	n := twoSwitchNet(t, 6)
 	uri := "flexnet://infra/counter"
-	if err := n.DeployApp(uri, AppSpec{Programs: []*Program{countProgram()}, Path: []string{"s1"}}); err != nil {
+	if _, err := n.Deploy(context.Background(), uri, AppSpec{Programs: []*Program{countProgram()}, Path: []string{"s1"}}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	src := startUDP(t, n, 20000)
@@ -186,7 +187,7 @@ func TestMigrateFaultRollsBackToSource(t *testing.T) {
 		}
 		return nil
 	})
-	_, err := n.MigrateApp(uri, "cnt", "s2", false)
+	_, _, err := n.Migrate(context.Background(), MigrateRequest{URI: uri, Segment: "cnt", Dst: "s2", DataPlane: false})
 	if !errors.Is(err, injected) {
 		t.Fatalf("migrate err = %v", err)
 	}
@@ -211,7 +212,7 @@ func TestMigrateFaultRollsBackToSource(t *testing.T) {
 
 	// Retry without the fault: migration completes and dst takes over.
 	n.Device("s2").SetFaultInjector(nil)
-	if _, err := n.MigrateApp(uri, "cnt", "s2", false); err != nil {
+	if _, _, err := n.Migrate(context.Background(), MigrateRequest{URI: uri, Segment: "cnt", Dst: "s2", DataPlane: false}); err != nil {
 		t.Fatalf("retry migrate: %v", err)
 	}
 	src.Stop()
@@ -237,7 +238,7 @@ func TestDryRunDoesNotMutate(t *testing.T) {
 	spec := AppSpec{Programs: []*Program{countProgram()}, Path: []string{"s1"}}
 
 	t0 := n.Now()
-	rep, err := n.DryRunDeploy(uri, spec)
+	rep, err := n.Deploy(context.Background(), uri, spec, DeployOptions{DryRun: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestDryRunDoesNotMutate(t *testing.T) {
 	}
 
 	// The same plan then deploys for real.
-	if err := n.DeployApp(uri, spec); err != nil {
+	if _, err := n.Deploy(context.Background(), uri, spec, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	last := n.LastPlanReport()
@@ -270,13 +271,13 @@ func TestDryRunDoesNotMutate(t *testing.T) {
 	}
 
 	// Dry-running removal and migration also leaves everything in place.
-	if rep, err = n.DryRunRemove(uri); err != nil || rep.Err != nil {
+	if rep, err = n.Remove(context.Background(), uri, RemoveOptions{DryRun: true}); err != nil || rep.Err != nil {
 		t.Fatalf("dry remove: %v / %+v", err, rep)
 	}
-	if rep, err = n.DryRunMigrate(uri, "cnt", "s2", false); err != nil || rep.Err != nil {
+	if _, rep, err = n.Migrate(context.Background(), MigrateRequest{URI: uri, Segment: "cnt", Dst: "s2", DryRun: true}); err != nil || rep.Err != nil {
 		t.Fatalf("dry migrate: %v / %+v", err, rep)
 	}
-	if rep, err = n.DryRunScaleOut(uri, "cnt", "s2"); err != nil || rep.Err != nil {
+	if rep, err = n.Scale(context.Background(), ScaleRequest{URI: uri, Segment: "cnt", Device: "s2", Direction: ScaleDirOut, DryRun: true}); err != nil || rep.Err != nil {
 		t.Fatalf("dry scale-out: %v / %+v", err, rep)
 	}
 	if len(n.Controller().Apps()) != 1 || n.Device("s1").Instance(uri+"#cnt") == nil {
@@ -290,13 +291,13 @@ func TestDryRunDoesNotMutate(t *testing.T) {
 func TestSentinelErrorsClassifyFailures(t *testing.T) {
 	n := twoSwitchNet(t, 8)
 
-	if err := n.RemoveApp("flexnet://infra/ghost"); !errors.Is(err, ErrNoSuchApp) {
+	if _, err := n.Remove(context.Background(), "flexnet://infra/ghost", RemoveOptions{}); !errors.Is(err, ErrNoSuchApp) {
 		t.Fatalf("remove unknown app: %v", err)
 	}
-	if err := n.ScaleOut("flexnet://infra/ghost", "x", "s1"); !errors.Is(err, ErrNoSuchApp) {
+	if _, err := n.Scale(context.Background(), ScaleRequest{URI: "flexnet://infra/ghost", Segment: "x", Device: "s1", Direction: ScaleDirOut}); !errors.Is(err, ErrNoSuchApp) {
 		t.Fatalf("scale-out unknown app: %v", err)
 	}
-	if _, err := n.MigrateApp("flexnet://infra/ghost", "x", "s2", false); !errors.Is(err, ErrNoSuchApp) {
+	if _, _, err := n.Migrate(context.Background(), MigrateRequest{URI: "flexnet://infra/ghost", Segment: "x", Dst: "s2", DataPlane: false}); !errors.Is(err, ErrNoSuchApp) {
 		t.Fatalf("migrate unknown app: %v", err)
 	}
 
@@ -312,7 +313,7 @@ func TestSentinelErrorsClassifyFailures(t *testing.T) {
 		}).
 		Apply("huge_rules").
 		MustBuild()
-	err := n.DeployApp("flexnet://infra/huge", AppSpec{Programs: []*Program{huge}})
+	_, err := n.Deploy(context.Background(), "flexnet://infra/huge", AppSpec{Programs: []*Program{huge}}, DeployOptions{})
 	if !errors.Is(err, ErrInsufficientResources) {
 		t.Fatalf("oversized deploy: %v", err)
 	}
@@ -320,14 +321,14 @@ func TestSentinelErrorsClassifyFailures(t *testing.T) {
 	// An unverifiable program is rejected by the plan's validate phase.
 	bad := &flexbpf.Program{Name: "bad", Actions: map[string]*flexbpf.Action{}}
 	bad.Pipeline = []flexbpf.Stmt{{Apply: "ghost"}}
-	err = n.DeployApp("flexnet://infra/bad", AppSpec{Programs: []*Program{bad}, Path: []string{"s1"}})
+	_, err = n.Deploy(context.Background(), "flexnet://infra/bad", AppSpec{Programs: []*Program{bad}, Path: []string{"s1"}}, DeployOptions{})
 	if !errors.Is(err, ErrVerifyFailed) {
 		t.Fatalf("unverifiable deploy: %v", err)
 	}
 
 	// A down device fails validation with ErrDeviceDown.
 	n.Device("s1").SetDown(true)
-	err = n.DeployApp("flexnet://infra/down", AppSpec{Programs: []*Program{countProgram()}, Path: []string{"s1"}})
+	_, err = n.Deploy(context.Background(), "flexnet://infra/down", AppSpec{Programs: []*Program{countProgram()}, Path: []string{"s1"}}, DeployOptions{})
 	if !errors.Is(err, ErrDeviceDown) {
 		t.Fatalf("down-device deploy: %v", err)
 	}
@@ -350,7 +351,7 @@ func planScenario(t *testing.T) string {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.DeployApp(uri, AppSpec{Programs: []*Program{markerProgram(1)}, Path: []string{"s1"}}); err != nil {
+	if _, err := n.Deploy(context.Background(), uri, AppSpec{Programs: []*Program{markerProgram(1)}, Path: []string{"s1"}}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	src := startUDP(t, n, 20000)
@@ -358,7 +359,7 @@ func planScenario(t *testing.T) string {
 	n.Controller().Executor().Execute(
 		plan.New("swap").Swap("s1", uri+"#mark", markerProgram(2), nil), nil)
 	n.RunFor(100 * time.Millisecond)
-	if _, err := n.MigrateApp(uri, "mark", "s2", false); err != nil {
+	if _, _, err := n.Migrate(context.Background(), MigrateRequest{URI: uri, Segment: "mark", Dst: "s2", DataPlane: false}); err != nil {
 		t.Fatal(err)
 	}
 	n.RunFor(40 * time.Millisecond)

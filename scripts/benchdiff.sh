@@ -183,3 +183,79 @@ if ! awk -F'|' '
     exit 1
 fi
 echo "benchdiff: OK — E18 control-plane throughput within ±10% of baseline."
+
+# Perf-drift gate on declarative convergence (DESIGN.md §14): E19's
+# plans column must match the baseline exactly (plan compilation is
+# deterministic — any change in the batch count is a planner change,
+# not noise), spec-mode plans must stay at or below 10% of the
+# imperative replay's, and spec-mode convergence latency must stay
+# within ±10% of the checked-in baseline.
+echo "benchdiff: checking E19 plans (exact) + convergence drift (±10%)..."
+if ! awk -F'|' '
+    function trim(s) { gsub(/^[ \t]+|[ \t]+$/, "", s); return s }
+    function lat_ns(s,   v) {
+        v = s + 0
+        if (s ~ /µs/) return v * 1e3
+        if (s ~ /ms/) return v * 1e6
+        if (s ~ /ns/) return v
+        if (s ~ /s/)  return v * 1e9
+        return v
+    }
+    FNR == 1 { nf++; inE19 = 0 }
+    /^## E19 / { inE19 = 1; next }
+    /^Finding/ { inE19 = 0 }
+    inE19 && NF >= 11 && (trim($4) == "spec" || trim($4) == "imperative") {
+        key = trim($2) ":" trim($4)
+        plans[nf ":" key] = trim($6) + 0
+        conv[nf ":" key] = lat_ns(trim($8))
+        seen[key] = 1
+        if (nf == 2 && trim($4) == "spec") {
+            fab = trim($2)
+            specplans[fab] = trim($6) + 0
+            if (trim($9) + 0 != 0 || trim($10) + 0 != 0) {
+                printf "benchdiff: E19 %s spec apply not hitless (drops=%s drift=%s)\n", fab, trim($9), trim($10)
+                fail = 1
+            }
+        }
+        if (nf == 2 && trim($4) == "imperative") imperplans[trim($2)] = trim($6) + 0
+        if (nf == 2 && trim($11) != "match") {
+            printf "benchdiff: E19 %s audit replay = %s, want match\n", key, trim($11)
+            fail = 1
+        }
+    }
+    END {
+        for (key in seen) {
+            bp = plans[1 ":" key]; cp = plans[2 ":" key]
+            bc = conv[1 ":" key]; cc = conv[2 ":" key]
+            if (bp == 0 || bc == 0) {
+                printf "benchdiff: E19 row %s missing from baseline\n", key
+                fail = 1
+                continue
+            }
+            if (cp != bp) {
+                printf "benchdiff: E19 %s plans changed: %d vs baseline %d\n", key, cp, bp
+                fail = 1
+            }
+            if (key ~ /:spec$/ && (cc < 0.9 * bc || cc > 1.1 * bc)) {
+                printf "benchdiff: E19 %s convergence drifted >10%%: %.0fns vs baseline %.0fns\n", key, cc, bc
+                fail = 1
+            }
+        }
+        for (fab in specplans) {
+            if (imperplans[fab] == 0) continue
+            if (specplans[fab] > 0.10 * imperplans[fab]) {
+                printf "benchdiff: E19 %s spec plans %d exceed 10%% of imperative %d\n", fab, specplans[fab], imperplans[fab]
+                fail = 1
+            }
+        }
+        if (!fail && length(seen) == 0) {
+            print "benchdiff: no E19 mode rows found"
+            fail = 1
+        }
+        exit fail
+    }' "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — declarative convergence drifted from $BASELINE." >&2
+    exit 1
+fi
+echo "benchdiff: OK — E19 plan counts exact, spec convergence within ±10%, hitless, audit replay matches."

@@ -12,6 +12,19 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# The root package's deprecation cycle is over: the pre-context wrapper
+# methods were removed after one release behind "Deprecated:" markers,
+# and no new ones may appear. Any Deprecated: marker in the public
+# facade fails the gate — deprecate in a release note and delete in the
+# next PR instead of letting markers accumulate.
+deprecated=$(grep -n 'Deprecated:' ./*.go || true)
+if [ -n "$deprecated" ]; then
+    echo "lint: FAIL — Deprecated: markers in the root package (the facade carries no deprecated API):" >&2
+    echo "$deprecated" >&2
+    exit 1
+fi
+echo "lint: OK — no Deprecated: markers in the root package."
+
 if command -v staticcheck >/dev/null 2>&1; then
     echo "lint: staticcheck $(staticcheck -version 2>/dev/null || true)"
     staticcheck ./...

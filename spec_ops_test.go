@@ -1,0 +1,191 @@
+package flexnet
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"flexnet/internal/faults"
+)
+
+const testSpec = `
+version: v1
+tenants:
+  - name: acme
+apps:
+  - uri: flexnet://acme/fw
+    tenant: acme
+    segments:
+      - name: fw
+        app: firewall
+        args: [64, 1024, 0]
+        scale: 2
+  - uri: flexnet://infra/mon
+    segments:
+      - name: int
+        app: int
+`
+
+// TestApplySpecIdempotent is the reconcile property test: applying the
+// same spec twice must be a no-op the second time — empty diff, zero
+// plans — because the differ sees live state already matching intent.
+func TestApplySpecIdempotent(t *testing.T) {
+	n := smallNet(t)
+	ctx := context.Background()
+	rep, err := n.ApplySpec(ctx, SpecApplyRequest{Source: []byte(testSpec)})
+	if err != nil {
+		t.Fatalf("first apply: %v", err)
+	}
+	if rep.PlansEmitted == 0 || rep.Diff.Empty() {
+		t.Fatalf("first apply did nothing: plans=%d", rep.PlansEmitted)
+	}
+	st := n.SpecStatus()
+	if st.Version != "v1" || !st.InSync || len(st.Drift) != 0 {
+		t.Fatalf("status after apply = %+v", st)
+	}
+
+	again, err := n.ApplySpec(ctx, SpecApplyRequest{Source: []byte(testSpec)})
+	if err != nil {
+		t.Fatalf("second apply: %v", err)
+	}
+	if !again.Diff.Empty() || again.PlansEmitted != 0 || len(again.Plans) != 0 {
+		t.Fatalf("second apply not a no-op: plans=%d diff=%v", again.PlansEmitted, again.Diff.Summary())
+	}
+
+	// DiffSpec agrees: in sync means an empty diff.
+	d, err := n.DiffSpec(SpecDiffRequest{Source: []byte(testSpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("diff after convergence: %v", d.Summary())
+	}
+}
+
+// TestApplySpecConvergesChanges applies a revised spec over a live one
+// and asserts the delta — retune, scale-down, app removal — converges
+// and leaves the audit trail replayable to exactly the live state.
+func TestApplySpecConvergesChanges(t *testing.T) {
+	n := smallNet(t)
+	ctx := context.Background()
+	if _, err := n.ApplySpec(ctx, SpecApplyRequest{Source: []byte(testSpec)}); err != nil {
+		t.Fatal(err)
+	}
+	revised := strings.Replace(testSpec, "version: v1", "version: v2", 1)
+	revised = strings.Replace(revised, "args: [64, 1024, 0]", "args: [64, 2048, 0]", 1) // retune
+	revised = strings.Replace(revised, "scale: 2", "scale: 1", 1)                       // shrink
+	rep, err := n.ApplySpec(ctx, SpecApplyRequest{Source: []byte(revised)})
+	if err != nil {
+		t.Fatalf("apply v2: %v", err)
+	}
+	if len(rep.Diff.Swap) != 1 || len(rep.Diff.ScaleDown) != 1 {
+		t.Fatalf("diff = %v", rep.Diff.Summary())
+	}
+	st := n.SpecStatus()
+	if st.Version != "v2" || !st.InSync {
+		t.Fatalf("status = %+v", st)
+	}
+	if err := n.Audit().Verify(); err != nil {
+		t.Fatalf("audit chain: %v", err)
+	}
+	replayed, err := ReplayAudit(n.Audit().Records())
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if replayed.Canonical() != n.CanonicalIntent() {
+		t.Fatalf("replayed intent diverged from live:\n--- replayed ---\n%s--- live ---\n%s",
+			replayed.Canonical(), n.CanonicalIntent())
+	}
+}
+
+// TestApplySpecDryRun must not touch the network.
+func TestApplySpecDryRun(t *testing.T) {
+	n := smallNet(t)
+	before := n.Now()
+	rep, err := n.ApplySpec(context.Background(), SpecApplyRequest{Source: []byte(testSpec), DryRun: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Diff.Empty() {
+		t.Fatal("dry run computed an empty diff on an empty network")
+	}
+	if n.Now() != before {
+		t.Fatal("dry run advanced simulated time")
+	}
+	if apps := n.Controller().Apps(); len(apps) != 0 {
+		t.Fatalf("dry run deployed apps: %v", apps)
+	}
+}
+
+// TestAuditReplayAfterChaos is the trail's end-to-end gate: converge a
+// spec, run a seeded crash/link-failure schedule under traffic with the
+// self-healer on, and require (a) an intact hash chain, (b) replayed
+// intent byte-identical to the live controller's, and (c) the same
+// chain head across reruns at the seed — the whole history is
+// deterministic, not just the end state.
+func TestAuditReplayAfterChaos(t *testing.T) {
+	run := func() (head, replayed, live string) {
+		nw := New(7).
+			Switch("s1", DRMT).
+			Switch("s2", DRMT).
+			Switch("s3", DRMT).
+			Host("h1", "10.0.0.1").
+			Host("h2", "10.0.0.2").
+			Link("h1", "s1").
+			Link("s1", "s2").
+			Link("s2", "h2").
+			Link("s2", "s3").
+			MustBuild()
+		if _, err := nw.ApplySpec(context.Background(), SpecApplyRequest{Source: []byte(testSpec)}); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		healer := nw.StartSelfHealing(time.Millisecond)
+		plane := nw.NewFaultPlane(7 + 77)
+		horizon := 2 * time.Second
+		sched := faults.Generate(7+13, faults.GenSpec{
+			Devices:        []string{"s1", "s2", "s3"},
+			Links:          []string{"s1-s2", "s2-s3"},
+			HorizonNs:      uint64(horizon),
+			CrashMeanGapNs: uint64(400 * time.Millisecond),
+			CrashDownNs:    uint64(10 * time.Millisecond),
+			LinkMeanGapNs:  uint64(700 * time.Millisecond),
+			LinkDownNs:     uint64(20 * time.Millisecond),
+		})
+		if err := plane.Apply(sched); err != nil {
+			t.Fatalf("apply schedule: %v", err)
+		}
+		src, err := nw.NewSource("h1", FlowSpec{
+			Dst: MustParseIP("10.0.0.2"), Proto: 17,
+			SrcPort: 1000, DstPort: 2000, PacketLen: 256,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src.StartCBR(20000)
+		nw.RunFor(horizon + time.Second)
+		src.Stop()
+		if pending := healer.Pending(); len(pending) != 0 {
+			t.Fatalf("pending reconciliation: %v", pending)
+		}
+		if drift := nw.IntentDrift(); len(drift) != 0 {
+			t.Fatalf("intent drift after healing: %v", drift)
+		}
+		if err := nw.Audit().Verify(); err != nil {
+			t.Fatalf("audit chain after chaos: %v", err)
+		}
+		st, err := ReplayAudit(nw.Audit().Records())
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		return nw.Audit().Head(), st.Canonical(), nw.CanonicalIntent()
+	}
+	head1, replayed, live := run()
+	if replayed != live {
+		t.Fatalf("replayed intent diverged after chaos:\n--- replayed ---\n%s--- live ---\n%s", replayed, live)
+	}
+	head2, _, _ := run()
+	if head1 != head2 {
+		t.Fatal("audit chain head differs across reruns at the same seed")
+	}
+}

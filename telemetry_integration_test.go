@@ -1,6 +1,7 @@
 package flexnet
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -33,10 +34,10 @@ func telemetryScenarioWorkers(t *testing.T, seed int64, workers int) *Network {
 		t.Fatal(err)
 	}
 	uri := "flexnet://infra/hh"
-	if err := n.DeployApp(uri, AppSpec{
+	if _, err := n.Deploy(context.Background(), uri, AppSpec{
 		Programs: []*Program{HeavyHitter("hh", 2, 512, 1000)},
 		Path:     []string{"s1"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatalf("deploy: %v", err)
 	}
 	src, err := n.NewSource("h1", FlowSpec{
@@ -48,7 +49,7 @@ func telemetryScenarioWorkers(t *testing.T, seed int64, workers int) *Network {
 	}
 	src.StartCBR(20000)
 	n.RunFor(50 * time.Millisecond)
-	if _, err := n.MigrateApp(uri, "hh", "s2", true); err != nil {
+	if _, _, err := n.Migrate(context.Background(), MigrateRequest{URI: uri, Segment: "hh", Dst: "s2", DataPlane: true}); err != nil {
 		t.Fatalf("migrate: %v", err)
 	}
 	src.Stop()

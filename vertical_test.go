@@ -7,6 +7,7 @@ package flexnet
 // accumulate across hops.
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -51,10 +52,10 @@ func TestVerticalDatapathSplitsByCapability(t *testing.T) {
 		Apply("rules").
 		MustBuild()
 
-	if err := n.DeployApp("flexnet://infra/vertical", AppSpec{
+	if _, err := n.Deploy(context.Background(), "flexnet://infra/vertical", AppSpec{
 		Programs: []*Program{ccmon, scrub, acl},
 		Path:     []string{"hoststack", "nic", "tor"},
-	}); err != nil {
+	}, DeployOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	app := n.Controller().App("flexnet://infra/vertical")
@@ -99,10 +100,10 @@ func TestINTTelemetryAccumulatesAcrossHops(t *testing.T) {
 	}
 	// One INT program per switch, each stamping its device id.
 	for i, sw := range []string{"s1", "s2", "s3"} {
-		if err := n.DeployApp("flexnet://infra/int-"+sw, AppSpec{
+		if _, err := n.Deploy(context.Background(), "flexnet://infra/int-"+sw, AppSpec{
 			Programs: []*Program{INTTelemetry("int", uint64(i+1))},
 			Path:     []string{sw},
-		}); err != nil {
+		}, DeployOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
