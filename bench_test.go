@@ -1,6 +1,6 @@
 package flexnet
 
-// The benchmark harness regenerates every experiment table (E1–E15, see
+// The benchmark harness regenerates every experiment table (E1–E20, see
 // DESIGN.md §3 for the experiment index) plus micro-benchmarks of the
 // core data path. Run:
 //
@@ -94,6 +94,9 @@ func BenchmarkE18ControlPlane(b *testing.B) { benchTable(b, experiments.E18Contr
 
 // BenchmarkE19SpecReconcile regenerates E19 (declarative spec reconcile).
 func BenchmarkE19SpecReconcile(b *testing.B) { benchTable(b, experiments.E19SpecReconcile) }
+
+// BenchmarkE20HAFailover regenerates E20 (controller failover mid-plan).
+func BenchmarkE20HAFailover(b *testing.B) { benchTable(b, experiments.E20HAFailover) }
 
 // benchControlPlaneOps measures harness wall time per control-plane
 // update op on a k=8 fat-tree (80 switches) — the planning work itself,

@@ -12,6 +12,7 @@ package flexnet
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"flexnet/internal/faults"
+	"flexnet/internal/plan"
 )
 
 func chaosSeconds() time.Duration {
@@ -222,5 +224,149 @@ func TestChaosSoakFlowCache(t *testing.T) {
 	on := cacheChaosSoak(t, 1, true, horizon)
 	if off != stripFlowCacheLines(on) {
 		t.Fatal("flow cache changed non-flowcache chaos telemetry")
+	}
+}
+
+// haChaosSoak is the leader-kill soak (DESIGN.md §15.5): a two-switch
+// marker pipeline under 50 kpps with a 3-replica HA controller, a
+// steady stream of two-device version swaps, and a schedule of
+// leader-kill faults timed to land mid-plan. Gates: not one packet may
+// observe a mixed configuration (a DSCP sum of 3 — one old switch, one
+// new), committed intent must hold exactly, every failover must stay
+// under four election timeouts, and the replayed audit chain must
+// verify. Returns the deterministic telemetry snapshot.
+func haChaosSoak(t *testing.T, seed int64, workers int, horizon time.Duration) string {
+	t.Helper()
+	uri := "flexnet://chaos/marker"
+	nw := New(seed).
+		Switch("s1", DRMT).
+		Switch("s2", DRMT).
+		Host("h1", "10.0.0.1").
+		Host("h2", "10.0.0.2").
+		Link("h1", "s1").
+		Link("s1", "s2").
+		Link("s2", "h2").
+		Workers(workers).
+		MustBuild()
+	nw.EnableHA(3, HAConfig{Seed: seed})
+	if _, err := nw.Deploy(context.Background(), uri, AppSpec{
+		Programs: []*Program{markerProgram(1)},
+		Path:     []string{"s1"},
+	}, DeployOptions{}); err != nil {
+		t.Fatalf("deploy marker: %v", err)
+	}
+	if _, err := nw.Scale(context.Background(), ScaleRequest{
+		URI: uri, Segment: "mark", Device: "s2", Direction: ScaleDirOut,
+	}); err != nil {
+		t.Fatalf("scale marker: %v", err)
+	}
+
+	// Leader kills every 600 ms, each revived 400 ms later — the window
+	// covers whole elections, so kills land mid-plan and mid-election.
+	plane := nw.NewFaultPlane(seed + 77)
+	var evs []FaultEvent
+	for at := 250 * time.Millisecond; at < horizon; at += 600 * time.Millisecond {
+		evs = append(evs, FaultEvent{
+			At: uint64(at), Kind: "leader-kill", DurationNs: uint64(400 * time.Millisecond),
+		})
+	}
+	if err := plane.Apply(&FaultSchedule{Events: evs}); err != nil {
+		t.Fatalf("apply leader-kill schedule: %v", err)
+	}
+
+	// Every packet crosses both marker replicas: a DSCP sum of 2·inc is
+	// consistent, 3 is a mixed configuration and must never appear.
+	dscp := map[uint64]uint64{}
+	if err := nw.OnHostReceive("h2", func(p *Packet) { dscp[p.Field("ipv4.dscp")]++ }); err != nil {
+		t.Fatal(err)
+	}
+	src := startUDP(t, nw, 50000)
+
+	// Two-device version swaps aligned to the kill schedule: one
+	// submitted 10 ms before each kill — a swap's prepare phase spans
+	// ~38 ms, so the leader dies with the plan mid-prepare and Recover
+	// must roll it back whole — and one 300 ms after, landing on the
+	// elected standby as a clean version flip. Nothing may half-apply.
+	inst := uri + "#mark"
+	var outcomes, swaps int
+	submitSwap := func() {
+		inc := uint64(swaps%2) + 1
+		nw.Controller().Executor().Execute(
+			plan.New(fmt.Sprintf("chaos-swap-%d", swaps)).
+				Swap("s1", inst, markerProgram(inc), nil).
+				Swap("s2", inst, markerProgram(inc), nil),
+			func(r *PlanReport) { outcomes++ })
+		swaps++
+	}
+	// Schedule.At is relative to the Apply instant; mirror that base so
+	// the pre-kill swap really is mid-prepare when the leader dies.
+	for _, e := range evs {
+		at := time.Duration(e.At)
+		nw.After(at-10*time.Millisecond, submitSwap)
+		nw.After(at+300*time.Millisecond, submitSwap)
+	}
+	nw.RunFor(horizon + 2*time.Second)
+	src.Stop()
+	nw.RunFor(10 * time.Millisecond)
+
+	kills := plane.Injected["leader-kill"]
+	if kills == 0 {
+		t.Fatal("schedule injected no leader kills")
+	}
+	m := nw.Metrics()
+	if got := m.CounterValue("ha.failovers"); got == 0 {
+		t.Fatal("no failovers despite leader kills")
+	}
+	if resumed, rolled := m.CounterValue("ha.plans_resumed"), m.CounterValue("ha.plans_rolled_back"); resumed+rolled == 0 {
+		t.Fatal("no kill ever landed mid-plan; soak is not exercising failover recovery")
+	}
+	if dscp[2] == 0 || dscp[4] == 0 {
+		t.Fatalf("soak never observed both versions forwarding: tally %v", dscp)
+	}
+	if dscp[3] != 0 {
+		t.Fatalf("%d packets observed a mixed configuration during failover", dscp[3])
+	}
+	if drift := nw.IntentDrift(); len(drift) != 0 {
+		t.Fatalf("committed intent drifted: %v", drift)
+	}
+	if err := nw.Audit().Verify(); err != nil {
+		t.Fatalf("audit chain broken: %v", err)
+	}
+	if err := nw.HA().LastErr(); err != nil {
+		t.Fatalf("replayed shadow chain mismatched the leader's: %v", err)
+	}
+	bound := 4 * time.Duration(nw.HA().Group().Config().ElectionMaxNs)
+	for i, d := range nw.HA().FailoverNs {
+		if time.Duration(d) > bound {
+			t.Fatalf("failover %d took %v, want ≤ %v", i, time.Duration(d), bound)
+		}
+	}
+	if outcomes == 0 {
+		t.Fatal("no swap plan ever resolved")
+	}
+	st := nw.HAStatus()
+	if st.Frozen {
+		t.Fatal("executor still frozen at end of soak")
+	}
+	snap := nw.Stats().Format()
+	if !strings.Contains(snap, "ha.failover_ns") {
+		t.Fatal("failover histogram missing from snapshot")
+	}
+	return snap
+}
+
+// TestChaosSoakLeaderKill is the hitless-failover gate: the leader-kill
+// soak must hold its invariants and produce a byte-identical telemetry
+// snapshot across reruns and worker counts.
+func TestChaosSoakLeaderKill(t *testing.T) {
+	horizon := chaosSeconds()
+	serial := haChaosSoak(t, 1, 1, horizon)
+	again := haChaosSoak(t, 1, 1, horizon)
+	if serial != again {
+		t.Fatal("same seed + schedule diverged across reruns")
+	}
+	parallel := haChaosSoak(t, 1, 8, horizon)
+	if serial != parallel {
+		t.Fatal("worker count changed leader-kill chaos telemetry")
 	}
 }

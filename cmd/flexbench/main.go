@@ -1,4 +1,4 @@
-// Command flexbench runs the FlexNet experiment suite (E1–E19, the
+// Command flexbench runs the FlexNet experiment suite (E1–E20, the
 // claim-by-claim reproduction of the paper's vision — see DESIGN.md §3)
 // and prints each result table. With -o it also writes the results as
 // the measurement section of EXPERIMENTS.md.
@@ -150,6 +150,7 @@ func main() {
 		{"E17", experiments.E17FastPath},
 		{"E18", experiments.E18ControlPlane},
 		{"E19", experiments.E19SpecReconcile},
+		{"E20", experiments.E20HAFailover},
 	}
 
 	var rendered []string
@@ -302,6 +303,10 @@ func telemetrySummary(seed int64) string {
 		DRPC("s1", "172.16.0.1").
 		DRPC("s2", "172.16.0.2").
 		MustBuild()
+	// A 3-replica controller group, so the snapshot carries the ha.*
+	// instruments (heartbeats, syncs, failover histogram) and the
+	// baseline pins their deterministic values.
+	nw.EnableHA(3, flexnet.HAConfig{Seed: seed})
 	uri := "flexnet://infra/hh"
 	if _, err := nw.Deploy(context.Background(), uri, flexnet.AppSpec{
 		Programs: []*flexnet.Program{flexnet.HeavyHitter("hh", 2, 512, 1000)},
@@ -323,6 +328,12 @@ func telemetrySummary(seed int64) string {
 	}
 	nw.RunFor(20 * time.Millisecond)
 	src.Stop()
+	// The runbook's failover drill: kill the leader, let a standby take
+	// over, and let the old leader rejoin before tearing down.
+	if _, err := nw.HAFailover(); err != nil {
+		return fmt.Sprintf("## Telemetry summary\n\nfailover drill failed: %v\n", err)
+	}
+	nw.RunFor(time.Second)
 	if _, err := nw.Remove(context.Background(), uri, flexnet.RemoveOptions{}); err != nil {
 		return fmt.Sprintf("## Telemetry summary\n\nremove failed: %v\n", err)
 	}

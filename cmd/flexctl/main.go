@@ -318,6 +318,16 @@ func commands() map[string]*command {
 		c.build = func() (request, error) { return request{"op": api.OpAuditReplay}, nil }
 		add(c)
 	}
+	{
+		c := newCommand(api.OpHAStatus, api.Summary(api.OpHAStatus))
+		c.build = func() (request, error) { return request{"op": api.OpHAStatus}, nil }
+		add(c)
+	}
+	{
+		c := newCommand(api.OpHAFailover, api.Summary(api.OpHAFailover))
+		c.build = func() (request, error) { return request{"op": api.OpHAFailover}, nil }
+		add(c)
+	}
 	return cmds
 }
 
@@ -345,9 +355,11 @@ func usage(cmds map[string]*command) {
 	fmt.Fprintf(os.Stderr, `
 Run "flexctl <command> -h" for that command's flags.
 
-verb groups: "flexctl spec apply|diff|status" and
-             "flexctl audit [verify|replay]" join onto the dashed
-             command names above ("flexctl spec" = "flexctl spec-status")
+verb groups: "flexctl spec apply|diff|status",
+             "flexctl audit [verify|replay]", and
+             "flexctl ha [status|failover]" join onto the dashed
+             command names above ("flexctl spec" = "flexctl spec-status",
+             "flexctl ha" = "flexctl ha-status")
 
 shortcuts: "flexctl -stats" = "flexctl stats";
            "flexctl -trace ID" = "flexctl trace -plan ID" ("last" = most recent)
@@ -380,9 +392,9 @@ func main() {
 	case len(rest) >= 1:
 		name = rest[0]
 		rest = rest[1:]
-		// Verb groups: "flexctl spec apply" and "flexctl audit verify"
-		// join onto the canonical dashed op names.
-		if (name == "spec" || name == "audit") && len(rest) >= 1 {
+		// Verb groups: "flexctl spec apply", "flexctl audit verify" and
+		// "flexctl ha status" join onto the canonical dashed op names.
+		if (name == "spec" || name == "audit" || name == "ha") && len(rest) >= 1 {
 			if sub := name + "-" + rest[0]; cmds[sub] != nil {
 				name = sub
 				rest = rest[1:]
@@ -390,6 +402,9 @@ func main() {
 		}
 		if name == "spec" {
 			name = api.OpSpecStatus
+		}
+		if name == "ha" {
+			name = api.OpHAStatus
 		}
 	default:
 		usage(cmds)

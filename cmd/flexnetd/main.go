@@ -392,6 +392,9 @@ func (s *Server) dispatch(op string, req *Request) Response {
 		}
 		if s.plane == nil {
 			s.plane = s.net.NewFaultPlane(req.Faults.Seed)
+			if h := s.net.HA(); h != nil {
+				s.plane.BindHA(h) // leader-kill events resolve against HA
+			}
 		}
 		if err := s.plane.Apply(req.Faults); err != nil {
 			return fail(err)
@@ -492,6 +495,21 @@ func (s *Server) dispatch(op string, req *Request) Response {
 			"records": s.net.Audit().Len(),
 			"head":    s.net.Audit().Head(),
 		}}
+	case api.OpHAStatus:
+		st := s.net.HAStatus()
+		if !st.Enabled {
+			return fail(fmt.Errorf("HA not enabled (start flexnetd with -ha N)"))
+		}
+		return Response{OK: true, Data: st}
+	case api.OpHAFailover:
+		killed, err := s.net.HAFailover()
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: map[string]interface{}{
+			"killed": killed,
+			"note":   "advance simulated time (run op) to let the standbys elect",
+		}}
 	case api.OpAuditReplay:
 		st, err := flexnet.ReplayAudit(s.net.Audit().Records())
 		if err != nil {
@@ -543,6 +561,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel packet workers (0 = GOMAXPROCS; overrides the topology file)")
 	batch := flag.Bool("batch", true, "batched switch execution (never changes output, only speed)")
 	flowcache := flag.Bool("flowcache", false, "enable the megaflow flow cache; adds flowcache.* telemetry, all other output is byte-identical")
+	haReplicas := flag.Int("ha", 0, "enable controller HA with N active/standby replicas (0 = off)")
 	flag.Parse()
 	fabric.SetDefaultBatching(*batch)
 	fabric.SetDefaultFlowCache(*flowcache)
@@ -573,6 +592,10 @@ func main() {
 	nw, err := buildNetwork(topo)
 	if err != nil {
 		log.Fatalf("flexnetd: build network: %v", err)
+	}
+	if *haReplicas > 0 {
+		nw.EnableHA(*haReplicas, flexnet.HAConfig{Seed: topo.Seed})
+		log.Printf("flexnetd: controller HA enabled with %d replicas", *haReplicas)
 	}
 	srv := &Server{net: nw, sources: map[string]*flexnet.Source{}}
 

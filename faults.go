@@ -27,9 +27,14 @@ type (
 
 // NewFaultPlane creates a fault injector over this network's fabric.
 // seed drives the plane's own coin flips (message-fault probabilities),
-// independent of the traffic seed.
+// independent of the traffic seed. If HA is enabled the plane is bound
+// to the replica manager, so leader-kill schedules work out of the box.
 func (n *Network) NewFaultPlane(seed int64) *FaultPlane {
-	return faults.New(n.fab, seed)
+	p := faults.New(n.fab, seed)
+	if h := n.ctl.HA(); h != nil {
+		p.BindHA(h)
+	}
+	return p
 }
 
 // ParseFaultSchedule decodes and validates a JSON fault schedule.

@@ -67,6 +67,9 @@ var (
 	ErrVerifyFailed = errdefs.ErrVerifyFailed
 	// ErrDeviceDown: the target device is marked down.
 	ErrDeviceDown = errdefs.ErrDeviceDown
+	// ErrFailover: the plan was interrupted by a controller failover
+	// before it committed, and was rolled back (DESIGN.md §15.3).
+	ErrFailover = errdefs.ErrFailover
 )
 
 // Architecture classes (§3.3 of the paper).

@@ -176,7 +176,7 @@ func TestIntegrationExperimentSuiteRuns(t *testing.T) {
 		t.Skip("experiment suite is slow")
 	}
 	tables := experiments.All(1)
-	if len(tables) != 19 {
+	if len(tables) != 20 {
 		t.Fatalf("suite produced %d tables", len(tables))
 	}
 	for _, tab := range tables {

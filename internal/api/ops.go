@@ -35,6 +35,8 @@ const (
 	OpAudit        = "audit"
 	OpAuditVerify  = "audit-verify"
 	OpAuditReplay  = "audit-replay"
+	OpHAStatus     = "ha-status"
+	OpHAFailover   = "ha-failover"
 )
 
 // Ops maps every canonical op to its one-line summary — the shared
@@ -64,6 +66,8 @@ var Ops = map[string]string{
 	OpAudit:        "tail the append-only mutation audit trail",
 	OpAuditVerify:  "verify the audit trail's hash chain",
 	OpAuditReplay:  "replay the trail and compare against live intent",
+	OpHAStatus:     "controller replica roles, terms, and log watermarks",
+	OpHAFailover:   "kill the serving leader and fail over to a standby",
 }
 
 // legacy maps op spellings from earlier releases to their canonical

@@ -40,8 +40,9 @@ type Record struct {
 	Seq uint64 `json:"seq"`
 	// AtNs is the simulated-clock timestamp.
 	AtNs int64 `json:"at_ns"`
-	// Kind is "genesis", "plan", "tenant-add", "tenant-remove" or
-	// "spec-apply".
+	// Kind is "genesis", "plan", "tenant-add", "tenant-remove",
+	// "spec-apply" or "failover" (a marker the new leader appends after
+	// a controller failover, DESIGN.md §15.4).
 	Kind string `json:"kind"`
 
 	// Plan fields (Kind "plan").
@@ -89,6 +90,9 @@ type Log struct {
 	// onAppend, when set, is called (outside the lock) after each
 	// append — the controller hangs a telemetry counter here.
 	onAppend func()
+	// onRecord, when set, receives each appended record (outside the
+	// lock) — the HA layer replicates the chain to standbys from here.
+	onRecord func(Record)
 }
 
 // NewLog starts a chain with a genesis record stamped by the given
@@ -108,6 +112,14 @@ func (l *Log) OnAppend(fn func()) {
 	l.mu.Unlock()
 }
 
+// OnAppendRecord registers a callback receiving every appended record —
+// the HA replication tap (DESIGN.md §15.2). It coexists with OnAppend.
+func (l *Log) OnAppendRecord(fn func(Record)) {
+	l.mu.Lock()
+	l.onRecord = fn
+	l.mu.Unlock()
+}
+
 // Append stamps, sequences, chains and stores the record. The caller
 // fills the Kind-specific fields; Seq, AtNs, Prev and Hash are owned by
 // the log.
@@ -119,12 +131,26 @@ func (l *Log) Append(r Record) Record {
 	r.Prev = prev.Hash
 	r.Hash = hashOf(r)
 	l.records = append(l.records, r)
-	fn := l.onAppend
+	fn, rfn := l.onAppend, l.onRecord
 	l.mu.Unlock()
 	if fn != nil {
 		fn()
 	}
+	if rfn != nil {
+		rfn(r)
+	}
 	return r
+}
+
+// RecordsFrom returns a copy of the chain suffix starting at sequence
+// number seq — the backlog a stale standby must replay.
+func (l *Log) RecordsFrom(seq uint64) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq >= uint64(len(l.records)) {
+		return nil
+	}
+	return append([]Record(nil), l.records[seq:]...)
 }
 
 // Records returns a copy of the chain.

@@ -46,7 +46,7 @@ func Replay(records []Record) (*IntentState, error) {
 	st := NewIntentState()
 	for _, r := range records {
 		switch r.Kind {
-		case "genesis", "spec-apply":
+		case "genesis", "spec-apply", "failover":
 			// markers; no state
 		case "tenant-add":
 			st.Tenants[r.Tenant] = true

@@ -1,0 +1,636 @@
+package cluster
+
+// Active/standby controller HA (DESIGN.md §15): a replica group whose
+// members coordinate over dRPC — heartbeats with seeded jitter, term-
+// numbered leader election, and continuous replication of the
+// controller's durable log (audit records + plan lifecycle journal)
+// with backlog replay for standbys that fall behind. This is the
+// continuity layer ROADMAP item 4 asks for, built beside the Raft state
+// machine in cluster.go (which replicates *commands*; the HA group
+// replicates the *observed mutation log* so a standby can take over the
+// one live fabric without re-running operations).
+//
+// The wire pattern follows osvbng's pkg/ha: the active replica pushes
+// each appended record to every standby (sync), heartbeats advertise
+// the log head, and a receiver that discovers it is behind pulls the
+// missing backlog before serving. Votes, syncs, and fetches ride
+// drpc.CallOpt — per-attempt timeouts, capped backoff, at-most-once
+// completion — so replication survives the same lossy control channels
+// the fault plane injects (internal/faults).
+//
+// Everything runs on the simulator's event loop. Election jitter and
+// retry jitter come from seeds independent of the simulation's rand
+// stream, so enabling HA never perturbs traffic generation: a fabric
+// with HA on produces byte-identical non-ha.* telemetry.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flexnet/internal/drpc"
+	"flexnet/internal/netsim"
+	"flexnet/internal/packet"
+)
+
+// HA method IDs on drpc.ServiceHA.
+const (
+	// HAHeartbeat: args = {term, leader log head, leader id};
+	// reply = {term, receiver's known head, receiver's applied head}.
+	HAHeartbeat uint64 = iota
+	// HAVote: args = {term, candidate log head, candidate id};
+	// reply = {granted (1/0), voter term, 0}.
+	HAVote
+	// HASync announces one appended record: args = {seq, 0, leader id};
+	// reply = {receiver's known head, 0, 0}.
+	HASync
+	// HAFetch asks the leader how far the log extends so the caller can
+	// replay its backlog: args = {first missing seq, 0, caller id};
+	// reply = {log head, 0, 0}.
+	HAFetch
+)
+
+// SyncRecord is one entry of the replicated controller log: an audit
+// record or a plan lifecycle event, identified by a 1-based sequence
+// number. Payload is opaque to the group (the controller layer encodes
+// audit records as canonical JSON).
+type SyncRecord struct {
+	Seq     uint64
+	Kind    string // "audit", "plan-submit", "plan-commit", "plan-done"
+	Label   string
+	Payload []byte
+}
+
+// HAConfig tunes the replica group. Zero values take the defaults
+// noted per field.
+type HAConfig struct {
+	// DelayNs is the one-way message delay between replicas (2 ms).
+	DelayNs uint64
+	// HeartbeatNs is the active replica's heartbeat period (20 ms).
+	HeartbeatNs uint64
+	// ElectionMinNs/ElectionMaxNs bound the randomized election timeout
+	// (120 ms / 240 ms). A standby that has not heard a heartbeat for a
+	// jittered duration in this range starts an election.
+	ElectionMinNs uint64
+	ElectionMaxNs uint64
+	// LeaseNs is how long a majority-acked heartbeat round entitles the
+	// active replica to keep serving (default ElectionMinNs − 2·Delay).
+	// Because a standby refuses to vote within ElectionMinNs of hearing
+	// the leader, a new leader can only exist after the old one's lease
+	// has lapsed — two replicas never serve at once.
+	LeaseNs uint64
+	// Seed drives election jitter, independent of the simulation seed.
+	Seed int64
+	// BaseIP numbers the replicas' mesh routers (default 172.31.0.1).
+	BaseIP uint32
+}
+
+func (c HAConfig) withDefaults() HAConfig {
+	if c.DelayNs == 0 {
+		c.DelayNs = 2_000_000
+	}
+	if c.HeartbeatNs == 0 {
+		c.HeartbeatNs = 20_000_000
+	}
+	if c.ElectionMinNs == 0 {
+		c.ElectionMinNs = 120_000_000
+	}
+	if c.ElectionMaxNs == 0 {
+		c.ElectionMaxNs = 2 * c.ElectionMinNs
+	}
+	if c.LeaseNs == 0 {
+		c.LeaseNs = c.ElectionMinNs - 2*c.DelayNs
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BaseIP == 0 {
+		c.BaseIP = 0xAC1F0001 // 172.31.0.1
+	}
+	return c
+}
+
+// HAGroup is a set of controller replicas on one simulator, connected
+// by a private dRPC mesh (controller network, not the data fabric).
+type HAGroup struct {
+	sim  *netsim.Sim
+	cfg  HAConfig
+	reps []*HAReplica
+	byIP map[uint32]*HAReplica
+	seq  uint64
+	rng  *rand.Rand
+
+	// store is the durable replicated log: the active replica appends,
+	// standbys learn entries through sync pushes and backlog fetches.
+	// A replica's view of the log is its known/applied watermarks.
+	store []SyncRecord
+
+	// partition, when non-nil, reports whether the mesh drops messages
+	// between two replicas (split-brain tests).
+	partition func(a, b int) bool
+
+	// OnApply fires as a replica applies one log record it learned from
+	// the active (never for the appender itself, whose live state is
+	// already ahead of the log).
+	OnApply func(replica int, rec SyncRecord)
+	// OnActivate fires when a replica wins an election AND has replayed
+	// its backlog to the log head — the moment it may serve.
+	OnActivate func(replica int, term uint64)
+	// OnEvent counts protocol activity: "heartbeat", "election", "sync",
+	// "backlog" (n = records replayed), "stepdown".
+	OnEvent func(kind string, n uint64)
+}
+
+// NewHA creates a replica group of n ≥ 1 members. Replica 0 boots as
+// the active leader at term 1; the rest are standbys.
+func NewHA(sim *netsim.Sim, n int, cfg HAConfig) *HAGroup {
+	if n < 1 {
+		n = 1
+	}
+	cfg = cfg.withDefaults()
+	g := &HAGroup{
+		sim:  sim,
+		cfg:  cfg,
+		byIP: map[uint32]*HAReplica{},
+		rng:  rand.New(rand.NewSource(cfg.Seed*6364136223846793005 + 1442695040888963407)),
+	}
+	for i := 0; i < n; i++ {
+		rep := &HAReplica{id: i, g: g, alive: true, votedFor: -1}
+		rep.router = drpc.NewRouter(cfg.BaseIP+uint32(i), &g.seq, g.transportFor(rep))
+		rep.router.SetScheduler(
+			func() uint64 { return uint64(sim.Now()) },
+			func(d uint64, fn func()) { sim.After(netsim.Time(d), fn) },
+		)
+		if err := rep.router.Register(drpc.ServiceHA, rep.handle); err != nil {
+			panic(err) // fresh router; cannot happen
+		}
+		g.reps = append(g.reps, rep)
+		g.byIP[rep.router.IP] = rep
+	}
+	boot := g.reps[0]
+	boot.role = leader
+	boot.term = 1
+	boot.serving = true
+	boot.leaseUntil = sim.Now() + netsim.Time(cfg.LeaseNs)
+	boot.heartbeatLoop()
+	for _, rep := range g.reps[1:] {
+		rep.term = 1
+		rep.lastHeard = sim.Now()
+		rep.resetElectionTimer()
+	}
+	return g
+}
+
+// transportFor builds one replica's mesh transport: decode the packet's
+// destination, honour partitions and liveness, and deliver after the
+// configured one-way delay.
+func (g *HAGroup) transportFor(from *HAReplica) drpc.Transport {
+	return func(p *packet.Packet) {
+		if !from.alive {
+			return
+		}
+		to := g.byIP[uint32(p.Field("ipv4.dst"))]
+		if to == nil {
+			return
+		}
+		if g.partition != nil && g.partition(from.id, to.id) {
+			return
+		}
+		g.sim.After(netsim.Time(g.cfg.DelayNs), func() {
+			if to.alive {
+				to.router.Deliver(p)
+			}
+		})
+	}
+}
+
+// SetPartition splits the mesh: messages between replicas in different
+// groups are dropped. Pass nil to heal. Replicas not named fall in an
+// implicit last group.
+func (g *HAGroup) SetPartition(groups [][]int) {
+	if groups == nil {
+		g.partition = nil
+		return
+	}
+	side := make(map[int]int, len(g.reps))
+	for gi, members := range groups {
+		for _, id := range members {
+			side[id] = gi + 1
+		}
+	}
+	g.partition = func(a, b int) bool { return side[a] != side[b] }
+}
+
+// Size returns the number of replicas.
+func (g *HAGroup) Size() int { return len(g.reps) }
+
+// Config returns the group's effective (defaulted) configuration.
+func (g *HAGroup) Config() HAConfig { return g.cfg }
+
+// Replica returns replica i.
+func (g *HAGroup) Replica(i int) *HAReplica { return g.reps[i] }
+
+// LogLen returns the replicated log's head sequence number.
+func (g *HAGroup) LogLen() uint64 { return uint64(len(g.store)) }
+
+// Record returns log entry seq (1-based), for verification in tests.
+func (g *HAGroup) Record(seq uint64) SyncRecord { return g.store[seq-1] }
+
+// Active returns the serving leader, or nil while failing over.
+func (g *HAGroup) Active() *HAReplica {
+	for _, rep := range g.reps {
+		if rep.Serving() {
+			return rep
+		}
+	}
+	return nil
+}
+
+// ServingCount counts replicas currently entitled to serve. The lease
+// rule keeps this ≤ 1 at every simulated instant; the split-brain test
+// asserts exactly that.
+func (g *HAGroup) ServingCount() int {
+	n := 0
+	for _, rep := range g.reps {
+		if rep.Serving() {
+			n++
+		}
+	}
+	return n
+}
+
+// Append adds one record to the replicated log on behalf of replica
+// `from` (the active leader) and pushes it to every peer. The appender's
+// own watermarks advance silently — its live state is the source of the
+// record, so re-applying it would double-count.
+func (g *HAGroup) Append(from int, kind, label string, payload []byte) (uint64, error) {
+	rep := g.reps[from]
+	if !rep.alive || rep.role != leader {
+		return 0, fmt.Errorf("cluster: replica %d is not the active leader", from)
+	}
+	rec := SyncRecord{Seq: uint64(len(g.store)) + 1, Kind: kind, Label: label}
+	if len(payload) > 0 {
+		rec.Payload = append([]byte(nil), payload...)
+	}
+	g.store = append(g.store, rec)
+	rep.known = uint64(len(g.store))
+	rep.applied = rep.known
+	g.event("sync", 1)
+	for _, peer := range g.reps {
+		if peer.id == rep.id {
+			continue
+		}
+		rep.router.CallOpt(peer.router.IP, drpc.ServiceHA, HASync,
+			[3]uint64{rec.Seq, 0, uint64(rep.id)}, g.callOpts(2), nil)
+	}
+	return rec.Seq, nil
+}
+
+func (g *HAGroup) event(kind string, n uint64) {
+	if g.OnEvent != nil {
+		g.OnEvent(kind, n)
+	}
+}
+
+// callOpts builds the reliable-call policy used for votes, syncs, and
+// fetches: per-attempt deadline of one RTT plus slack, capped backoff.
+func (g *HAGroup) callOpts(attempts int) drpc.CallOpts {
+	return drpc.CallOpts{
+		TimeoutNs:    2*g.cfg.DelayNs + 1_000_000,
+		Attempts:     attempts,
+		BackoffNs:    g.cfg.DelayNs,
+		MaxBackoffNs: 4 * g.cfg.DelayNs,
+	}
+}
+
+// HAReplica is one member of the group.
+type HAReplica struct {
+	id     int
+	g      *HAGroup
+	router *drpc.Router
+
+	alive    bool
+	role     role
+	term     uint64
+	votedFor int
+	votes    int
+
+	// known/applied are this replica's log watermarks: how far its copy
+	// of the replicated log extends, and how much of it has been applied
+	// through OnApply. They only differ transiently inside a replay.
+	known   uint64
+	applied uint64
+
+	serving    bool
+	leaseUntil netsim.Time
+	lastHeard  netsim.Time
+	missed     int
+	fetching   bool
+	timerEpoch uint64
+}
+
+// ID returns the replica index.
+func (rep *HAReplica) ID() int { return rep.id }
+
+// Term returns the replica's current term.
+func (rep *HAReplica) Term() uint64 { return rep.term }
+
+// Role returns "leader", "candidate" or "follower".
+func (rep *HAReplica) Role() string { return rep.role.String() }
+
+// Alive reports process liveness.
+func (rep *HAReplica) Alive() bool { return rep.alive }
+
+// Known returns the replica's log head watermark.
+func (rep *HAReplica) Known() uint64 { return rep.known }
+
+// Applied returns how many log records the replica has applied.
+func (rep *HAReplica) Applied() uint64 { return rep.applied }
+
+// Router exposes the replica's mesh router (stats, fault interceptors).
+func (rep *HAReplica) Router() *drpc.Router { return rep.router }
+
+// Serving reports whether this replica is currently entitled to act as
+// the controller: it is the leader AND holds an unexpired majority
+// lease. A partitioned leader loses this within LeaseNs even though it
+// still believes itself leader.
+func (rep *HAReplica) Serving() bool {
+	return rep.alive && rep.role == leader && rep.serving && rep.g.sim.Now() <= rep.leaseUntil
+}
+
+// Kill crashes the replica: timers die, in-flight messages to and from
+// it are dropped.
+func (rep *HAReplica) Kill() {
+	rep.alive = false
+	rep.serving = false
+	rep.timerEpoch++
+}
+
+// Revive restarts a crashed replica as a standby. Its log watermarks
+// survive (restart with durable state); the backlog it missed while
+// down is pulled when the next heartbeat advertises a newer head.
+func (rep *HAReplica) Revive() {
+	if rep.alive {
+		return
+	}
+	rep.alive = true
+	rep.role = follower
+	rep.votedFor = -1
+	rep.votes = 0
+	rep.missed = 0
+	rep.lastHeard = rep.g.sim.Now()
+	rep.resetElectionTimer()
+}
+
+// learnTo applies log records (known, upTo] in order, firing OnApply
+// for each. It is the single path by which a non-appending replica's
+// state advances.
+func (rep *HAReplica) learnTo(upTo uint64) {
+	if upTo > uint64(len(rep.g.store)) {
+		upTo = uint64(len(rep.g.store))
+	}
+	for rep.known < upTo {
+		rec := rep.g.store[rep.known]
+		rep.known++
+		if rep.g.OnApply != nil {
+			rep.g.OnApply(rep.id, rec)
+		}
+		rep.applied = rep.known
+	}
+}
+
+// fetchBacklog pulls the log head from the active leader and replays
+// everything missing — the osvbng sync-receiver catch-up path.
+func (rep *HAReplica) fetchBacklog(leaderIP uint32) {
+	if rep.fetching {
+		return
+	}
+	rep.fetching = true
+	rep.router.CallOpt(leaderIP, drpc.ServiceHA, HAFetch,
+		[3]uint64{rep.known + 1, 0, uint64(rep.id)}, rep.g.callOpts(3),
+		func(m drpc.Message, ok bool, err error) {
+			rep.fetching = false
+			if !rep.alive || !ok || err != nil {
+				return
+			}
+			if head := m.Args[0]; head > rep.known {
+				n := head - rep.known
+				rep.learnTo(head)
+				rep.g.event("backlog", n)
+			}
+		})
+}
+
+func (rep *HAReplica) resetElectionTimer() {
+	rep.timerEpoch++
+	epoch := rep.timerEpoch
+	g := rep.g
+	span := int64(g.cfg.ElectionMaxNs - g.cfg.ElectionMinNs)
+	d := netsim.Time(g.cfg.ElectionMinNs)
+	if span > 0 {
+		d += netsim.Time(g.rng.Int63n(span))
+	}
+	g.sim.After(d, func() {
+		if rep.alive && rep.timerEpoch == epoch && rep.role != leader {
+			rep.startElection()
+		}
+	})
+}
+
+func (rep *HAReplica) startElection() {
+	g := rep.g
+	rep.role = candidate
+	rep.term++
+	rep.votedFor = rep.id
+	rep.votes = 1
+	term := rep.term
+	g.event("election", 1)
+	for _, peer := range g.reps {
+		if peer.id == rep.id {
+			continue
+		}
+		rep.router.CallOpt(peer.router.IP, drpc.ServiceHA, HAVote,
+			[3]uint64{term, rep.known, uint64(rep.id)}, g.callOpts(2),
+			func(m drpc.Message, ok bool, err error) {
+				if !rep.alive || err != nil || !ok {
+					return
+				}
+				if m.Args[1] > rep.term {
+					rep.stepDown(m.Args[1])
+					return
+				}
+				if rep.role != candidate || rep.term != term || m.Args[0] != 1 {
+					return
+				}
+				rep.votes++
+				if rep.votes >= len(g.reps)/2+1 {
+					rep.becomeActive()
+				}
+			})
+	}
+	rep.resetElectionTimer()
+}
+
+// becomeActive promotes an election winner. Before it may serve it must
+// replay any backlog it has not applied — the new leader's first duty
+// is to catch its state up to the log head, so activation (and the
+// OnActivate failover hook) always observes applied == LogLen.
+func (rep *HAReplica) becomeActive() {
+	g := rep.g
+	rep.role = leader
+	if rep.known < uint64(len(g.store)) {
+		n := uint64(len(g.store)) - rep.known
+		rep.learnTo(uint64(len(g.store)))
+		g.event("backlog", n)
+	}
+	rep.serving = true
+	rep.missed = 0
+	rep.leaseUntil = g.sim.Now() + netsim.Time(g.cfg.LeaseNs)
+	if g.OnActivate != nil {
+		g.OnActivate(rep.id, rep.term)
+	}
+	rep.heartbeatLoop()
+}
+
+func (rep *HAReplica) stepDown(term uint64) {
+	if rep.role == leader {
+		rep.g.event("stepdown", 1)
+	}
+	rep.term = term
+	rep.role = follower
+	rep.serving = false
+	rep.votedFor = -1
+	rep.votes = 0
+	rep.missed = 0
+	rep.resetElectionTimer()
+}
+
+// heartbeatLoop drives the active replica: each period it pushes a
+// heartbeat (advertising the log head) to every peer and renews its
+// serving lease when a majority acknowledges. Three consecutive rounds
+// without a majority — a partition, or the peers are gone — and the
+// leader steps down rather than serve on stale authority.
+func (rep *HAReplica) heartbeatLoop() {
+	g := rep.g
+	rep.timerEpoch++
+	epoch := rep.timerEpoch
+	var tick func()
+	tick = func() {
+		if !rep.alive || rep.timerEpoch != epoch || rep.role != leader {
+			return
+		}
+		g.event("heartbeat", 1)
+		term := rep.term
+		acks := 1 // self
+		renewed := false
+		for _, peer := range g.reps {
+			if peer.id == rep.id {
+				continue
+			}
+			rep.router.CallOpt(peer.router.IP, drpc.ServiceHA, HAHeartbeat,
+				[3]uint64{term, rep.known, uint64(rep.id)},
+				drpc.CallOpts{TimeoutNs: g.cfg.HeartbeatNs - 2_000_000, Attempts: 1},
+				func(m drpc.Message, ok bool, err error) {
+					if !rep.alive || rep.timerEpoch != epoch || err != nil {
+						return
+					}
+					if m.Args[0] > rep.term {
+						// A peer answered from a higher term: a rejoining
+						// straggler that inflated its term while cut off.
+						// Adopt the term WITHOUT giving up leadership —
+						// vote stickiness protects the lease, and the next
+						// heartbeat round carries the higher term, folding
+						// the straggler back in as a follower.
+						rep.term = m.Args[0]
+						return
+					}
+					if !ok {
+						return
+					}
+					acks++
+					if !renewed && acks >= len(g.reps)/2+1 {
+						renewed = true
+						rep.missed = 0
+						rep.leaseUntil = g.sim.Now() + netsim.Time(g.cfg.LeaseNs)
+					}
+				})
+		}
+		g.sim.After(netsim.Time(g.cfg.HeartbeatNs), func() {
+			if rep.alive && rep.timerEpoch == epoch && rep.role == leader && !renewed {
+				rep.missed++
+				if rep.missed >= 3 {
+					rep.stepDown(rep.term)
+					return
+				}
+			}
+			tick()
+		})
+	}
+	tick()
+}
+
+// handle serves the replica's ServiceHA endpoint.
+func (rep *HAReplica) handle(from uint32, m drpc.Message) *drpc.Message {
+	g := rep.g
+	switch m.Method {
+	case HAHeartbeat:
+		term, head := m.Args[0], m.Args[1]
+		if term < rep.term {
+			return &drpc.Message{Flags: drpc.FlagError, Args: [3]uint64{rep.term, rep.known, rep.applied}}
+		}
+		if term > rep.term || rep.role != follower {
+			rep.stepDown(term)
+		}
+		rep.term = term
+		rep.lastHeard = g.sim.Now()
+		rep.resetElectionTimer()
+		if head > rep.known {
+			rep.fetchBacklog(from)
+		}
+		return &drpc.Message{Args: [3]uint64{rep.term, rep.known, rep.applied}}
+
+	case HAVote:
+		term, head := m.Args[0], m.Args[1]
+		cand := int(m.Args[2])
+		// Leader stickiness comes first and does NOT adopt the
+		// candidate's term: while this replica is itself serving under
+		// its lease, or has heard a live leader within the minimum
+		// election timeout, the vote is refused outright. A partitioned
+		// straggler that inflated its term through futile elections
+		// therefore cannot depose a healthy leader when the mesh heals.
+		if rep.Serving() || g.sim.Now()-rep.lastHeard < netsim.Time(g.cfg.ElectionMinNs) {
+			return &drpc.Message{Args: [3]uint64{0, rep.term, 0}}
+		}
+		if term > rep.term {
+			rep.stepDown(term)
+		}
+		grant := uint64(0)
+		// Grant iff: same term, no conflicting vote, and the candidate's
+		// log is at least as complete as ours.
+		if term == rep.term &&
+			(rep.votedFor == -1 || rep.votedFor == cand) &&
+			head >= rep.known {
+			grant = 1
+			rep.votedFor = cand
+			rep.resetElectionTimer()
+		}
+		return &drpc.Message{Args: [3]uint64{grant, rep.term, 0}}
+
+	case HASync:
+		seq := m.Args[0]
+		switch {
+		case seq == rep.known+1:
+			rep.learnTo(seq)
+		case seq > rep.known:
+			// Out of order — a push was lost or delayed. Pull the gap.
+			rep.fetchBacklog(from)
+		}
+		return &drpc.Message{Args: [3]uint64{rep.known, 0, 0}}
+
+	case HAFetch:
+		if rep.role != leader {
+			return &drpc.Message{Flags: drpc.FlagError, Args: [3]uint64{rep.known, 0, 0}}
+		}
+		return &drpc.Message{Args: [3]uint64{rep.known, 0, 0}}
+	}
+	return &drpc.Message{Flags: drpc.FlagError}
+}

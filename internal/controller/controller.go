@@ -145,6 +145,11 @@ type Controller struct {
 	// byte-identical at a seed.
 	audit *audit.Log
 
+	// ha, when non-nil, is the active/standby replica manager (ha.go):
+	// the controller's durable log replicates to standbys and a leader
+	// kill fails over through the executor's freeze/recover protocol.
+	ha *HA
+
 	// Declarative spec state (spec.go): the last successfully applied
 	// spec and when, plus the reconcile counter.
 	specMu     sync.Mutex

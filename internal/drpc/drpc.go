@@ -29,6 +29,10 @@ const (
 	ServiceStatePush uint64 = 3
 	// ServiceTelemetry reads counters remotely.
 	ServiceTelemetry uint64 = 4
+	// ServiceHA carries controller-replica coordination: heartbeats,
+	// leader-election votes, replication syncs, and backlog fetches
+	// (internal/controller/cluster, DESIGN.md §15).
+	ServiceHA uint64 = 5
 	// ServiceUser is the first ID available to tenant services.
 	ServiceUser uint64 = 16
 )

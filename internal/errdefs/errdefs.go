@@ -33,4 +33,10 @@ var (
 	// does not have. Placement paths return it instead of silently
 	// compiling onto a smaller target set when a path entry is bogus.
 	ErrUnknownDevice = errors.New("unknown device")
+
+	// ErrFailover reports a plan interrupted by a controller failover:
+	// the leader died before the plan's commit instant, so the new
+	// leader rolled its staged changes back (DESIGN.md §15.3). The
+	// operation never took effect and can be resubmitted.
+	ErrFailover = errors.New("interrupted by controller failover")
 )

@@ -108,5 +108,6 @@ func All(seed int64) []*Table {
 		E17FastPath(seed),
 		E18ControlPlane(seed),
 		E19SpecReconcile(seed),
+		E20HAFailover(seed),
 	}
 }

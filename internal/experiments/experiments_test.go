@@ -300,6 +300,43 @@ func TestE19Shape(t *testing.T) {
 	}
 }
 
+func TestE20Shape(t *testing.T) {
+	tab := E20HAFailover(1)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Deterministic plan resolution: pre-commit kill rolls back,
+	// post-commit kill resumes.
+	if tab.Rows[1][1] != "rolled back" || tab.Rows[2][1] != "resumed" {
+		t.Fatalf("outcomes = %q / %q", tab.Rows[1][1], tab.Rows[2][1])
+	}
+	if rolled := cell(t, tab, 1, 4); rolled != 1 {
+		t.Fatalf("mid-prepare kill rolled back %v plans, want 1", rolled)
+	}
+	if resumed := cell(t, tab, 2, 3); resumed != 1 {
+		t.Fatalf("post-commit kill resumed %v plans, want 1", resumed)
+	}
+	for i, row := range tab.Rows {
+		if mixed := cell(t, tab, i, 5); mixed != 0 {
+			t.Fatalf("row %d forwarded %v mixed-configuration packets", i, mixed)
+		}
+		if drift := cell(t, tab, i, 6); drift != 0 {
+			t.Fatalf("row %d left %v drifted instances", i, drift)
+		}
+		if row[7] != "match" {
+			t.Fatalf("row %d audit replay = %q, want match", i, row[7])
+		}
+	}
+	// Bounded failover: both kill scenarios elect within 4×ElectionMax
+	// (default 240 ms), the same bound the chaos soak enforces.
+	for _, i := range []int{1, 2} {
+		fo := parseNs(t, tab.Rows[i][2])
+		if fo <= 0 || fo > 4*240e6 {
+			t.Fatalf("row %d failover time %v ns out of bounds", i, fo)
+		}
+	}
+}
+
 func TestRender(t *testing.T) {
 	tab := &Table{
 		ID: "EX", Title: "t", Claim: "c",

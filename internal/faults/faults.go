@@ -54,6 +54,12 @@ const (
 	// index) and revives it after DurationNs (never, if zero). Requires
 	// BindCluster.
 	KindControllerCrash Kind = "controller-crash"
+	// KindLeaderKill crashes whichever HA controller replica is serving
+	// as the active leader, forcing a failover through the standbys
+	// (DESIGN.md §15.5). The killed replica is revived as a standby
+	// after DurationNs (never, if zero). Target is unused. Requires
+	// BindHA.
+	KindLeaderKill Kind = "leader-kill"
 )
 
 var validKinds = map[Kind]bool{
@@ -65,6 +71,7 @@ var validKinds = map[Kind]bool{
 	KindDRPCDelay:       true,
 	KindDRPCDup:         true,
 	KindControllerCrash: true,
+	KindLeaderKill:      true,
 }
 
 // Event is one scheduled fault.
@@ -123,6 +130,15 @@ type msgFaults struct {
 	dup   msgWindow
 }
 
+// HAPlane is the fault plane's hook into the HA controller replica set
+// (controller.HA satisfies it): KillActive crashes the serving leader
+// and returns its replica ID; ReviveReplica restarts it as a standby.
+// An interface keeps this package free of a controller dependency.
+type HAPlane interface {
+	KillActive() (int, bool)
+	ReviveReplica(id int)
+}
+
 // Plane injects faults into one fabric. Create with New, optionally
 // BindCluster for controller-crash events, then Apply schedules. All
 // injections run on the simulator's event loop; the plane's own rng
@@ -131,6 +147,7 @@ type msgFaults struct {
 type Plane struct {
 	fab *fabric.Fabric
 	cl  *cluster.Cluster
+	ha  HAPlane
 	rng *rand.Rand
 	// msg holds per-router fault windows; the router's interceptor is
 	// installed lazily on the first message fault that targets it.
@@ -155,6 +172,10 @@ func New(fab *fabric.Fabric, seed int64) *Plane {
 // BindCluster attaches a controller replica group as the target of
 // controller-crash events.
 func (p *Plane) BindCluster(cl *cluster.Cluster) { p.cl = cl }
+
+// BindHA attaches an HA replica manager as the target of leader-kill
+// events.
+func (p *Plane) BindHA(ha HAPlane) { p.ha = ha }
 
 // Apply validates every event against the live topology and schedules
 // them all on the simulator. It can be called repeatedly (e.g. one
@@ -207,6 +228,10 @@ func (p *Plane) check(e Event) error {
 		}
 		if idx < 0 || idx >= p.cl.Size() {
 			return fmt.Errorf("replica %d out of range (cluster size %d)", idx, p.cl.Size())
+		}
+	case KindLeaderKill:
+		if p.ha == nil {
+			return fmt.Errorf("no HA group bound (BindHA)")
 		}
 	default:
 		return fmt.Errorf("unknown kind %q", e.Kind)
@@ -315,6 +340,16 @@ func (p *Plane) fire(e Event) {
 		n.Kill()
 		if e.DurationNs > 0 {
 			p.fab.Sim.After(netsim.Time(e.DurationNs), n.Revive)
+		}
+	case KindLeaderKill:
+		id, ok := p.ha.KillActive()
+		if !ok {
+			// No replica is serving (already mid-failover); the event
+			// fires but has nothing to kill.
+			return
+		}
+		if e.DurationNs > 0 {
+			p.fab.Sim.After(netsim.Time(e.DurationNs), func() { p.ha.ReviveReplica(id) })
 		}
 	}
 }

@@ -69,6 +69,113 @@ type Executor struct {
 	// (internal/audit); dry runs go through Validate only and leave no
 	// record, matching the trail's "mutations only" contract.
 	auditFn func(*plan.Report)
+
+	// HA freeze/recover plumbing (DESIGN.md §15.3). While frozen — the
+	// serving leader died and no replica holds the lease — no new plan
+	// is admitted and every in-flight pipeline parks at its next phase
+	// boundary. Recover, called by the newly-activated leader, resumes
+	// plans past their commit instant and aborts the rest through the
+	// normal rollback path. Both fields are inert in non-HA runs.
+	frozen bool
+	pipes  []*pipeState
+	// journal, when set, receives plan lifecycle events ("submit",
+	// "commit", "done") with the plan's label — the HA layer replicates
+	// them so a standby knows which plans are in flight at takeover.
+	journal func(event, label string)
+}
+
+// pipeState fences one in-flight pipeline across a failover: fenced
+// parks continuations, resolved drops stale timers after the plan has
+// finished (or was aborted), committed records whether the plan passed
+// its epoch-atomic commit instant — the resume-vs-rollback pivot.
+type pipeState struct {
+	label     string
+	committed bool
+	fenced    bool
+	resolved  bool
+	parked    []func()
+	abort     func(error)
+}
+
+// gate wraps a pipeline continuation with the pipe's freeze fence:
+// resolved pipes drop the (stale) event, fenced pipes park it for
+// Recover, live pipes run it immediately. Without HA every pipe stays
+// unfenced, so the wrapper is a plain call — byte-identical schedules.
+func (x *Executor) gate(ps *pipeState, fn func()) func() {
+	return func() {
+		switch {
+		case ps.resolved:
+		case ps.fenced:
+			ps.parked = append(ps.parked, fn)
+		default:
+			fn()
+		}
+	}
+}
+
+// SetJournal registers the plan-lifecycle journal tap (HA replication).
+func (x *Executor) SetJournal(fn func(event, label string)) {
+	x.journal = fn
+}
+
+func (x *Executor) journalEvent(event, label string) {
+	if x.journal != nil {
+		x.journal(event, label)
+	}
+}
+
+// Freeze halts the executor at the instant the serving leader is lost:
+// admission stops and every in-flight pipeline is fenced so no further
+// phase boundary is crossed while the fabric has no controller.
+// Already-scheduled data-plane work (a state migration in flight)
+// continues — freezing governs the control decisions, not the wire.
+func (x *Executor) Freeze() {
+	x.frozen = true
+	for _, ps := range x.pipes {
+		ps.fenced = true
+	}
+}
+
+// Frozen reports whether the executor is fenced awaiting a new leader.
+func (x *Executor) Frozen() bool { return x.frozen }
+
+// Inflight returns the labels of fenced or running pipelines, for
+// ha-status reporting.
+func (x *Executor) Inflight() []string {
+	out := make([]string, 0, len(x.pipes))
+	for _, ps := range x.pipes {
+		out = append(out, ps.label)
+	}
+	return out
+}
+
+// Recover is the new leader's takeover step (DESIGN.md §15.3): every
+// fenced pipeline either resumes or rolls back, deterministically, by
+// where its commit instant fell relative to the crash. A plan past
+// commit already flipped every device to the new configuration, so it
+// resumes its post steps; a plan still staging aborts its prepared
+// changes through the normal rollback path and finishes rolled-back
+// with errdefs.ErrFailover. Plans still in planning/validation simply
+// continue — nothing was staged. Queued plans are then re-admitted.
+func (x *Executor) Recover() (resumed, rolledBack int) {
+	x.frozen = false
+	pipes := append([]*pipeState(nil), x.pipes...)
+	for _, ps := range pipes {
+		ps.fenced = false
+		if ps.committed || ps.abort == nil {
+			resumed++
+			parked := ps.parked
+			ps.parked = nil
+			for _, fn := range parked {
+				fn()
+			}
+		} else {
+			rolledBack++
+			ps.abort(fmt.Errorf("plan %q: %w", ps.label, errdefs.ErrFailover))
+		}
+	}
+	x.kick()
+	return resumed, rolledBack
 }
 
 // SetAuditSink registers the per-plan audit callback. It fires inside
@@ -418,6 +525,7 @@ func (x *Executor) ExecuteCtx(ctx context.Context, p *plan.ChangePlan, done func
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	x.journalEvent("submit", p.Label)
 	x.queue = append(x.queue, queuedPlan{ctx: ctx, p: p, done: done, fp: planFootprint(p)})
 	x.kick()
 }
@@ -428,6 +536,9 @@ func (x *Executor) ExecuteCtx(ctx context.Context, p *plan.ChangePlan, done func
 // admitted plan completes synchronously (validate failure) and kicks
 // again from inside its done callback.
 func (x *Executor) kick() {
+	if x.frozen {
+		return // no admission while the fabric has no serving leader
+	}
 	if x.kicking {
 		x.rekick = true
 		return
@@ -501,22 +612,24 @@ func (x *Executor) run(ctx context.Context, p *plan.ChangePlan, done func(*plan.
 	trace := x.tracer.StartTrace(p.Label)
 	x.met.executed.Inc()
 	started := x.eng.sim.Now()
+	ps := &pipeState{label: p.Label}
+	x.pipes = append(x.pipes, ps)
 	if p.PlanningLat > 0 {
 		// The controller's placement work (ChangePlan.PlanningLat) is
 		// charged here as simulated time, before validation, so plan
 		// latency reflects how much planning the operation needed — the
 		// quantity E18 contrasts between incremental and full placement.
 		psp := trace.StartSpan("plan", "")
-		x.eng.sim.After(p.PlanningLat, func() {
+		x.eng.sim.After(p.PlanningLat, x.gate(ps, func() {
 			psp.EndSpan()
-			x.runPipeline(ctx, p, trace, started, done)
-		})
+			x.runPipeline(ctx, p, ps, trace, started, done)
+		}))
 		return
 	}
-	x.runPipeline(ctx, p, trace, started, done)
+	x.runPipeline(ctx, p, ps, trace, started, done)
 }
 
-func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *telemetry.Trace, started netsim.Time, done func(*plan.Report)) {
+func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, ps *pipeState, trace *telemetry.Trace, started netsim.Time, done func(*plan.Report)) {
 	vspan := trace.StartSpan("validate", "")
 	rep := x.Validate(p)
 	vspan.Fail(rep.Err)
@@ -524,6 +637,13 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		rep.ID = trace.ID
 	}
 	finish := func(phase plan.Phase, outcome plan.Outcome, err error) {
+		ps.resolved = true
+		for i, pp := range x.pipes {
+			if pp == ps {
+				x.pipes = append(x.pipes[:i], x.pipes[i+1:]...)
+				break
+			}
+		}
 		if outcome == plan.OutcomeSucceeded && len(rep.Degraded) > 0 {
 			outcome = plan.OutcomeDegraded
 		}
@@ -553,6 +673,7 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		if x.auditFn != nil {
 			x.auditFn(rep)
 		}
+		x.journalEvent("done", p.Label)
 		done(rep)
 	}
 	if rep.Err == nil && ctx.Err() != nil {
@@ -601,6 +722,27 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		return firstErr
 	}
 
+	// abort is the failover path (Executor.Recover): the plan never
+	// reached its commit instant, so nothing was activated — aborting
+	// the staged changes is a complete rollback, and the plan finishes
+	// rolled-back with the failover sentinel.
+	ps.abort = func(err error) {
+		sp := trace.StartSpan("rollback", "")
+		for _, pc := range prepared {
+			if pc != nil {
+				pc.Abort()
+			}
+		}
+		sp.EndSpan()
+		rep.RolledBack = true
+		for i := range rep.Steps {
+			if rep.Steps[i].Status != plan.StepSkipped {
+				rep.Steps[i].Status = plan.StepRolledBack
+			}
+		}
+		finish(plan.PhasePrepare, plan.OutcomeRolledBack, err)
+	}
+
 	// Post steps run sequentially after all devices committed.
 	var runPost func(i int)
 	runPost = func(i int) {
@@ -611,7 +753,8 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		idx := post[i]
 		s := p.Steps[idx]
 		psp := trace.StartSpan("post:"+s.Op.String(), s.Device)
-		onDone := func(err error) {
+		var onDone func(error)
+		onDoneNow := func(err error) {
 			if err == nil {
 				err = ctx.Err() // cancellation between post steps rolls back
 			}
@@ -635,6 +778,12 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 			}
 			rep.Steps[idx].Status = plan.StepCommitted
 			runPost(i + 1)
+		}
+		// Post-step completions cross a phase boundary, so they pass the
+		// freeze fence: a state move that lands while the fabric has no
+		// leader parks until the new leader's Recover resumes the plan.
+		onDone = func(err error) {
+			x.gate(ps, func() { onDoneNow(err) })()
 		}
 		if err := ctx.Err(); err != nil {
 			onDone(err)
@@ -716,11 +865,16 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 			setStatus(g.steps, plan.StepCommitted)
 		}
 		csp.EndSpan()
+		// The commit instant has passed: every device now runs the new
+		// configuration. From here a failover resumes the plan rather
+		// than rolling it back (DESIGN.md §15.3).
+		ps.committed = true
+		x.journalEvent("commit", p.Label)
 		runPost(0)
 	}
 
 	if len(groups) == 0 {
-		x.eng.sim.After(0, func() { commit(nil) })
+		x.eng.sim.After(0, x.gate(ps, func() { commit(nil) }))
 		return
 	}
 	// Prepare proceeds on all devices in parallel; the commit instant is
@@ -731,7 +885,7 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 		gi, g := gi, g
 		psp := trace.StartSpan("prepare", g.dev.Name())
 		pstart := x.eng.sim.Now()
-		x.eng.sim.After(g.lat, func() {
+		x.eng.sim.After(g.lat, x.gate(ps, func() {
 			var pc *dataplane.PreparedChange
 			err := ctx.Err() // cancelled mid-prepare: stage nothing
 			if err == nil {
@@ -765,7 +919,7 @@ func (x *Executor) runPipeline(ctx context.Context, p *plan.ChangePlan, trace *t
 			if remaining == 0 {
 				commit(prepErr)
 			}
-		})
+		}))
 	}
 }
 

@@ -6,7 +6,7 @@
 // The paper's control loop — detect, recompile, reconfigure at runtime —
 // only works if the network can observe itself: reaction times,
 // reconfiguration latencies, and per-device occupancy are exactly what
-// the E1–E15 experiments measure. This package makes those signals a
+// the E1–E20 experiments measure. This package makes those signals a
 // first-class subsystem instead of ad-hoc counters in tests.
 //
 // Determinism: all instrument values derive from the simulated clock and

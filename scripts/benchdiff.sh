@@ -259,3 +259,79 @@ if ! awk -F'|' '
     exit 1
 fi
 echo "benchdiff: OK — E19 plan counts exact, spec convergence within ±10%, hitless, audit replay matches."
+
+# Correctness + perf-drift gate on controller failover (DESIGN.md §15):
+# every E20 row must show zero mixed-configuration packets, zero intent
+# drift, and a matching audit replay — these are hard zeros, not
+# tolerances. The kill scenarios must resolve the in-flight plan the
+# deterministic way ("rolled back" pre-commit, "resumed" post-commit),
+# and the failover time and delivered kpps must stay within ±10% of the
+# checked-in baseline so a refresh cannot silently slow takeover or
+# shed traffic.
+echo "benchdiff: checking E20 failover invariants + failover-time/kpps drift (±10%)..."
+if ! awk -F'|' '
+    function trim(s) { gsub(/^[ \t]+|[ \t]+$/, "", s); return s }
+    function lat_ns(s,   v) {
+        v = s + 0
+        if (s ~ /µs/) return v * 1e3
+        if (s ~ /ms/) return v * 1e6
+        if (s ~ /ns/) return v
+        if (s ~ /s/)  return v * 1e9
+        return v
+    }
+    FNR == 1 { nf++; inE20 = 0 }
+    /^## E20 / { inE20 = 1; next }
+    /^Finding/ { inE20 = 0 }
+    inE20 && NF >= 10 && trim($2) ~ /kill/ && trim($2) != "scenario" {
+        key = trim($2)
+        fo[nf ":" key] = lat_ns(trim($4))
+        kpps[nf ":" key] = trim($10) + 0
+        seen[key] = 1
+        if (nf == 2) {
+            if (trim($7) + 0 != 0 || trim($8) + 0 != 0) {
+                printf "benchdiff: E20 %s not hitless (mixed=%s drift=%s)\n", key, trim($7), trim($8)
+                fail = 1
+            }
+            if (trim($9) != "match") {
+                printf "benchdiff: E20 %s audit replay = %s, want match\n", key, trim($9)
+                fail = 1
+            }
+            if (key ~ /mid-prepare/ && trim($3) != "rolled back") {
+                printf "benchdiff: E20 %s outcome = %s, want rolled back\n", key, trim($3)
+                fail = 1
+            }
+            if (key ~ /post-commit/ && trim($3) != "resumed") {
+                printf "benchdiff: E20 %s outcome = %s, want resumed\n", key, trim($3)
+                fail = 1
+            }
+        }
+    }
+    END {
+        for (key in seen) {
+            bk = kpps[1 ":" key]; ck = kpps[2 ":" key]
+            if (bk == 0) {
+                printf "benchdiff: E20 row %s missing from baseline\n", key
+                fail = 1
+                continue
+            }
+            if (ck < 0.9 * bk || ck > 1.1 * bk) {
+                printf "benchdiff: E20 %s kpps drifted >10%%: %.2f vs baseline %.2f\n", key, ck, bk
+                fail = 1
+            }
+            bf = fo[1 ":" key]; cf = fo[2 ":" key]
+            if (key ~ /kill mid|kill post/ && bf > 0 && (cf < 0.9 * bf || cf > 1.1 * bf)) {
+                printf "benchdiff: E20 %s failover time drifted >10%%: %.0fns vs baseline %.0fns\n", key, cf, bf
+                fail = 1
+            }
+        }
+        if (!fail && length(seen) < 3) {
+            print "benchdiff: expected 3 E20 scenario rows, found " length(seen)
+            fail = 1
+        }
+        exit fail
+    }' "$BASELINE" "$CURRENT"; then
+    echo "" >&2
+    echo "benchdiff: FAIL — controller failover behaviour drifted from $BASELINE." >&2
+    exit 1
+fi
+echo "benchdiff: OK — E20 failover hitless, plan resolution deterministic, failover time and kpps within ±10%."
